@@ -1,0 +1,60 @@
+// TXT3 — Area comparison (paper abstract/Section I: the proposal "largely
+// outperforms existing solutions in terms of energy AND AREA").
+//
+// Prints cell- and cache-level area for baseline and proposed designs in
+// both scenarios, including check-bit columns and EDC logic.
+#include "bench_common.hpp"
+
+#include "hvc/tech/sram_cell.hpp"
+
+namespace {
+
+using namespace hvc;
+using namespace hvc::bench;
+
+void reproduce_area() {
+  print_header("TXT3", "cell and L1 area, baseline vs proposed");
+  for (const auto scenario : {yield::Scenario::kA, yield::Scenario::kB}) {
+    const auto& cells = sim::cell_plan_for(scenario);
+    std::printf("\nScenario %s\n", yield::to_string(scenario));
+    std::printf("  cells: 6T=%.0f F^2  10T=%.0f F^2  8T=%.0f F^2\n",
+                tech::cell_area_f2(cells.hp_6t.cell),
+                tech::cell_area_f2(cells.baseline_10t.cell),
+                tech::cell_area_f2(cells.proposed_8t.cell));
+
+    sim::System base(paper_system(scenario, false, power::Mode::kHp), cells);
+    sim::System prop(paper_system(scenario, true, power::Mode::kHp), cells);
+    const double base_area = base.l1_area_um2();
+    const double prop_area = prop.l1_area_um2();
+    std::printf("  L1 (IL1+DL1) area: baseline %.0f um^2, proposed %.0f um^2"
+                " -> saving %.1f%%\n",
+                base_area, prop_area, (1.0 - prop_area / base_area) * 100.0);
+
+    // ULE-way-only comparison (the part the proposal changes).
+    const double way10 =
+        tech::cell_area_f2(cells.baseline_10t.cell) *
+        (scenario == yield::Scenario::kA ? 32.0 : 39.0);  // bits per word slot
+    const double way8 = tech::cell_area_f2(cells.proposed_8t.cell) *
+                        (scenario == yield::Scenario::kA ? 39.0 : 45.0);
+    std::printf("  per 32-bit word incl. check bits: 10T-way %.0f F^2 vs "
+                "8T-way %.0f F^2 -> saving %.1f%%\n",
+                way10, way8, (1.0 - way8 / way10) * 100.0);
+  }
+}
+
+void BM_CellAreaEval(benchmark::State& state) {
+  const tech::CellDesign cell{tech::CellKind::k8T, 2.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tech::cell_area_f2(cell));
+  }
+}
+BENCHMARK(BM_CellAreaEval);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_area();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

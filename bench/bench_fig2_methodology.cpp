@@ -1,0 +1,100 @@
+// TXT1 — Section III-C / Figure 2: the design methodology.
+//
+// Reproduces the paper's sizing example ("to have a 99% yield for an 8KB
+// cache, faulty bit rate Pf must be 1.22e-6") and prints the Fig. 2 loop
+// trace: 10T sized at 350 mV to match the 6T Pf, then 8T grown from
+// minimum size until the EDC-protected yield reaches Y10T.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hvc/common/rng.hpp"
+#include "hvc/tech/sram_cell.hpp"
+#include "hvc/yield/methodology.hpp"
+#include "hvc/yield/pfail.hpp"
+
+namespace {
+
+using namespace hvc;
+
+void reproduce_methodology() {
+  std::printf("=====================================================\n");
+  std::printf("TXT1/FIG2 — design methodology (Section III-C)\n");
+  std::printf("=====================================================\n");
+
+  for (const auto scenario : {yield::Scenario::kA, yield::Scenario::kB}) {
+    const yield::CacheCellPlan plan = yield::run_methodology(scenario);
+    std::printf("\nScenario %s @ HP %.2fV / ULE %.2fV\n",
+                yield::to_string(scenario), plan.hp_vcc, plan.ule_vcc);
+    std::printf("Pf target for 99%% yield over the 1KB way: %.3g "
+                "(paper: 1.22e-6)\n",
+                plan.target_pf);
+    std::printf("  6T HP cell : %-10s Pf=%.3g\n",
+                plan.hp_6t.cell.to_string().c_str(), plan.hp_6t.pf);
+    std::printf("  10T ULE cell (matches 6T Pf at NST): %-10s Pf=%.3g "
+                "yield=%.4f area=%.0f F^2\n",
+                plan.baseline_10t.cell.to_string().c_str(),
+                plan.baseline_10t.pf, plan.baseline_10t.yield,
+                tech::cell_area_f2(plan.baseline_10t.cell));
+    std::printf("  8T+EDC sizing loop (Fig. 2):\n");
+    std::printf("    %8s %12s %12s\n", "size", "Pf8T", "yield");
+    const auto& steps = plan.proposed_8t.steps;
+    // Print first steps, every few middle steps, and the last.
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (i < 3 || i + 2 >= steps.size() || i % 8 == 0) {
+        std::printf("    %8.2f %12.3e %12.6f%s\n", steps[i].size, steps[i].pf,
+                    steps[i].yield,
+                    i + 1 == steps.size() ? "  <- Y >= Y10T: stop" : "");
+      }
+    }
+    std::printf("  8T ULE cell: %-10s Pf=%.3g yield=%.4f area=%.0f F^2\n",
+                plan.proposed_8t.cell.to_string().c_str(), plan.proposed_8t.pf,
+                plan.proposed_8t.yield,
+                tech::cell_area_f2(plan.proposed_8t.cell));
+    const double cell_ratio = tech::cell_area_f2(plan.proposed_8t.cell) /
+                              tech::cell_area_f2(plan.baseline_10t.cell);
+    std::printf("  8T/10T cell area ratio: %.2f (with check bits: %.2f)\n",
+                cell_ratio, cell_ratio * 39.0 / 32.0);
+  }
+
+  // Cross-check the analytic Pf of the sized cells with the Chen-style
+  // importance sampler (the paper's reference [6]).
+  std::printf("\nImportance-sampling cross-check of the sized cells:\n");
+  const yield::CacheCellPlan plan = yield::run_methodology(yield::Scenario::kA);
+  Rng rng(2024);
+  for (const auto* sizing :
+       {&plan.baseline_10t, &plan.proposed_8t}) {
+    Rng fork = rng.fork(static_cast<std::uint64_t>(sizing->cell.kind));
+    const auto estimate =
+        yield::importance_sample_pfail(sizing->cell, 0.35, fork, 60000);
+    std::printf("  %-10s analytic Pf=%.3e  IS Pf=%.3e (+-%.1e)\n",
+                sizing->cell.to_string().c_str(), sizing->pf, estimate.pf,
+                estimate.stderr_pf);
+  }
+}
+
+void BM_MethodologyScenarioA(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yield::run_methodology(yield::Scenario::kA));
+  }
+}
+BENCHMARK(BM_MethodologyScenarioA);
+
+void BM_ImportanceSampling10k(benchmark::State& state) {
+  Rng rng(7);
+  const tech::CellDesign cell{tech::CellKind::k8T, 2.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        yield::importance_sample_pfail(cell, 0.35, rng, 10000));
+  }
+}
+BENCHMARK(BM_ImportanceSampling10k);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_methodology();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

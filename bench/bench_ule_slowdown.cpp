@@ -1,0 +1,51 @@
+// TXT2 — Section IV-B2: execution-time increase at ULE mode from the
+// one-cycle EDC encode/decode latency (paper: ~3% in all cases).
+#include "bench_common.hpp"
+
+#include "hvc/workloads/workload.hpp"
+
+namespace {
+
+using namespace hvc;
+using namespace hvc::bench;
+
+void reproduce_slowdown() {
+  print_header("TXT2", "ULE-mode execution time increase from EDC latency");
+  std::printf("%-10s %18s %18s %10s\n", "workload", "baseline cycles",
+              "proposed cycles", "slowdown");
+  for (const auto scenario : {yield::Scenario::kA, yield::Scenario::kB}) {
+    std::printf("Scenario %s:\n", yield::to_string(scenario));
+    for (const auto& name : wl::names_of(wl::BenchClass::kSmall)) {
+      const auto base = run_point(scenario, false, power::Mode::kUle, name);
+      const auto prop = run_point(scenario, true, power::Mode::kUle, name);
+      const double slowdown = static_cast<double>(prop.cycles) /
+                                  static_cast<double>(base.cycles) -
+                              1.0;
+      std::printf("%-10s %18llu %18llu %+9.2f%%\n", name.c_str(),
+                  static_cast<unsigned long long>(base.cycles),
+                  static_cast<unsigned long long>(prop.cycles),
+                  slowdown * 100.0);
+    }
+  }
+  std::printf("(paper: ~3%% where the baseline has no EDC cycle; scenario B\n"
+              " baseline already pays the SECDED cycle, so the relative\n"
+              " slowdown there is ~0)\n");
+}
+
+void BM_UleRunAdpcm(benchmark::State& state) {
+  sim::SystemConfig config =
+      paper_system(yield::Scenario::kA, true, power::Mode::kUle);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_one(config, "adpcm_d"));
+  }
+}
+BENCHMARK(BM_UleRunAdpcm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_slowdown();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

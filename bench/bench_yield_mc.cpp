@@ -1,0 +1,102 @@
+// EQ12 — validation of the paper's Equations (1)-(2): analytic word/cache
+// yield vs Monte-Carlo bit-fault sampling across a Pf sweep, plus the
+// end-to-end check that a chip built with the sized 8T+SECDED way runs a
+// real workload functionally exactly at ULE.
+#include "bench_common.hpp"
+
+#include "hvc/common/rng.hpp"
+#include "hvc/yield/cache_yield.hpp"
+
+namespace {
+
+using namespace hvc;
+using namespace hvc::bench;
+
+/// Monte-Carlo chip yield: sample bit faults and check every word.
+[[nodiscard]] double mc_yield(double pf,
+                              std::span<const yield::WordClass> words,
+                              Rng& rng, int chips) {
+  int ok = 0;
+  for (int chip = 0; chip < chips; ++chip) {
+    bool chip_ok = true;
+    for (const auto& word : words) {
+      for (std::size_t w = 0; chip_ok && w < word.count; ++w) {
+        std::size_t faults = 0;
+        const std::size_t bits = word.data_bits + word.check_bits;
+        for (std::size_t b = 0; b < bits; ++b) {
+          faults += rng.bernoulli(pf) ? 1 : 0;
+        }
+        chip_ok = faults <= word.hard_correctable;
+      }
+      if (!chip_ok) {
+        break;
+      }
+    }
+    ok += chip_ok ? 1 : 0;
+  }
+  return static_cast<double>(ok) / chips;
+}
+
+void reproduce_eq12() {
+  print_header("EQ12", "Eq.(1)-(2) analytic yield vs Monte-Carlo");
+  const auto words = yield::ule_way_words(32, 32, 7, 7, 1);
+  std::printf("8T+SECDED ULE way (256 data words (39,32), 32 tags (33,26)):\n");
+  std::printf("%12s %14s %14s\n", "Pf", "analytic Y", "MC Y (2000)");
+  Rng rng(77);
+  for (const double pf : {1e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3}) {
+    const double analytic = yield::cache_yield(pf, words);
+    const double mc = mc_yield(pf, words, rng, 2000);
+    std::printf("%12.1e %14.6f %14.6f\n", pf, analytic, mc);
+  }
+
+  const auto raw_words = yield::ule_way_words(32, 32, 0, 0, 0);
+  std::printf("\nUnprotected 10T ULE way (raw words):\n");
+  std::printf("%12s %14s %14s\n", "Pf", "analytic Y", "MC Y (2000)");
+  for (const double pf : {1e-6, 5e-6, 1e-5, 5e-5}) {
+    const double analytic = yield::cache_yield(pf, raw_words);
+    const double mc = mc_yield(pf, raw_words, rng, 2000);
+    std::printf("%12.1e %14.6f %14.6f\n", pf, analytic, mc);
+  }
+
+  // End-to-end: chips sampled at the methodology's Pf run functionally
+  // exactly (EDC corrects every manifested hard fault).
+  std::printf("\nEnd-to-end fault-injection check (10 chip samples):\n");
+  int exact_chips = 0;
+  for (std::uint64_t chip = 0; chip < 10; ++chip) {
+    sim::SystemConfig config =
+        paper_system(yield::Scenario::kA, true, power::Mode::kUle);
+    config.seed = 1000 + chip;
+    sim::System system(config, sim::cell_plan_for(yield::Scenario::kA));
+    const auto result = system.run_workload("epic_d", chip + 1, 1);
+    const bool exact = system.dl1().stats().edc_detected == 0 &&
+                       result.instructions > 0;
+    exact_chips += exact ? 1 : 0;
+  }
+  std::printf("chips with zero uncorrectable events: %d / 10\n", exact_chips);
+}
+
+void BM_AnalyticYield(benchmark::State& state) {
+  const auto words = yield::ule_way_words(32, 32, 7, 7, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yield::cache_yield(2e-4, words));
+  }
+}
+BENCHMARK(BM_AnalyticYield);
+
+void BM_McYield100(benchmark::State& state) {
+  const auto words = yield::ule_way_words(32, 32, 7, 7, 1);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc_yield(2e-4, words, rng, 100));
+  }
+}
+BENCHMARK(BM_McYield100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_eq12();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Design-space explorer: runs the paper's sizing methodology across ULE
+// voltages and yield targets, and prints the resulting cells, yields and
+// area ratios — the tool a cache designer would actually use to pick an
+// operating point.
+//
+// Usage: design_explorer [scenario A|B]
+#include <cstdio>
+#include <cstring>
+
+#include "hvc/tech/sram_cell.hpp"
+#include "hvc/yield/cache_yield.hpp"
+#include "hvc/yield/methodology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hvc;
+  yield::Scenario scenario = yield::Scenario::kA;
+  if (argc > 1 && std::strcmp(argv[1], "B") == 0) {
+    scenario = yield::Scenario::kB;
+  }
+  std::printf("Design-space exploration, scenario %s\n",
+              yield::to_string(scenario));
+
+  std::printf("\n--- ULE voltage sweep (99%% yield target) ---\n");
+  std::printf("%8s | %9s %9s | %9s %9s | %11s\n", "Vcc", "10T size",
+              "8T size", "10T F^2", "8T F^2", "area ratio*");
+  for (const double vcc : {0.28, 0.32, 0.35, 0.40, 0.45, 0.50}) {
+    const auto plan = yield::run_methodology(scenario, 1.0, vcc);
+    const double a10 = tech::cell_area_f2(plan.baseline_10t.cell);
+    const double a8 = tech::cell_area_f2(plan.proposed_8t.cell);
+    const double check_factor =
+        scenario == yield::Scenario::kA ? 39.0 / 32.0 : 45.0 / 39.0;
+    std::printf("%8.2f | %9.2f %9.2f | %9.0f %9.0f | %11.2f\n", vcc,
+                plan.baseline_10t.cell.size, plan.proposed_8t.cell.size, a10,
+                a8, a8 * check_factor / a10);
+  }
+  std::printf("(* proposed/baseline ULE-way array area incl. check bits)\n");
+
+  std::printf("\n--- yield target sweep at 350 mV ---\n");
+  std::printf("%8s | %10s | %9s %9s | %11s\n", "yield", "Pf target",
+              "10T size", "8T size", "area ratio*");
+  for (const double target : {0.90, 0.95, 0.99, 0.999}) {
+    yield::MethodologyConfig config;
+    config.target_yield = target;
+    const auto plan = yield::run_methodology(scenario, 1.0, 0.35, config);
+    const double a10 = tech::cell_area_f2(plan.baseline_10t.cell);
+    const double a8 = tech::cell_area_f2(plan.proposed_8t.cell);
+    const double check_factor =
+        scenario == yield::Scenario::kA ? 39.0 / 32.0 : 45.0 / 39.0;
+    std::printf("%8.3f | %10.2e | %9.2f %9.2f | %11.2f\n", target,
+                plan.target_pf, plan.baseline_10t.cell.size,
+                plan.proposed_8t.cell.size, a8 * check_factor / a10);
+  }
+
+  std::printf("\n--- what Pf can each protection level tolerate? ---\n");
+  std::printf("(1KB ULE way, 99%% yield)\n");
+  const struct {
+    const char* label;
+    std::size_t check_bits;
+    std::size_t correctable;
+  } levels[] = {{"none", 0, 0}, {"SECDED", 7, 1}, {"DECTED(2 hard)", 13, 2}};
+  for (const auto& level : levels) {
+    const auto words = yield::ule_way_words(32, 32, level.check_bits,
+                                            level.check_bits,
+                                            level.correctable);
+    const double pf = yield::max_pf_for_yield(0.99, words);
+    std::printf("%16s : max Pf = %.3e\n", level.label, pf);
+  }
+  return 0;
+}

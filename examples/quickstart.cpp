@@ -1,0 +1,73 @@
+// Quickstart: size the cells with the paper's methodology, build the
+// proposed hybrid cache system, run one workload in each mode, and print
+// the energy-per-instruction comparison against the 10T baseline.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "hvc/common/units.hpp"
+#include "hvc/sim/report.hpp"
+#include "hvc/sim/system.hpp"
+
+int main() {
+  using namespace hvc;
+
+  // 1. Run the design methodology (paper Fig. 2) for scenario A:
+  //    baseline 6T+10T, proposal 6T+8T+SECDED.
+  const yield::CacheCellPlan cells = yield::run_methodology(yield::Scenario::kA);
+  std::printf("Sized cells: HP %s | baseline ULE %s | proposed ULE %s\n",
+              cells.hp_6t.cell.to_string().c_str(),
+              cells.baseline_10t.cell.to_string().c_str(),
+              cells.proposed_8t.cell.to_string().c_str());
+
+  // 2. Build baseline and proposed systems at HP mode (1V, 1GHz).
+  sim::SystemConfig base_cfg;
+  base_cfg.design = {yield::Scenario::kA, /*proposed=*/false};
+  base_cfg.mode = power::Mode::kHp;
+  sim::SystemConfig prop_cfg = base_cfg;
+  prop_cfg.design.proposed = true;
+
+  sim::System baseline(base_cfg, cells);
+  sim::System proposed(prop_cfg, cells);
+
+  // 3. Run a BigBench workload (GSM speech encoder) at HP mode.
+  const cpu::RunResult hp_base = baseline.run_workload("gsm_c");
+  const cpu::RunResult hp_prop = proposed.run_workload("gsm_c");
+  std::printf("\nHP mode, gsm_c (%llu instructions):\n",
+              static_cast<unsigned long long>(hp_base.instructions));
+  std::printf("  baseline EPI %s | proposed EPI %s | saving %s\n",
+              si_format(hp_base.epi(), "J").c_str(),
+              si_format(hp_prop.epi(), "J").c_str(),
+              percent(1.0 - hp_prop.epi() / hp_base.epi()).c_str());
+
+  // 4. Switch to ULE mode (350mV, 5MHz) and run a SmallBench workload.
+  sim::SystemConfig base_ule = base_cfg;
+  base_ule.mode = power::Mode::kUle;
+  sim::SystemConfig prop_ule = prop_cfg;
+  prop_ule.mode = power::Mode::kUle;
+  sim::System baseline_ule(base_ule, cells);
+  sim::System proposed_ule(prop_ule, cells);
+
+  const cpu::RunResult ule_base = baseline_ule.run_workload("adpcm_c");
+  const cpu::RunResult ule_prop = proposed_ule.run_workload("adpcm_c");
+  std::printf("\nULE mode, adpcm_c:\n");
+  std::printf("  baseline EPI %s | proposed EPI %s | saving %s\n",
+              si_format(ule_base.epi(), "J").c_str(),
+              si_format(ule_prop.epi(), "J").c_str(),
+              percent(1.0 - ule_prop.epi() / ule_base.epi()).c_str());
+  std::printf("  execution time change: %s (the 1-cycle EDC latency)\n",
+              percent_delta(static_cast<double>(ule_prop.cycles),
+                            static_cast<double>(ule_base.cycles))
+                  .c_str());
+
+  // 5. Show the EPI breakdown of the proposed design at ULE.
+  const sim::EpiBreakdown breakdown = sim::epi_breakdown(ule_prop);
+  std::printf("\nProposed ULE EPI breakdown:\n");
+  std::printf("  L1 dynamic  %s\n", si_format(breakdown.l1_dynamic, "J").c_str());
+  std::printf("  L1 leakage  %s\n", si_format(breakdown.l1_leakage, "J").c_str());
+  std::printf("  EDC         %s\n", si_format(breakdown.l1_edc, "J").c_str());
+  std::printf("  core+other  %s\n", si_format(breakdown.core_other, "J").c_str());
+  return 0;
+}

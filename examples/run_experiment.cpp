@@ -1,0 +1,134 @@
+// Command-line experiment runner: build any of the paper's chip variants
+// and run any workload, printing the full result. The tool a downstream
+// user reaches for before writing code against the library.
+//
+// Usage:
+//   run_experiment [--scenario A|B] [--design baseline|proposed]
+//                  [--mode hp|ule] [--workload NAME] [--scale N]
+//                  [--mem-latency CYCLES] [--ule-ways N] [--seed N]
+//                  [--list]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "hvc/common/units.hpp"
+#include "hvc/sim/report.hpp"
+#include "hvc/sim/system.hpp"
+#include "hvc/workloads/workload.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: run_experiment [options]\n"
+      "  --scenario A|B          baseline reliability scenario (default A)\n"
+      "  --design baseline|proposed   cache design (default proposed)\n"
+      "  --mode hp|ule           operating mode (default ule)\n"
+      "  --workload NAME         workload (default adpcm_c; see --list)\n"
+      "  --scale N               problem-size multiplier (default 1)\n"
+      "  --mem-latency CYCLES    memory latency (default 20)\n"
+      "  --ule-ways N            ULE ways out of 8 (default 1)\n"
+      "  --seed N                fault-map / workload seed (default 42)\n"
+      "  --list                  list workloads and exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hvc;
+
+  sim::SystemConfig config;
+  config.design = {yield::Scenario::kA, /*proposed=*/true};
+  config.mode = power::Mode::kUle;
+  std::string workload = "adpcm_c";
+  std::size_t scale = 1;
+  std::uint64_t workload_seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      config.design.scenario = std::strcmp(next(), "B") == 0
+                                   ? yield::Scenario::kB
+                                   : yield::Scenario::kA;
+    } else if (arg == "--design") {
+      config.design.proposed = std::strcmp(next(), "baseline") != 0;
+    } else if (arg == "--mode") {
+      config.mode = std::strcmp(next(), "hp") == 0 ? power::Mode::kHp
+                                                   : power::Mode::kUle;
+    } else if (arg == "--workload") {
+      workload = next();
+    } else if (arg == "--scale") {
+      scale = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--mem-latency") {
+      config.memory_latency_cycles =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--ule-ways") {
+      config.ule_ways =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--list") {
+      for (const auto& info : wl::registry()) {
+        std::printf("%-10s %s\n", info.name.c_str(),
+                    to_string(info.bench_class).c_str());
+      }
+      return 0;
+    } else {
+      usage();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  try {
+    std::printf("design   : %s, %zu+%zu ways, mode %s\n",
+                config.design.label().c_str(),
+                config.org.ways - config.ule_ways, config.ule_ways,
+                to_string(config.mode));
+    const auto& cells = sim::cell_plan_for(config.design.scenario);
+    std::printf("cells    : HP %s | ULE %s\n",
+                cells.hp_6t.cell.to_string().c_str(),
+                (config.design.proposed ? cells.proposed_8t.cell
+                                        : cells.baseline_10t.cell)
+                    .to_string()
+                    .c_str());
+
+    sim::System system(config, cells);
+    const cpu::RunResult result =
+        system.run_workload(workload, workload_seed, scale);
+
+    std::printf("workload : %s (scale %zu)\n", workload.c_str(), scale);
+    std::printf("instrs   : %llu, cycles %llu (CPI %.3f), wall %s\n",
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(result.cycles), result.cpi(),
+                si_format(result.seconds, "s").c_str());
+    std::printf("EPI      : %s\n", si_format(result.epi(), "J").c_str());
+    const auto breakdown = sim::epi_breakdown(result);
+    std::printf("  L1 dyn %s | L1 leak %s | EDC %s | core+other %s\n",
+                si_format(breakdown.l1_dynamic, "J").c_str(),
+                si_format(breakdown.l1_leakage, "J").c_str(),
+                si_format(breakdown.l1_edc, "J").c_str(),
+                si_format(breakdown.core_other, "J").c_str());
+    std::printf("IL1      : %.2f%% hits (%llu accesses)\n",
+                result.il1.hit_rate() * 100.0,
+                static_cast<unsigned long long>(result.il1.accesses));
+    std::printf("DL1      : %.2f%% hits (%llu accesses), %llu corrections, "
+                "%llu uncorrectable\n",
+                result.dl1.hit_rate() * 100.0,
+                static_cast<unsigned long long>(result.dl1.accesses),
+                static_cast<unsigned long long>(result.dl1.edc_corrections),
+                static_cast<unsigned long long>(result.dl1.edc_detected));
+    std::printf("L1 area  : %.0f um^2\n", system.l1_area_um2());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

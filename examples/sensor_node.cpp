@@ -1,0 +1,95 @@
+// Sensor-node scenario: the paper's motivating use case (Section I).
+//
+// A battery-powered environmental monitor spends ~99.9% of its time in
+// ULE mode sampling and compressing sensor audio (adpcm), and rarely
+// wakes to HP mode to run a heavy event burst (image/video encoding)
+// before going back to sleep. This example simulates that duty cycle on
+// the baseline (6T+10T) and proposed (6T+8T+SECDED) chips, including the
+// mode-switch writebacks, and estimates battery life.
+#include <cstdio>
+
+#include "hvc/common/units.hpp"
+#include "hvc/sim/system.hpp"
+
+namespace {
+
+struct PhaseResult {
+  double energy_j = 0.0;
+  double seconds = 0.0;
+};
+
+/// Runs one duty cycle: N ULE monitoring runs + one HP event burst.
+PhaseResult run_duty_cycle(hvc::sim::System& ule_system,
+                           hvc::sim::System& hp_system,
+                           std::size_t monitor_rounds) {
+  PhaseResult total;
+  for (std::size_t round = 0; round < monitor_rounds; ++round) {
+    const auto r = ule_system.run_workload("adpcm_c", 100 + round);
+    total.energy_j += r.total_energy();
+    total.seconds += r.seconds;
+  }
+  const auto burst = hp_system.run_workload("mpeg2_c", 7);
+  total.energy_j += burst.total_energy();
+  total.seconds += burst.seconds;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hvc;
+  std::printf("Sensor node duty-cycle simulation (paper Section I)\n");
+  std::printf("---------------------------------------------------\n");
+
+  constexpr std::size_t kMonitorRounds = 8;  // ULE runs per HP burst
+  // A CR2032-class battery: ~225 mAh at 3V ~= 2430 J.
+  constexpr double kBatteryJoules = 2430.0;
+
+  for (const bool proposed : {false, true}) {
+    const auto& cells = sim::cell_plan_for(yield::Scenario::kA);
+    sim::SystemConfig ule_cfg;
+    ule_cfg.design = {yield::Scenario::kA, proposed};
+    ule_cfg.mode = power::Mode::kUle;
+    sim::SystemConfig hp_cfg = ule_cfg;
+    hp_cfg.mode = power::Mode::kHp;
+
+    sim::System ule_system(ule_cfg, cells);
+    sim::System hp_system(hp_cfg, cells);
+
+    const PhaseResult cycle =
+        run_duty_cycle(ule_system, hp_system, kMonitorRounds);
+
+    // Stretch to a realistic duty cycle: the monitoring phase repeats
+    // continuously; idle gaps between samples leak at ULE leakage power.
+    const double ule_leak_w = ule_system.il1().leakage_power() +
+                              ule_system.dl1().leakage_power() +
+                              ule_system.core().core_leakage_w();
+    const double idle_fraction = 0.95;  // node idles between samples
+    const double active_seconds = cycle.seconds;
+    const double idle_seconds =
+        active_seconds * idle_fraction / (1.0 - idle_fraction);
+    const double cycle_energy = cycle.energy_j + ule_leak_w * idle_seconds;
+    const double cycle_span = active_seconds + idle_seconds;
+
+    const double battery_days =
+        kBatteryJoules / cycle_energy * cycle_span / 86400.0;
+
+    std::printf("\n%s design:\n", proposed ? "Proposed (6T+8T+SECDED)"
+                                           : "Baseline (6T+10T)");
+    std::printf("  duty-cycle active energy : %s\n",
+                si_format(cycle.energy_j, "J").c_str());
+    std::printf("  ULE-mode leakage power   : %s\n",
+                si_format(ule_leak_w, "W").c_str());
+    std::printf("  energy per full cycle    : %s over %s\n",
+                si_format(cycle_energy, "J").c_str(),
+                si_format(cycle_span, "s").c_str());
+    std::printf("  estimated battery life   : %.1f days on a CR2032\n",
+                battery_days);
+    std::printf("  ULE EDC corrections      : %llu (hard faults handled "
+                "transparently)\n",
+                static_cast<unsigned long long>(
+                    ule_system.dl1().stats().edc_corrections +
+                    ule_system.il1().stats().edc_corrections));
+  }
+  return 0;
+}

@@ -1,0 +1,224 @@
+// Bit-accurate hybrid-voltage set-associative cache simulator.
+//
+// This is the paper's proposed architecture (Figure 1) as an executable
+// model: heterogeneous ways (6T HP ways, 8T/10T ULE ways), per-mode EDC
+// (none/SECDED/DECTED) on 32-bit data words and 26-bit tags, gated-Vdd way
+// shutdown at ULE mode, and bit-level hard/soft fault injection so the EDC
+// datapath is exercised end to end.
+//
+// Every tag and data word is stored as its real codeword bits. Reads pull
+// the raw bits through the fault map, decode them, and report corrections;
+// a detected-uncorrectable tag forces a miss, a detected-uncorrectable
+// data word falls back to memory (counted — with properly sized cells this
+// must never happen, which is the paper's predictability argument).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hvc/cache/fault.hpp"
+#include "hvc/cache/memory.hpp"
+#include "hvc/cache/replacement.hpp"
+#include "hvc/common/rng.hpp"
+#include "hvc/common/stats.hpp"
+#include "hvc/power/cache_power.hpp"
+
+namespace hvc::cache {
+
+enum class AccessType { kLoad, kStore, kIfetch };
+
+[[nodiscard]] std::string to_string(AccessType type);
+
+enum class WritePolicy { kWriteBackAllocate, kWriteThroughNoAllocate };
+
+/// Static configuration of one cache instance.
+struct CacheConfig {
+  std::string name = "L1";
+  power::CacheOrg org;
+  std::vector<power::WayPlan> ways;
+  WritePolicy write_policy = WritePolicy::kWriteBackAllocate;
+  ReplacementKind replacement = ReplacementKind::kLru;
+  std::size_t hit_latency_cycles = 1;
+  std::size_t memory_latency_cycles = 20;  // paper IV-A
+  /// Extra encode/decode pipeline latency when EDC is active (paper IV-A3:
+  /// one clock cycle).
+  std::size_t edc_latency_cycles = 1;
+  /// Operating points for the two modes (paper IV-A2).
+  power::OperatingPoint hp{power::Mode::kHp, 1.0, 1e9};
+  power::OperatingPoint ule{power::Mode::kUle, 0.35, 5e6};
+  /// Per-bit hard fault probability for each way's arrays, evaluated at
+  /// the worst voltage the way must operate at. Empty = fault-free.
+  std::vector<double> way_hard_pf;
+  std::uint64_t fault_seed = 12345;
+};
+
+/// Outcome of one access.
+struct AccessResult {
+  bool hit = false;
+  std::size_t way = 0;
+  std::size_t latency_cycles = 0;
+  std::uint32_t data = 0;       ///< loaded word (loads/ifetch)
+  bool writeback = false;       ///< a dirty victim was written back
+  std::size_t corrected_bits = 0;
+  bool detected_uncorrectable = false;
+};
+
+/// Event counters.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t ifetches = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t edc_corrections = 0;
+  std::uint64_t edc_detected = 0;
+  std::uint64_t mode_switch_writebacks = 0;
+  std::uint64_t soft_errors_injected = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class Cache {
+ public:
+  Cache(CacheConfig config, MainMemory& memory, Rng& rng);
+
+  /// Performs one access at the current mode. Functionally exact: loads
+  /// return the value the program would see.
+  AccessResult access(std::uint64_t addr, AccessType type,
+                      std::uint32_t store_value = 0);
+
+  /// Switches operating mode. HP->ULE writes back dirty HP-way lines and
+  /// invalidates them (gated-Vdd loses content); ULE->HP keeps ULE ways.
+  void set_mode(power::Mode mode);
+  [[nodiscard]] power::Mode mode() const noexcept { return mode_; }
+
+  /// Arms Poisson soft-error injection on one way's data array with the
+  /// given per-bit rate (errors/second); see tech::soft_error_rate_per_bit.
+  void enable_soft_errors(std::size_t way, double rate_per_bit);
+
+  /// Injects Poisson soft errors for `seconds` of wall-clock time into all
+  /// powered arrays.
+  void advance_time(double seconds);
+
+  /// Explicit single soft-error injection (tests / fault-injection demos):
+  /// flips a stored bit of the given way/set.
+  void inject_bit_flip(std::size_t way, std::size_t set, std::size_t bit_in_line);
+
+  /// Scrub pass: reads, decodes, re-encodes and rewrites every valid line
+  /// of the powered ways, clearing accumulated correctable soft errors
+  /// before a second strike makes them uncorrectable. Returns the number
+  /// of corrected bits. Lines that are already uncorrectable are
+  /// invalidated (clean) or refetched conceptually by the next miss;
+  /// dirty uncorrectable lines count as data loss in `scrub_data_loss`.
+  struct ScrubReport {
+    std::size_t lines_scrubbed = 0;
+    std::size_t bits_corrected = 0;
+    std::size_t uncorrectable = 0;
+    std::size_t data_loss = 0;  ///< dirty lines that could not be recovered
+  };
+  ScrubReport scrub();
+
+  /// Writes back every dirty line (used at simulation end).
+  void flush();
+
+  /// Invalidate everything without writeback (power-on state).
+  void reset();
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void clear_stats() noexcept { stats_ = CacheStats{}; }
+
+  /// Accumulated dynamic/EDC energy in joules since the last clear.
+  [[nodiscard]] const Breakdown& energy() const noexcept { return energy_; }
+  void clear_energy() noexcept { energy_ = Breakdown{}; }
+
+  /// Static power (W) at the current mode, split into array and EDC parts.
+  [[nodiscard]] double leakage_power() const noexcept;
+  [[nodiscard]] double edc_leakage_power() const noexcept;
+
+  /// Total hit latency at the current mode, including the EDC cycle.
+  [[nodiscard]] std::size_t hit_latency() const noexcept;
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const power::CacheEnergyModel& energy_model() const noexcept;
+  [[nodiscard]] double total_area_um2() const noexcept;
+
+  /// True when the line at (way, set) is valid (inspection for tests).
+  [[nodiscard]] bool line_valid(std::size_t way, std::size_t set) const;
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t line_addr = 0;  ///< addr / line_bytes
+    BitVec tag_codeword;
+    std::vector<BitVec> data_codewords;  ///< one per 32-bit word
+  };
+
+  struct Way {
+    std::vector<Line> lines;  ///< indexed by set
+    std::unique_ptr<edc::Codec> data_codec_hp;
+    std::unique_ptr<edc::Codec> data_codec_ule;
+    std::unique_ptr<edc::Codec> tag_codec_hp;
+    std::unique_ptr<edc::Codec> tag_codec_ule;
+    std::unique_ptr<FaultMap> data_faults;
+    std::unique_ptr<FaultMap> tag_faults;
+    std::unique_ptr<SoftErrorProcess> soft_process;
+  };
+
+  [[nodiscard]] bool way_active(std::size_t w) const noexcept;
+  [[nodiscard]] const edc::Codec* data_codec(std::size_t w) const noexcept;
+  [[nodiscard]] const edc::Codec* tag_codec(std::size_t w) const noexcept;
+  [[nodiscard]] std::size_t set_of(std::uint64_t line_addr) const noexcept;
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t line_addr) const noexcept;
+
+  /// Reads and decodes the tag of (way,set); nullopt when invalid or the
+  /// tag is uncorrectable.
+  [[nodiscard]] std::optional<std::uint64_t> read_tag(std::size_t w,
+                                                      std::size_t set,
+                                                      AccessResult& result);
+  /// Reads and decodes data word `word` of (way,set).
+  [[nodiscard]] std::optional<std::uint32_t> read_data_word(
+      std::size_t w, std::size_t set, std::size_t word, AccessResult& result);
+
+  void write_data_word(std::size_t w, std::size_t set, std::size_t word,
+                       std::uint32_t value);
+  void write_tag(std::size_t w, std::size_t set, std::uint64_t tag);
+
+  /// Bit offset of (set, word) inside a way's data fault map.
+  [[nodiscard]] std::size_t data_bit_base(std::size_t w, std::size_t set,
+                                          std::size_t word) const noexcept;
+  [[nodiscard]] std::size_t tag_bit_base(std::size_t w,
+                                         std::size_t set) const noexcept;
+
+  std::size_t fill_line(std::uint64_t line_addr, std::size_t set,
+                        AccessResult& result);
+  void writeback_line(std::size_t w, std::size_t set);
+
+  void charge(const std::string& category, double joules);
+
+  CacheConfig config_;
+  MainMemory& memory_;
+  power::Mode mode_ = power::Mode::kHp;
+  std::vector<Way> ways_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unique_ptr<power::CacheEnergyModel> hp_model_;
+  std::unique_ptr<power::CacheEnergyModel> ule_model_;
+  CacheStats stats_;
+  Breakdown energy_;
+  Rng rng_;
+  /// Stored codeword widths per way (strongest protection, physical layout).
+  std::vector<std::size_t> stored_data_cw_bits_;
+  std::vector<std::size_t> stored_tag_cw_bits_;
+};
+
+}  // namespace hvc::cache

@@ -1,0 +1,42 @@
+// Sparse word-addressable main memory used as the cache backing store.
+//
+// The paper's systems integrate a few MB of memory with ~20-cycle latency
+// (Section IV-A); functional content lives here, timing/energy are
+// accounted by the CPU model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hvc::cache {
+
+class MainMemory {
+ public:
+  /// Reads the aligned 32-bit word containing `addr` (missing = 0).
+  [[nodiscard]] std::uint32_t read_word(std::uint64_t addr) const;
+  /// Writes the aligned 32-bit word containing `addr`.
+  void write_word(std::uint64_t addr, std::uint32_t value);
+
+  /// Reads `count` consecutive words starting at the aligned `addr`.
+  [[nodiscard]] std::vector<std::uint32_t> read_block(std::uint64_t addr,
+                                                      std::size_t count) const;
+  void write_block(std::uint64_t addr,
+                   const std::vector<std::uint32_t>& words);
+
+  [[nodiscard]] std::size_t touched_pages() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  static constexpr std::uint64_t kPageBytes = 4096;
+  static constexpr std::uint64_t kWordsPerPage = kPageBytes / 4;
+
+  using Page = std::vector<std::uint32_t>;
+  [[nodiscard]] const Page* find_page(std::uint64_t page_index) const;
+  Page& get_page(std::uint64_t page_index);
+
+  std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+}  // namespace hvc::cache

@@ -1,0 +1,44 @@
+// Replacement policies over the *active* ways of a set (gated ways are
+// never candidates).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hvc/common/rng.hpp"
+
+namespace hvc::cache {
+
+enum class ReplacementKind { kLru, kFifo, kRandom };
+
+[[nodiscard]] std::string to_string(ReplacementKind kind);
+
+/// Per-set replacement state shared by all policies.
+class ReplacementPolicy {
+ public:
+  ReplacementPolicy(std::size_t sets, std::size_t ways, std::uint64_t seed);
+  virtual ~ReplacementPolicy() = default;
+
+  /// Called on every hit/fill so the policy can update recency state.
+  virtual void touch(std::size_t set, std::size_t way) = 0;
+  /// Picks a victim among `candidates` (indices of active, valid ways are
+  /// passed by the cache; invalid ways are chosen by the cache first).
+  [[nodiscard]] virtual std::size_t victim(
+      std::size_t set, const std::vector<std::size_t>& candidates) = 0;
+
+  [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
+  [[nodiscard]] std::size_t ways() const noexcept { return ways_; }
+
+ protected:
+  std::size_t sets_;
+  std::size_t ways_;
+  Rng rng_;
+};
+
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_policy(
+    ReplacementKind kind, std::size_t sets, std::size_t ways,
+    std::uint64_t seed);
+
+}  // namespace hvc::cache

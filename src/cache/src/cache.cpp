@@ -1,0 +1,571 @@
+#include "hvc/cache/cache.hpp"
+
+#include <algorithm>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::cache {
+
+namespace {
+constexpr const char* kDynamic = "dynamic";
+constexpr const char* kEdc = "edc";
+
+[[nodiscard]] std::unique_ptr<edc::Codec> codec_or_null(
+    edc::Protection protection, std::size_t bits) {
+  if (protection == edc::Protection::kNone) {
+    return nullptr;
+  }
+  return edc::make_codec(protection, bits);
+}
+}  // namespace
+
+std::string to_string(AccessType type) {
+  switch (type) {
+    case AccessType::kLoad: return "load";
+    case AccessType::kStore: return "store";
+    case AccessType::kIfetch: return "ifetch";
+  }
+  return "?";
+}
+
+Cache::Cache(CacheConfig config, MainMemory& memory, Rng& rng)
+    : config_(std::move(config)), memory_(memory), rng_(rng.fork(0xCACE)) {
+  expects(config_.ways.size() == config_.org.ways,
+          "one WayPlan per way required");
+  expects(config_.way_hard_pf.empty() ||
+              config_.way_hard_pf.size() == config_.org.ways,
+          "way_hard_pf must be empty or one entry per way");
+
+  hp_model_ = std::make_unique<power::CacheEnergyModel>(
+      config_.org, config_.ways, config_.hp);
+  ule_model_ = std::make_unique<power::CacheEnergyModel>(
+      config_.org, config_.ways, config_.ule);
+
+  const std::size_t sets = config_.org.sets();
+  const std::size_t wpl = config_.org.words_per_line();
+  policy_ = make_policy(config_.replacement, sets, config_.org.ways,
+                        config_.fault_seed ^ 0x9E37);
+
+  Rng fault_rng(config_.fault_seed);
+  ways_.resize(config_.org.ways);
+  stored_data_cw_bits_.resize(config_.org.ways);
+  stored_tag_cw_bits_.resize(config_.org.ways);
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    const power::WayPlan& plan = config_.ways[w];
+    Way& way = ways_[w];
+    way.data_codec_hp = codec_or_null(plan.hp_protection, config_.org.word_bits);
+    way.data_codec_ule =
+        codec_or_null(plan.ule_protection, config_.org.word_bits);
+    way.tag_codec_hp = codec_or_null(plan.hp_protection, config_.org.tag_bits);
+    way.tag_codec_ule = codec_or_null(plan.ule_protection, config_.org.tag_bits);
+
+    const std::size_t stored_check =
+        edc::check_bits_for(plan.stored_protection());
+    stored_data_cw_bits_[w] = config_.org.word_bits + stored_check;
+    stored_tag_cw_bits_[w] = config_.org.tag_bits + stored_check;
+
+    way.lines.resize(sets);
+    for (auto& line : way.lines) {
+      line.tag_codeword = BitVec(stored_tag_cw_bits_[w]);
+      line.data_codewords.assign(wpl, BitVec(stored_data_cw_bits_[w]));
+    }
+
+    const double pf =
+        config_.way_hard_pf.empty() ? 0.0 : config_.way_hard_pf[w];
+    const std::size_t data_bits = sets * wpl * stored_data_cw_bits_[w];
+    const std::size_t tag_bits = sets * stored_tag_cw_bits_[w];
+    way.data_faults = std::make_unique<FaultMap>(data_bits, pf, fault_rng);
+    way.tag_faults = std::make_unique<FaultMap>(tag_bits, pf, fault_rng);
+  }
+}
+
+bool Cache::way_active(std::size_t w) const noexcept {
+  return mode_ == power::Mode::kHp || config_.ways[w].ule_way;
+}
+
+const edc::Codec* Cache::data_codec(std::size_t w) const noexcept {
+  return mode_ == power::Mode::kHp ? ways_[w].data_codec_hp.get()
+                                   : ways_[w].data_codec_ule.get();
+}
+
+const edc::Codec* Cache::tag_codec(std::size_t w) const noexcept {
+  return mode_ == power::Mode::kHp ? ways_[w].tag_codec_hp.get()
+                                   : ways_[w].tag_codec_ule.get();
+}
+
+std::size_t Cache::set_of(std::uint64_t line_addr) const noexcept {
+  return static_cast<std::size_t>(line_addr % config_.org.sets());
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t line_addr) const noexcept {
+  const std::uint64_t tag = line_addr / config_.org.sets();
+  return tag & ((1ULL << config_.org.tag_bits) - 1);
+}
+
+std::size_t Cache::data_bit_base(std::size_t w, std::size_t set,
+                                 std::size_t word) const noexcept {
+  return (set * config_.org.words_per_line() + word) *
+         stored_data_cw_bits_[w];
+}
+
+std::size_t Cache::tag_bit_base(std::size_t w, std::size_t set) const noexcept {
+  return set * stored_tag_cw_bits_[w];
+}
+
+const power::CacheEnergyModel& Cache::energy_model() const noexcept {
+  return mode_ == power::Mode::kHp ? *hp_model_ : *ule_model_;
+}
+
+double Cache::total_area_um2() const noexcept {
+  return hp_model_->total_area_um2();
+}
+
+double Cache::leakage_power() const noexcept {
+  return energy_model().leakage_power();
+}
+
+double Cache::edc_leakage_power() const noexcept {
+  return energy_model().edc_leakage_power();
+}
+
+std::size_t Cache::hit_latency() const noexcept {
+  return config_.hit_latency_cycles +
+         (energy_model().edc_active() ? config_.edc_latency_cycles : 0);
+}
+
+bool Cache::line_valid(std::size_t way, std::size_t set) const {
+  expects(way < ways_.size(), "way out of range");
+  expects(set < config_.org.sets(), "set out of range");
+  return ways_[way].lines[set].valid;
+}
+
+void Cache::charge(const std::string& category, double joules) {
+  energy_.add(category, joules);
+}
+
+std::optional<std::uint64_t> Cache::read_tag(std::size_t w, std::size_t set,
+                                             AccessResult& result) {
+  const Line& line = ways_[w].lines[set];
+  if (!line.valid) {
+    return std::nullopt;
+  }
+  const edc::Codec* codec = tag_codec(w);
+  const std::size_t active_bits =
+      codec ? codec->codeword_bits() : config_.org.tag_bits;
+  BitVec raw = line.tag_codeword.slice(0, active_bits);
+  // Hard faults manifest at near-threshold voltage only (HP-way cells are
+  // sized for negligible Pf at high Vcc).
+  if (mode_ == power::Mode::kUle) {
+    ways_[w].tag_faults->apply(raw, tag_bit_base(w, set));
+  }
+  if (codec == nullptr) {
+    return raw.to_word();
+  }
+  const edc::DecodeResult decoded = codec->decode(raw);
+  if (decoded.status == edc::DecodeStatus::kDetected) {
+    ++stats_.edc_detected;
+    result.detected_uncorrectable = true;
+    return std::nullopt;
+  }
+  if (decoded.status == edc::DecodeStatus::kCorrected) {
+    stats_.edc_corrections += decoded.corrected_bits;
+    result.corrected_bits += decoded.corrected_bits;
+  }
+  return decoded.data.to_word();
+}
+
+std::optional<std::uint32_t> Cache::read_data_word(std::size_t w,
+                                                   std::size_t set,
+                                                   std::size_t word,
+                                                   AccessResult& result) {
+  const Line& line = ways_[w].lines[set];
+  const edc::Codec* codec = data_codec(w);
+  const std::size_t active_bits =
+      codec ? codec->codeword_bits() : config_.org.word_bits;
+  BitVec raw = line.data_codewords[word].slice(0, active_bits);
+  if (mode_ == power::Mode::kUle) {
+    ways_[w].data_faults->apply(raw, data_bit_base(w, set, word));
+  }
+  if (codec == nullptr) {
+    return static_cast<std::uint32_t>(raw.to_word());
+  }
+  const edc::DecodeResult decoded = codec->decode(raw);
+  if (decoded.status == edc::DecodeStatus::kDetected) {
+    ++stats_.edc_detected;
+    result.detected_uncorrectable = true;
+    return std::nullopt;
+  }
+  if (decoded.status == edc::DecodeStatus::kCorrected) {
+    stats_.edc_corrections += decoded.corrected_bits;
+    result.corrected_bits += decoded.corrected_bits;
+  }
+  return static_cast<std::uint32_t>(decoded.data.to_word());
+}
+
+void Cache::write_data_word(std::size_t w, std::size_t set, std::size_t word,
+                            std::uint32_t value) {
+  Line& line = ways_[w].lines[set];
+  const edc::Codec* codec = data_codec(w);
+  const BitVec data = BitVec::from_word(value, config_.org.word_bits);
+  const BitVec encoded = codec ? codec->encode(data) : data;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    line.data_codewords[word].set(i, encoded.get(i));
+  }
+}
+
+void Cache::write_tag(std::size_t w, std::size_t set, std::uint64_t tag) {
+  Line& line = ways_[w].lines[set];
+  const edc::Codec* codec = tag_codec(w);
+  const BitVec data = BitVec::from_word(tag, config_.org.tag_bits);
+  const BitVec encoded = codec ? codec->encode(data) : data;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    line.tag_codeword.set(i, encoded.get(i));
+  }
+}
+
+void Cache::writeback_line(std::size_t w, std::size_t set) {
+  Line& line = ways_[w].lines[set];
+  const auto& model = energy_model();
+  charge(kDynamic, model.line_read_energy(w));
+  charge(kEdc, static_cast<double>(config_.org.words_per_line()) *
+                   model.edc_decode_energy(w));
+  AccessResult scratch;
+  const std::uint64_t base_addr = line.line_addr * config_.org.line_bytes;
+  for (std::size_t word = 0; word < config_.org.words_per_line(); ++word) {
+    const auto value = read_data_word(w, set, word, scratch);
+    // An uncorrectable word during writeback falls back to the (stale)
+    // memory copy; counted via stats_.edc_detected inside read_data_word.
+    if (value) {
+      memory_.write_word(base_addr + 4 * word, *value);
+    }
+  }
+  line.dirty = false;
+  ++stats_.writebacks;
+}
+
+std::size_t Cache::fill_line(std::uint64_t line_addr, std::size_t set,
+                             AccessResult& result) {
+  // Victim selection among active ways: invalid first, then policy.
+  std::size_t victim = config_.org.ways;
+  std::vector<std::size_t> candidates;
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    if (!way_active(w)) {
+      continue;
+    }
+    if (!ways_[w].lines[set].valid) {
+      victim = w;
+      break;
+    }
+    candidates.push_back(w);
+  }
+  if (victim == config_.org.ways) {
+    ensure(!candidates.empty(), "no active way available for fill");
+    victim = policy_->victim(set, candidates);
+  }
+
+  Line& line = ways_[victim].lines[set];
+  if (line.valid && line.dirty &&
+      config_.write_policy == WritePolicy::kWriteBackAllocate) {
+    writeback_line(victim, set);
+    result.writeback = true;
+  }
+
+  const std::uint64_t base_addr = line_addr * config_.org.line_bytes;
+  const auto words =
+      memory_.read_block(base_addr, config_.org.words_per_line());
+  line.valid = true;
+  line.dirty = false;
+  line.line_addr = line_addr;
+  write_tag(victim, set, tag_of(line_addr));
+  for (std::size_t word = 0; word < words.size(); ++word) {
+    write_data_word(victim, set, word, words[word]);
+  }
+
+  const auto& model = energy_model();
+  charge(kDynamic, model.line_fill_energy(victim));
+  charge(kEdc, static_cast<double>(config_.org.words_per_line() + 1) *
+                   model.edc_encode_energy(victim));
+  ++stats_.fills;
+  policy_->touch(set, victim);
+  return victim;
+}
+
+AccessResult Cache::access(std::uint64_t addr, AccessType type,
+                           std::uint32_t store_value) {
+  AccessResult result;
+  ++stats_.accesses;
+  switch (type) {
+    case AccessType::kLoad: ++stats_.loads; break;
+    case AccessType::kStore: ++stats_.stores; break;
+    case AccessType::kIfetch: ++stats_.ifetches; break;
+  }
+
+  const std::uint64_t line_addr = addr / config_.org.line_bytes;
+  const std::size_t set = set_of(line_addr);
+  const std::uint64_t tag = tag_of(line_addr);
+  const std::size_t word =
+      static_cast<std::size_t>(addr % config_.org.line_bytes) / 4;
+
+  const auto& model = energy_model();
+  charge(kDynamic, model.lookup_energy());
+  // Tag decode on every lookup of every active coded way.
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    if (way_active(w) && tag_codec(w) != nullptr) {
+      charge(kEdc, model.edc_decode_energy(w));
+    }
+  }
+  result.latency_cycles = hit_latency();
+
+  // --- lookup ---
+  std::size_t hit_way = config_.org.ways;
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    if (!way_active(w)) {
+      continue;
+    }
+    const auto stored_tag = read_tag(w, set, result);
+    if (stored_tag && *stored_tag == tag &&
+        ways_[w].lines[set].line_addr == line_addr) {
+      hit_way = w;
+      break;
+    }
+  }
+
+  if (hit_way != config_.org.ways) {
+    // --- hit ---
+    result.hit = true;
+    result.way = hit_way;
+    ++stats_.hits;
+    policy_->touch(set, hit_way);
+    if (type == AccessType::kStore) {
+      write_data_word(hit_way, set, word, store_value);
+      charge(kDynamic, model.word_write_energy(hit_way));
+      charge(kEdc, model.edc_encode_energy(hit_way));
+      if (config_.write_policy == WritePolicy::kWriteThroughNoAllocate) {
+        memory_.write_word(addr, store_value);
+      } else {
+        ways_[hit_way].lines[set].dirty = true;
+      }
+    } else {
+      charge(kEdc, model.edc_decode_energy(hit_way));
+      const auto value = read_data_word(hit_way, set, word, result);
+      // Uncorrectable data: fall back to memory (predictability safety
+      // net; never taken with properly sized cells).
+      result.data = value ? *value : memory_.read_word(addr);
+    }
+    return result;
+  }
+
+  // --- miss ---
+  ++stats_.misses;
+  result.latency_cycles += config_.memory_latency_cycles;
+
+  if (type == AccessType::kStore &&
+      config_.write_policy == WritePolicy::kWriteThroughNoAllocate) {
+    memory_.write_word(addr, store_value);
+    return result;
+  }
+
+  const std::size_t filled = fill_line(line_addr, set, result);
+  result.way = filled;
+  if (type == AccessType::kStore) {
+    write_data_word(filled, set, word, store_value);
+    charge(kDynamic, model.word_write_energy(filled));
+    charge(kEdc, model.edc_encode_energy(filled));
+    if (config_.write_policy == WritePolicy::kWriteThroughNoAllocate) {
+      memory_.write_word(addr, store_value);
+    } else {
+      ways_[filled].lines[set].dirty = true;
+    }
+  } else {
+    charge(kEdc, model.edc_decode_energy(filled));
+    const auto value = read_data_word(filled, set, word, result);
+    result.data = value ? *value : memory_.read_word(addr);
+  }
+  return result;
+}
+
+void Cache::set_mode(power::Mode mode) {
+  if (mode == mode_) {
+    return;
+  }
+  const std::size_t wpl = config_.org.words_per_line();
+
+  if (mode == power::Mode::kUle) {
+    // HP -> ULE: drain HP ways (gated-Vdd loses their content).
+    for (std::size_t w = 0; w < config_.org.ways; ++w) {
+      if (config_.ways[w].ule_way) {
+        continue;
+      }
+      for (std::size_t set = 0; set < config_.org.sets(); ++set) {
+        Line& line = ways_[w].lines[set];
+        if (line.valid && line.dirty &&
+            config_.write_policy == WritePolicy::kWriteBackAllocate) {
+          writeback_line(w, set);
+          ++stats_.mode_switch_writebacks;
+        }
+        line.valid = false;
+        line.dirty = false;
+      }
+    }
+  }
+
+  // Re-encode retained ULE-way lines for the protection of the new mode
+  // (a scrub pass: read+decode with the old code, encode+write with the
+  // new one). Uses the old mode's codecs before switching.
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    if (!config_.ways[w].ule_way) {
+      continue;
+    }
+    if (config_.ways[w].hp_protection == config_.ways[w].ule_protection) {
+      continue;  // same codeword layout in both modes
+    }
+    for (std::size_t set = 0; set < config_.org.sets(); ++set) {
+      Line& line = ways_[w].lines[set];
+      if (!line.valid) {
+        continue;
+      }
+      AccessResult scratch;
+      std::vector<std::uint32_t> words(wpl, 0);
+      bool lost = false;
+      for (std::size_t word = 0; word < wpl; ++word) {
+        const auto value = read_data_word(w, set, word, scratch);
+        if (!value) {
+          lost = true;
+          break;
+        }
+        words[word] = *value;
+      }
+      const auto old_tag = read_tag(w, set, scratch);
+      if (lost || !old_tag) {
+        line.valid = false;
+        line.dirty = false;
+        continue;
+      }
+      const power::Mode old_mode = mode_;
+      mode_ = mode;  // encode with the new mode's codec
+      write_tag(w, set, *old_tag);
+      for (std::size_t word = 0; word < wpl; ++word) {
+        write_data_word(w, set, word, words[word]);
+      }
+      mode_ = old_mode;
+      // Scrub energy: one line read + one line fill at the new mode.
+      charge(kDynamic, (mode == power::Mode::kHp ? *hp_model_ : *ule_model_)
+                           .line_fill_energy(w));
+    }
+  }
+
+  mode_ = mode;
+}
+
+void Cache::enable_soft_errors(std::size_t way, double rate_per_bit) {
+  expects(way < ways_.size(), "way out of range");
+  const std::size_t bits = config_.org.sets() * config_.org.words_per_line() *
+                           stored_data_cw_bits_[way];
+  ways_[way].soft_process =
+      std::make_unique<SoftErrorProcess>(bits, rate_per_bit);
+}
+
+void Cache::advance_time(double seconds) {
+  if (seconds <= 0.0) {
+    return;
+  }
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    if (!way_active(w) || ways_[w].soft_process == nullptr) {
+      continue;
+    }
+    const auto flips = ways_[w].soft_process->advance(seconds, rng_);
+    for (const auto flip : flips) {
+      const std::size_t cw = stored_data_cw_bits_[w];
+      const std::size_t word_index = flip / cw;
+      const std::size_t bit = flip % cw;
+      const std::size_t set = word_index / config_.org.words_per_line();
+      const std::size_t word = word_index % config_.org.words_per_line();
+      if (set < config_.org.sets()) {
+        ways_[w].lines[set].data_codewords[word].flip(bit);
+        ++stats_.soft_errors_injected;
+      }
+    }
+  }
+}
+
+void Cache::inject_bit_flip(std::size_t way, std::size_t set,
+                            std::size_t bit_in_line) {
+  expects(way < ways_.size(), "way out of range");
+  expects(set < config_.org.sets(), "set out of range");
+  const std::size_t cw = stored_data_cw_bits_[way];
+  const std::size_t word = bit_in_line / cw;
+  const std::size_t bit = bit_in_line % cw;
+  expects(word < config_.org.words_per_line(), "bit_in_line out of range");
+  ways_[way].lines[set].data_codewords[word].flip(bit);
+  ++stats_.soft_errors_injected;
+}
+
+Cache::ScrubReport Cache::scrub() {
+  ScrubReport report;
+  const std::size_t wpl = config_.org.words_per_line();
+  const auto& model = energy_model();
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    if (!way_active(w) || data_codec(w) == nullptr) {
+      continue;
+    }
+    for (std::size_t set = 0; set < config_.org.sets(); ++set) {
+      Line& line = ways_[w].lines[set];
+      if (!line.valid) {
+        continue;
+      }
+      ++report.lines_scrubbed;
+      charge(kDynamic, model.line_read_energy(w) + model.line_fill_energy(w));
+      charge(kEdc, static_cast<double>(wpl) * (model.edc_decode_energy(w) +
+                                               model.edc_encode_energy(w)));
+      AccessResult scratch;
+      bool lost = false;
+      std::vector<std::uint32_t> words(wpl, 0);
+      for (std::size_t word = 0; word < wpl; ++word) {
+        const auto value = read_data_word(w, set, word, scratch);
+        if (!value) {
+          lost = true;
+          break;
+        }
+        words[word] = *value;
+      }
+      if (lost) {
+        ++report.uncorrectable;
+        if (line.dirty) {
+          ++report.data_loss;
+        }
+        line.valid = false;
+        line.dirty = false;
+        continue;
+      }
+      report.bits_corrected += scratch.corrected_bits;
+      if (scratch.corrected_bits > 0) {
+        for (std::size_t word = 0; word < wpl; ++word) {
+          write_data_word(w, set, word, words[word]);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+void Cache::flush() {
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    for (std::size_t set = 0; set < config_.org.sets(); ++set) {
+      Line& line = ways_[w].lines[set];
+      if (line.valid && line.dirty) {
+        writeback_line(w, set);
+      }
+    }
+  }
+}
+
+void Cache::reset() {
+  for (auto& way : ways_) {
+    for (auto& line : way.lines) {
+      line.valid = false;
+      line.dirty = false;
+    }
+  }
+}
+
+}  // namespace hvc::cache

@@ -1,0 +1,78 @@
+#include "hvc/cache/fault.hpp"
+
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::cache {
+
+FaultMap::FaultMap(std::size_t bits, double pf, Rng& rng)
+    : stuck_mask_(bits), stuck_values_(bits) {
+  expects(pf >= 0.0 && pf <= 1.0, "Pf must be a probability");
+  if (pf <= 0.0 || bits == 0) {
+    return;
+  }
+  // Skip-sampling: draw the gap to the next faulty bit geometrically
+  // instead of testing every bit (Pf is typically 1e-6..1e-3).
+  const double log1mp = std::log1p(-pf);
+  std::size_t position = 0;
+  for (;;) {
+    double u = 0.0;
+    do {
+      u = rng.uniform();
+    } while (u <= 1e-300);
+    const double skip = std::floor(std::log(u) / log1mp);
+    if (skip >= static_cast<double>(bits - position)) {
+      break;
+    }
+    position += static_cast<std::size_t>(skip);
+    stuck_mask_.set(position);
+    stuck_values_.set(position, rng.bernoulli(0.5));
+    ++position;
+    if (position >= bits) {
+      break;
+    }
+  }
+}
+
+void FaultMap::apply(BitVec& word, std::size_t base) const {
+  expects(base + word.size() <= stuck_mask_.size(),
+          "FaultMap::apply out of range");
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (stuck_mask_.get(base + i)) {
+      word.set(i, stuck_values_.get(base + i));
+    }
+  }
+}
+
+bool FaultMap::any_stuck(std::size_t base, std::size_t count) const {
+  expects(base + count <= stuck_mask_.size(),
+          "FaultMap::any_stuck out of range");
+  for (std::size_t i = 0; i < count; ++i) {
+    if (stuck_mask_.get(base + i)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SoftErrorProcess::SoftErrorProcess(std::size_t bits, double rate_per_bit)
+    : bits_(bits), rate_per_bit_(rate_per_bit) {
+  expects(rate_per_bit >= 0.0, "soft error rate must be non-negative");
+}
+
+std::vector<std::size_t> SoftErrorProcess::advance(double seconds, Rng& rng) {
+  std::vector<std::size_t> flips;
+  if (rate_per_bit_ <= 0.0 || bits_ == 0 || seconds <= 0.0) {
+    return flips;
+  }
+  const double mean = rate_per_bit_ * static_cast<double>(bits_) * seconds;
+  const std::uint64_t count = rng.poisson(mean);
+  flips.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    flips.push_back(static_cast<std::size_t>(rng.below(bits_)));
+  }
+  return flips;
+}
+
+}  // namespace hvc::cache

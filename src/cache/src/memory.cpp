@@ -1,0 +1,49 @@
+#include "hvc/cache/memory.hpp"
+
+namespace hvc::cache {
+
+const MainMemory::Page* MainMemory::find_page(std::uint64_t page_index) const {
+  const auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+MainMemory::Page& MainMemory::get_page(std::uint64_t page_index) {
+  auto& page = pages_[page_index];
+  if (page.empty()) {
+    page.assign(kWordsPerPage, 0);
+  }
+  return page;
+}
+
+std::uint32_t MainMemory::read_word(std::uint64_t addr) const {
+  const std::uint64_t word_addr = addr / 4;
+  const Page* page = find_page(word_addr / kWordsPerPage);
+  if (page == nullptr) {
+    return 0;
+  }
+  return (*page)[word_addr % kWordsPerPage];
+}
+
+void MainMemory::write_word(std::uint64_t addr, std::uint32_t value) {
+  const std::uint64_t word_addr = addr / 4;
+  get_page(word_addr / kWordsPerPage)[word_addr % kWordsPerPage] = value;
+}
+
+std::vector<std::uint32_t> MainMemory::read_block(std::uint64_t addr,
+                                                  std::size_t count) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(read_word(addr + 4 * i));
+  }
+  return out;
+}
+
+void MainMemory::write_block(std::uint64_t addr,
+                             const std::vector<std::uint32_t>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    write_word(addr + 4 * i, words[i]);
+  }
+}
+
+}  // namespace hvc::cache

@@ -1,0 +1,88 @@
+// Compact bit vector used for code words, fault maps and raw array storage.
+//
+// std::vector<bool> is avoided per the C++ Core Guidelines; BitVec gives an
+// explicit word-backed representation with the popcount/parity/XOR
+// operations the EDC machinery needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hvc {
+
+/// Dynamically sized bit vector backed by 64-bit words.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t bits, bool value = false);
+
+  /// Builds from the low `bits` bits of `value` (bit 0 = LSB).
+  [[nodiscard]] static BitVec from_word(std::uint64_t value, std::size_t bits);
+  /// Builds from a string of '0'/'1' characters, MSB first.
+  [[nodiscard]] static BitVec from_string(const std::string& text);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+  void flip(std::size_t i);
+  void clear() noexcept;
+  void resize(std::size_t bits, bool value = false);
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+  /// XOR-reduction of all bits.
+  [[nodiscard]] bool parity() const noexcept;
+  [[nodiscard]] bool any() const noexcept { return popcount() > 0; }
+  [[nodiscard]] bool none() const noexcept { return popcount() == 0; }
+
+  /// In-place XOR; sizes must match.
+  BitVec& operator^=(const BitVec& other);
+  /// In-place AND; sizes must match.
+  BitVec& operator&=(const BitVec& other);
+  /// In-place OR; sizes must match.
+  BitVec& operator|=(const BitVec& other);
+
+  [[nodiscard]] friend BitVec operator^(BitVec a, const BitVec& b) {
+    a ^= b;
+    return a;
+  }
+  [[nodiscard]] friend BitVec operator&(BitVec a, const BitVec& b) {
+    a &= b;
+    return a;
+  }
+  [[nodiscard]] friend BitVec operator|(BitVec a, const BitVec& b) {
+    a |= b;
+    return a;
+  }
+
+  [[nodiscard]] bool operator==(const BitVec& other) const noexcept = default;
+
+  /// Inner product over GF(2): parity of (this AND other).
+  [[nodiscard]] bool dot(const BitVec& other) const;
+
+  /// Low 64 bits packed into a word (bit 0 = LSB). Requires size() <= 64.
+  [[nodiscard]] std::uint64_t to_word() const;
+  /// '0'/'1' string, MSB first.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Sub-range copy of `count` bits starting at `pos`.
+  [[nodiscard]] BitVec slice(std::size_t pos, std::size_t count) const;
+  /// Concatenation: this followed by `other` (other occupies higher indices).
+  [[nodiscard]] BitVec concat(const BitVec& other) const;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> set_bits() const;
+
+ private:
+  void check_index(std::size_t i) const;
+  void mask_tail() noexcept;
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hvc

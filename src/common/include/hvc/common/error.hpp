@@ -1,0 +1,56 @@
+// Error-handling helpers shared across all hvcache modules.
+//
+// Style follows the C++ Core Guidelines: preconditions are checked with
+// ensure()/expects() which throw rather than abort, so library users can
+// recover and tests can assert on failures.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace hvc {
+
+/// Thrown when a precondition (caller error) is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant is violated (library bug or
+/// configuration that escaped validation).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a user-supplied configuration is rejected.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[nodiscard]] inline std::string locate(const std::source_location& loc) {
+  return std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+         " (" + loc.function_name() + ")";
+}
+}  // namespace detail
+
+/// Precondition check: throws PreconditionError when `cond` is false.
+inline void expects(bool cond, const std::string& msg,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw PreconditionError(msg + " at " + detail::locate(loc));
+  }
+}
+
+/// Invariant check: throws InvariantError when `cond` is false.
+inline void ensure(bool cond, const std::string& msg,
+                   std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw InvariantError(msg + " at " + detail::locate(loc));
+  }
+}
+
+}  // namespace hvc

@@ -1,0 +1,78 @@
+// Deterministic random-number generation for simulations.
+//
+// All stochastic components of hvcache (fault injection, Monte-Carlo yield
+// estimation, workload data generation) draw from an explicitly seeded
+// hvc::Rng so that every experiment is reproducible bit-for-bit.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through
+// SplitMix64; both are public-domain algorithms with excellent statistical
+// quality and tiny state, well suited to spawning many independent streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace hvc {
+
+/// xoshiro256++ pseudo-random generator with distribution helpers.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions if desired.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the stream from a single 64-bit value via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~static_cast<result_type>(0);
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Creates an independent child stream (jump-free fork via re-seeding
+  /// with a drawn value mixed with a stream tag).
+  [[nodiscard]] Rng fork(std::uint64_t tag) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal variate (Box-Muller with cached spare).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal variate with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Poisson variate with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+
+  /// Exponential variate with the given rate lambda (> 0).
+  [[nodiscard]] double exponential(double lambda) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::optional<double> spare_normal_{};
+};
+
+/// SplitMix64 step: used for seeding and quick hash mixing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace hvc

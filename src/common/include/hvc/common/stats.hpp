@@ -1,0 +1,85 @@
+// Streaming statistics helpers used by the yield estimator, the cache
+// simulator and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hvc {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 with fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are clamped into
+/// the first/last bin and counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Approximate quantile (linear within bins); q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Named scalar accumulator: maps category name -> accumulated value.
+/// Used for energy breakdowns (dynamic / leakage / EDC / core / ...).
+class Breakdown {
+ public:
+  void add(const std::string& key, double value);
+  void merge(const Breakdown& other);
+  void scale(double factor) noexcept;
+
+  [[nodiscard]] double get(const std::string& key) const noexcept;
+  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] const std::map<std::string, double>& items() const noexcept {
+    return items_;
+  }
+  /// Returns a copy where every entry is divided by `denom`.
+  [[nodiscard]] Breakdown normalized_by(double denom) const;
+
+ private:
+  std::map<std::string, double> items_;
+};
+
+}  // namespace hvc

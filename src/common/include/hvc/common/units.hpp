@@ -1,0 +1,24 @@
+// Formatting helpers for physical quantities printed by examples and
+// benchmark harnesses (energies in J, times in s, areas in m^2).
+#pragma once
+
+#include <string>
+
+namespace hvc {
+
+/// Formats a value with an SI prefix, e.g. 1.3e-12 -> "1.300 p".
+[[nodiscard]] std::string si_format(double value, const std::string& unit,
+                                    int precision = 3);
+
+/// Formats a ratio as a signed percentage, e.g. 0.86 vs 1.0 -> "-14.0%".
+[[nodiscard]] std::string percent_delta(double value, double baseline,
+                                        int precision = 1);
+
+/// Formats a plain percentage, e.g. 0.423 -> "42.3%".
+[[nodiscard]] std::string percent(double fraction, int precision = 1);
+
+/// Fixed-width left/right padding for simple table printing.
+[[nodiscard]] std::string pad_left(const std::string& text, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& text, std::size_t width);
+
+}  // namespace hvc

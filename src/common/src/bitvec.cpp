@@ -1,0 +1,184 @@
+#include "hvc/common/bitvec.hpp"
+
+#include <bit>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+[[nodiscard]] std::size_t words_for(std::size_t bits) noexcept {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVec::BitVec(std::size_t bits, bool value)
+    : bits_(bits),
+      words_(words_for(bits), value ? ~std::uint64_t{0} : std::uint64_t{0}) {
+  mask_tail();
+}
+
+BitVec BitVec::from_word(std::uint64_t value, std::size_t bits) {
+  expects(bits <= kWordBits, "from_word supports at most 64 bits");
+  BitVec out(bits);
+  if (bits > 0) {
+    out.words_[0] = bits == kWordBits ? value : (value & ((1ULL << bits) - 1));
+  }
+  return out;
+}
+
+BitVec BitVec::from_string(const std::string& text) {
+  BitVec out(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    expects(c == '0' || c == '1', "BitVec string must contain only 0/1");
+    // MSB first: text[0] is the highest index.
+    out.set(text.size() - 1 - i, c == '1');
+  }
+  return out;
+}
+
+void BitVec::check_index(std::size_t i) const {
+  expects(i < bits_, "BitVec index out of range");
+}
+
+void BitVec::mask_tail() noexcept {
+  const std::size_t tail = bits_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+bool BitVec::get(std::size_t i) const {
+  check_index(i);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  check_index(i);
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::flip(std::size_t i) {
+  check_index(i);
+  words_[i / kWordBits] ^= 1ULL << (i % kWordBits);
+}
+
+void BitVec::clear() noexcept {
+  for (auto& word : words_) {
+    word = 0;
+  }
+}
+
+void BitVec::resize(std::size_t bits, bool value) {
+  const std::size_t old_bits = bits_;
+  bits_ = bits;
+  words_.resize(words_for(bits), value ? ~std::uint64_t{0} : std::uint64_t{0});
+  if (value && bits > old_bits && old_bits % kWordBits != 0) {
+    // Fill the partial word that previously held the tail.
+    const std::size_t word = old_bits / kWordBits;
+    const std::uint64_t fill = ~((1ULL << (old_bits % kWordBits)) - 1);
+    words_[word] |= fill;
+  }
+  mask_tail();
+}
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t total = 0;
+  for (const auto word : words_) {
+    total += static_cast<std::size_t>(std::popcount(word));
+  }
+  return total;
+}
+
+bool BitVec::parity() const noexcept { return popcount() % 2 == 1; }
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  expects(bits_ == other.bits_, "BitVec XOR size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] ^= other.words_[w];
+  }
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  expects(bits_ == other.bits_, "BitVec AND size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= other.words_[w];
+  }
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  expects(bits_ == other.bits_, "BitVec OR size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+  return *this;
+}
+
+bool BitVec::dot(const BitVec& other) const {
+  expects(bits_ == other.bits_, "BitVec dot size mismatch");
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    acc ^= words_[w] & other.words_[w];
+  }
+  return std::popcount(acc) % 2 == 1;
+}
+
+std::uint64_t BitVec::to_word() const {
+  expects(bits_ <= kWordBits, "to_word supports at most 64 bits");
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::string BitVec::to_string() const {
+  std::string out(bits_, '0');
+  for (std::size_t i = 0; i < bits_; ++i) {
+    if (get(i)) {
+      out[bits_ - 1 - i] = '1';
+    }
+  }
+  return out;
+}
+
+BitVec BitVec::slice(std::size_t pos, std::size_t count) const {
+  expects(pos + count <= bits_, "BitVec slice out of range");
+  BitVec out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.set(i, get(pos + i));
+  }
+  return out;
+}
+
+BitVec BitVec::concat(const BitVec& other) const {
+  BitVec out(bits_ + other.bits_);
+  for (std::size_t i = 0; i < bits_; ++i) {
+    out.set(i, get(i));
+  }
+  for (std::size_t i = 0; i < other.bits_; ++i) {
+    out.set(bits_ + i, other.get(i));
+  }
+  return out;
+}
+
+std::vector<std::size_t> BitVec::set_bits() const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      out.push_back(w * kWordBits + bit);
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace hvc

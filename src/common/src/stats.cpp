@@ -1,0 +1,153 @@
+#include "hvc/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc {
+
+void RunningStat::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::reset() noexcept { *this = RunningStat{}; }
+
+double RunningStat::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStat::stderr_mean() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  expects(bins > 0, "Histogram needs at least one bin");
+  expects(hi > lo, "Histogram range must be non-empty");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  if (x < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    bin = counts_.size() - 1;
+  }
+  ++counts_[bin];
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  expects(bin < counts_.size(), "Histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  expects(bin < counts_.size(), "Histogram bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const auto here = static_cast<double>(counts_[bin]);
+    if (cumulative + here >= target) {
+      const double frac = here > 0.0 ? (target - cumulative) / here : 0.0;
+      return bin_lo(bin) + frac * (bin_hi(bin) - bin_lo(bin));
+    }
+    cumulative += here;
+  }
+  return hi_;
+}
+
+void Breakdown::add(const std::string& key, double value) {
+  items_[key] += value;
+}
+
+void Breakdown::merge(const Breakdown& other) {
+  for (const auto& [key, value] : other.items_) {
+    items_[key] += value;
+  }
+}
+
+void Breakdown::scale(double factor) noexcept {
+  for (auto& [key, value] : items_) {
+    value *= factor;
+  }
+}
+
+double Breakdown::get(const std::string& key) const noexcept {
+  const auto it = items_.find(key);
+  return it == items_.end() ? 0.0 : it->second;
+}
+
+double Breakdown::total() const noexcept {
+  double sum = 0.0;
+  for (const auto& [key, value] : items_) {
+    sum += value;
+  }
+  return sum;
+}
+
+Breakdown Breakdown::normalized_by(double denom) const {
+  Breakdown out = *this;
+  if (denom != 0.0) {
+    out.scale(1.0 / denom);
+  }
+  return out;
+}
+
+}  // namespace hvc

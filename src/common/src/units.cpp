@@ -1,0 +1,80 @@
+#include "hvc/common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace hvc {
+
+namespace {
+struct Prefix {
+  double scale;
+  const char* symbol;
+};
+
+constexpr std::array<Prefix, 11> kPrefixes{{
+    {1e12, "T"},
+    {1e9, "G"},
+    {1e6, "M"},
+    {1e3, "k"},
+    {1.0, ""},
+    {1e-3, "m"},
+    {1e-6, "u"},
+    {1e-9, "n"},
+    {1e-12, "p"},
+    {1e-15, "f"},
+    {1e-18, "a"},
+}};
+}  // namespace
+
+std::string si_format(double value, const std::string& unit, int precision) {
+  if (value == 0.0 || !std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f %s", precision, value, unit.c_str());
+    return buf;
+  }
+  const double magnitude = std::fabs(value);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const auto& prefix : kPrefixes) {
+    if (magnitude >= prefix.scale) {
+      chosen = &prefix;
+      break;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s%s", precision,
+                value / chosen->scale, chosen->symbol, unit.c_str());
+  return buf;
+}
+
+std::string percent_delta(double value, double baseline, int precision) {
+  char buf[64];
+  if (baseline == 0.0) {
+    return "n/a";
+  }
+  const double delta = (value / baseline - 1.0) * 100.0;
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, delta);
+  return buf;
+}
+
+std::string percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string pad_left(const std::string& text, std::size_t width) {
+  if (text.size() >= width) {
+    return text;
+  }
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+  if (text.size() >= width) {
+    return text;
+  }
+  return text + std::string(width - text.size(), ' ');
+}
+
+}  // namespace hvc

@@ -1,0 +1,108 @@
+// In-order single-issue core model (MPSim + Wattch substitution).
+//
+// The paper models "a very simple processor architecture with one core and
+// in-order execution" resembling Intel's wide-operating-range IA-32 chip
+// (Jain et al., ISSCC 2012), with full-chip power from MPSim extended with
+// Wattch-style models and the modified CACTI for all SRAM arrays.
+//
+// Timing: scalar in-order pipeline, base CPI of 1.
+//   * IL1/DL1 hits are pipelined; misses stall for the full memory latency.
+//   * The 1-cycle EDC decode lengthens the load-to-use path and the fetch
+//     redirect path, so it costs cycles only on taken branches and on a
+//     fraction of loads whose consumer is adjacent (paper IV-B2 reports
+//     ~3% at ULE mode).
+// Energy (Wattch-style, per structure):
+//   * L1 caches: event energies + leakage from hvc::cache/hvc::power.
+//   * Register file and TLBs: 10T SRAM arrays (the paper keeps every
+//     non-L1 array in 10T so it works at any voltage).
+//   * Core logic (fetch/decode/ALU/bypass/clock): switched-capacitance
+//     per instruction + leakage, from the technology model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hvc/cache/cache.hpp"
+#include "hvc/common/stats.hpp"
+#include "hvc/power/array.hpp"
+#include "hvc/trace/trace.hpp"
+
+namespace hvc::cpu {
+
+/// Microarchitectural timing/energy knobs.
+struct CoreParams {
+  /// Probability that a load's consumer issues next cycle (load-to-use
+  /// stall shows the extra EDC cycle).
+  double load_use_adjacent_prob = 0.12;
+  /// Probability that a taken branch pays the fetch-redirect penalty
+  /// (the remainder is hidden by the BTB / sequential prefetch).
+  double redirect_on_taken = 0.5;
+  /// Switched capacitance per executed instruction for the core logic
+  /// (fetch/decode/issue/ALU/bypass/clock), in farads. Small: the paper's
+  /// core is a minimal in-order machine where caches dominate chip energy.
+  double core_cap_per_instr_f = 3.5e-13;
+  /// Core logic leakage: equivalent leaking transistor width in um.
+  double core_leak_width_um = 120.0;
+  /// 10T cell sizing for the non-L1 arrays (regfile, TLBs); the paper
+  /// sizes them to work at any operating voltage.
+  tech::CellDesign array_cell{tech::CellKind::k10T, 3.5};
+};
+
+/// Result of replaying one trace.
+struct RunResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double seconds = 0.0;
+  /// Energy breakdown in joules. Categories:
+  ///   "l1.dynamic", "l1.leakage", "l1.edc",
+  ///   "arrays.dynamic", "arrays.leakage", "core.dynamic", "core.leakage"
+  Breakdown energy;
+  cache::CacheStats il1;
+  cache::CacheStats dl1;
+
+  [[nodiscard]] double total_energy() const noexcept { return energy.total(); }
+  /// Energy per instruction (J) — the paper's EPI metric.
+  [[nodiscard]] double epi() const noexcept {
+    return instructions == 0
+               ? 0.0
+               : energy.total() / static_cast<double>(instructions);
+  }
+  [[nodiscard]] double cpi() const noexcept {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(cycles) /
+                     static_cast<double>(instructions);
+  }
+};
+
+/// The core: owns the non-L1 arrays, borrows the two L1 caches.
+class Core {
+ public:
+  Core(CoreParams params, cache::Cache& il1, cache::Cache& dl1,
+       power::OperatingPoint op, const tech::TechNode& node = tech::node32());
+
+  /// Replays a trace through the pipeline model. Cache stats/energy are
+  /// deltas for this run only (internally snapshotted).
+  [[nodiscard]] RunResult run(const trace::Tracer& tracer);
+
+  [[nodiscard]] const power::OperatingPoint& op() const noexcept {
+    return op_;
+  }
+
+  /// Static power of core logic + non-L1 arrays (W).
+  [[nodiscard]] double core_leakage_w() const noexcept;
+
+ private:
+  CoreParams params_;
+  cache::Cache& il1_;
+  cache::Cache& dl1_;
+  power::OperatingPoint op_;
+  const tech::TechNode& node_;
+  std::unique_ptr<power::ArrayModel> regfile_;
+  std::unique_ptr<power::ArrayModel> itlb_;
+  std::unique_ptr<power::ArrayModel> dtlb_;
+  double core_leak_w_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace hvc::cpu

@@ -1,0 +1,136 @@
+#include "hvc/cpu/core.hpp"
+
+#include <algorithm>
+
+#include "hvc/common/error.hpp"
+#include "hvc/tech/transistor.hpp"
+
+namespace hvc::cpu {
+
+Core::Core(CoreParams params, cache::Cache& il1, cache::Cache& dl1,
+           power::OperatingPoint op, const tech::TechNode& node)
+    : params_(params), il1_(il1), dl1_(dl1), op_(op), node_(node),
+      rng_(0xC0DE) {
+  // Register file: 32 x 32-bit, 10T (works at any Vcc).
+  power::ArrayGeometry rf_geom{32, 32, 32};
+  regfile_ = std::make_unique<power::ArrayModel>(rf_geom, params_.array_cell,
+                                                 op_.vcc, node_);
+  // TLBs: 8 entries x ~48 bits (VPN+PPN+flags) — tiny, sensor-class MMU.
+  power::ArrayGeometry tlb_geom{8, 48, 48};
+  itlb_ = std::make_unique<power::ArrayModel>(tlb_geom, params_.array_cell,
+                                              op_.vcc, node_);
+  dtlb_ = std::make_unique<power::ArrayModel>(tlb_geom, params_.array_cell,
+                                              op_.vcc, node_);
+
+  const tech::TransistorModel model(node_);
+  const tech::Device leak_dev{params_.core_leak_width_um * 1e3 /
+                              node_.min_width_nm};
+  core_leak_w_ = model.ioff(leak_dev, op_.vcc) * op_.vcc;
+}
+
+double Core::core_leakage_w() const noexcept {
+  return core_leak_w_ + regfile_->leakage_power() + itlb_->leakage_power() +
+         dtlb_->leakage_power();
+}
+
+RunResult Core::run(const trace::Tracer& tracer) {
+  RunResult result;
+
+  // Snapshot cache energy so this run reports deltas.
+  il1_.clear_energy();
+  dl1_.clear_energy();
+  il1_.clear_stats();
+  dl1_.clear_stats();
+
+  const double core_energy_per_instr =
+      params_.core_cap_per_instr_f * op_.vcc * op_.vcc;
+  const double rf_read = regfile_->read_energy();
+  const double rf_write = regfile_->write_energy();
+  const double tlb_read = itlb_->read_energy();
+
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double arrays_dynamic = 0.0;
+  double core_dynamic = 0.0;
+
+  const std::size_t il1_hit = il1_.hit_latency();
+  const std::size_t dl1_hit = dl1_.hit_latency();
+
+  for (const auto& record : tracer.records()) {
+    switch (record.kind) {
+      case trace::Kind::kIfetch: {
+        ++instructions;
+        ++cycles;  // base CPI 1 with pipelined fetch
+        const auto access = il1_.access(record.addr, cache::AccessType::kIfetch);
+        if (!access.hit) {
+          cycles += access.latency_cycles - il1_hit;  // miss stall
+        }
+        arrays_dynamic += tlb_read;             // ITLB lookup
+        arrays_dynamic += 2.0 * rf_read + rf_write;  // operand read/writeback
+        core_dynamic += core_energy_per_instr;
+        break;
+      }
+      case trace::Kind::kLoad: {
+        const auto access = dl1_.access(record.addr, cache::AccessType::kLoad);
+        if (!access.hit) {
+          cycles += access.latency_cycles - dl1_hit;
+        }
+        // Load-to-use: with probability p the consumer is adjacent and
+        // exposes the (hit latency - 1) bubble, including the EDC cycle.
+        if (dl1_hit > 1 && rng_.bernoulli(params_.load_use_adjacent_prob)) {
+          cycles += dl1_hit - 1;
+        }
+        arrays_dynamic += tlb_read;  // DTLB
+        break;
+      }
+      case trace::Kind::kStore: {
+        const auto access = dl1_.access(record.addr, cache::AccessType::kStore);
+        if (!access.hit) {
+          cycles += access.latency_cycles - dl1_hit;
+        }
+        arrays_dynamic += tlb_read;
+        break;
+      }
+      case trace::Kind::kBranch: {
+        if (record.taken && il1_hit > 1 &&
+            rng_.bernoulli(params_.redirect_on_taken)) {
+          // Fetch redirect: the next fetch waits for the full IL1 hit
+          // latency (incl. the EDC cycle) instead of overlapping.
+          cycles += il1_hit - 1;
+        }
+        break;
+      }
+    }
+  }
+
+  result.instructions = instructions;
+  result.cycles = cycles;
+  result.seconds = static_cast<double>(cycles) / op_.freq_hz;
+
+  // --- energy roll-up ---
+  result.energy.add("l1.dynamic", il1_.energy().get("dynamic") +
+                                      dl1_.energy().get("dynamic"));
+  result.energy.add("l1.edc",
+                    il1_.energy().get("edc") + dl1_.energy().get("edc"));
+  const double l1_leak =
+      (il1_.leakage_power() - il1_.edc_leakage_power()) +
+      (dl1_.leakage_power() - dl1_.edc_leakage_power());
+  result.energy.add("l1.leakage", l1_leak * result.seconds);
+  result.energy.add("l1.edc",
+                    (il1_.edc_leakage_power() + dl1_.edc_leakage_power()) *
+                        result.seconds);
+  result.energy.add("arrays.dynamic", arrays_dynamic);
+  result.energy.add(
+      "arrays.leakage",
+      (regfile_->leakage_power() + itlb_->leakage_power() +
+       dtlb_->leakage_power()) *
+          result.seconds);
+  result.energy.add("core.dynamic", core_dynamic);
+  result.energy.add("core.leakage", core_leak_w_ * result.seconds);
+
+  result.il1 = il1_.stats();
+  result.dl1 = dl1_.stats();
+  return result;
+}
+
+}  // namespace hvc::cpu

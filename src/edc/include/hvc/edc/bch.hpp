@@ -1,0 +1,92 @@
+// Double-error-correcting, triple-error-detecting (DEC-TED) code built from
+// a t=2 binary BCH code over GF(2^m), shortened to the protected word size
+// and extended with one overall parity bit. The field degree m is the
+// smallest that fits the shortened code (m=6 for the paper's words, m=9
+// for whole 256-bit cache lines in the granularity ablation).
+//
+// For the paper's words this yields:
+//   32-bit data: BCH(63,51,t=2) shortened to (44,32), +parity -> (45,32)
+//   26-bit tag : shortened to (38,26), +parity -> (39,26)
+// i.e. 13 check bits per word, matching the paper (Section III-C).
+//
+// Decoding uses Peterson's direct solution for t=2 (two syndromes S1, S3),
+// with a closed-form quadratic solve in GF(2^6) for the two-error locator
+// and the extended parity bit to classify odd/even error counts:
+//   parity odd,  BCH sees 0 errors -> parity bit itself flipped (corrected)
+//   parity odd,  BCH sees 1 error  -> single error (corrected)
+//   parity odd,  BCH sees 2 errors -> 3 errors (detected)
+//   parity even, BCH sees 0 errors -> clean
+//   parity even, BCH sees errors   -> double error (corrected) or detected
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "hvc/edc/code.hpp"
+#include "hvc/edc/gf2m.hpp"
+#include "hvc/edc/poly2.hpp"
+
+namespace hvc::edc {
+
+/// DEC-TED codec for an arbitrary data width; the field degree (and hence
+/// check-bit count, 2m+1) is chosen automatically unless forced.
+class BchDected final : public Codec {
+ public:
+  /// `field_degree` = 0 picks the smallest m with data + 2m <= 2^m - 1.
+  explicit BchDected(std::size_t data_bits, std::size_t field_degree = 0);
+
+  /// Smallest usable field degree for a data width.
+  [[nodiscard]] static std::size_t min_field_degree(std::size_t data_bits);
+
+  [[nodiscard]] std::size_t data_bits() const noexcept override {
+    return data_bits_;
+  }
+  [[nodiscard]] std::size_t check_bits() const noexcept override {
+    return bch_check_bits_ + 1;  // +1 extended parity
+  }
+  [[nodiscard]] std::size_t correctable() const noexcept override { return 2; }
+  [[nodiscard]] std::size_t detectable() const noexcept override { return 3; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] BitVec encode(const BitVec& data) const override;
+  [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
+
+  /// The BCH generator polynomial g(x) = m1(x) * m3(x), degree 12.
+  [[nodiscard]] const Poly2& generator() const noexcept { return generator_; }
+
+  /// Minimal polynomial of alpha^i over GF(2) (exposed for tests).
+  [[nodiscard]] static Poly2 minimal_polynomial(const GF2m& field,
+                                                std::uint32_t power);
+
+  /// Number of ones in the (conceptual) parity-check rows; used by the
+  /// circuit cost model to size the encoder/decoder XOR trees.
+  [[nodiscard]] std::size_t total_ones() const noexcept;
+  [[nodiscard]] std::size_t max_row_weight() const noexcept;
+
+ private:
+  /// BCH codeword positions: coefficient j of the code polynomial.
+  /// Stored layout (size n_stored_ = data+check):
+  ///   [0, data_bits)                    -> data bit i = coefficient
+  ///                                        (bch_check_bits_ + i)
+  ///   [data_bits, data_bits + 12)       -> BCH check bit j = coefficient j
+  ///   last bit                          -> extended overall parity
+  [[nodiscard]] std::optional<std::vector<std::size_t>> bch_locate_errors(
+      const BitVec& stored_no_parity) const;
+  [[nodiscard]] std::uint32_t syndrome(const BitVec& stored_no_parity,
+                                       std::uint32_t power) const;
+  /// Maps a code-polynomial coefficient index to a stored-bit index, or
+  /// nullopt when the coefficient falls in the shortened (always-zero) part.
+  [[nodiscard]] std::optional<std::size_t> coeff_to_stored(
+      std::size_t coeff) const noexcept;
+
+  std::size_t data_bits_;
+  std::size_t bch_check_bits_;
+  GF2m field_;
+  Poly2 generator_;
+  /// Precomputed parity row masks (over stored bits, without the extended
+  /// parity) for the cost model and fast syndrome computation.
+  std::vector<BitVec> syndrome_rows_;
+};
+
+}  // namespace hvc::edc

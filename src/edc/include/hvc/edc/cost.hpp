@@ -1,0 +1,53 @@
+// Circuit-level cost model for EDC encoders and decoders.
+//
+// The paper obtains EDC circuit energy from HSPICE runs on 32 nm PTM
+// netlists (Section IV-A). We substitute a structural model: encoders and
+// decoders are XOR trees whose gate count and depth follow directly from
+// the code's parity-check matrix, plus a comparator/locator stage for the
+// decoder. Energy per gate and per-gate leakage are supplied by the caller
+// (they depend on Vcc and come from hvc::tech), keeping this module free of
+// technology dependencies.
+#pragma once
+
+#include <cstddef>
+
+#include "hvc/edc/code.hpp"
+
+namespace hvc::edc {
+
+/// Structural size of an encoder or decoder network.
+struct CircuitShape {
+  std::size_t xor2_gates = 0;   ///< two-input XOR count
+  std::size_t other_gates = 0;  ///< AND/OR/NOT for locate+correct logic
+  std::size_t depth = 0;        ///< critical path in gate levels
+};
+
+/// Per-gate electrical figures at a given operating point (from hvc::tech).
+struct GateFigures {
+  double switch_energy_j = 0.0;  ///< average dynamic energy per activation
+  double leakage_w = 0.0;        ///< static power per gate
+  double delay_s = 0.0;          ///< propagation delay per level
+};
+
+/// Electrical cost of running one encode or decode operation.
+struct CircuitCost {
+  double energy_j = 0.0;   ///< dynamic energy for one operation
+  double leakage_w = 0.0;  ///< always-on leakage while powered
+  double delay_s = 0.0;    ///< critical-path latency
+  std::size_t gates = 0;   ///< total gate count (area proxy)
+};
+
+/// Derives the encoder network shape for a codec (parity generation only).
+[[nodiscard]] CircuitShape encoder_shape(const Codec& codec);
+
+/// Derives the decoder network shape (syndrome + locate + correct).
+[[nodiscard]] CircuitShape decoder_shape(const Codec& codec);
+
+/// Combines a network shape with per-gate figures; `activity` is the
+/// average fraction of gates toggling per operation (0.5 is typical for
+/// XOR trees over random data).
+[[nodiscard]] CircuitCost circuit_cost(const CircuitShape& shape,
+                                       const GateFigures& figures,
+                                       double activity = 0.5);
+
+}  // namespace hvc::edc

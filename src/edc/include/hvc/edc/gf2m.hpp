@@ -1,0 +1,63 @@
+// Arithmetic in the finite field GF(2^m), 2 <= m <= 16, using log/antilog
+// tables over a primitive polynomial. Needed by the BCH-based DECTED code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hvc::edc {
+
+/// GF(2^m) with elements represented as m-bit polynomials over GF(2).
+class GF2m {
+ public:
+  /// Constructs the field from a primitive polynomial given as a bit mask
+  /// including the leading term, e.g. for GF(2^6): x^6+x+1 -> 0b1000011.
+  /// Pass 0 to use a built-in primitive polynomial for the given m.
+  explicit GF2m(std::size_t m, std::uint32_t primitive_poly = 0);
+
+  [[nodiscard]] std::size_t m() const noexcept { return m_; }
+  /// Field size q = 2^m.
+  [[nodiscard]] std::uint32_t size() const noexcept { return q_; }
+  /// Multiplicative group order, q - 1.
+  [[nodiscard]] std::uint32_t order() const noexcept { return q_ - 1; }
+
+  /// alpha^i for i in [0, q-2]; alpha is the primitive element x.
+  [[nodiscard]] std::uint32_t alpha_pow(std::int64_t i) const noexcept;
+  /// Discrete log base alpha; requires x != 0.
+  [[nodiscard]] std::uint32_t log(std::uint32_t x) const;
+
+  [[nodiscard]] std::uint32_t add(std::uint32_t a, std::uint32_t b) const noexcept {
+    return a ^ b;
+  }
+  [[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b) const noexcept;
+  [[nodiscard]] std::uint32_t div(std::uint32_t a, std::uint32_t b) const;
+  [[nodiscard]] std::uint32_t inv(std::uint32_t a) const;
+  /// a^e with e possibly negative (uses the group order).
+  [[nodiscard]] std::uint32_t pow(std::uint32_t a, std::int64_t e) const;
+
+  /// Square root in GF(2^m): every element has exactly one (Frobenius).
+  [[nodiscard]] std::uint32_t sqrt(std::uint32_t a) const noexcept;
+
+  /// Solves x^2 + x = c; returns {found, one solution x0} (the other is
+  /// x0+1). Solvable iff trace(c) == 0.
+  struct QuadraticRoot {
+    bool found = false;
+    std::uint32_t root = 0;
+  };
+  [[nodiscard]] QuadraticRoot solve_x2_plus_x(std::uint32_t c) const noexcept;
+
+  /// Absolute trace Tr(a) = a + a^2 + a^4 + ... in GF(2).
+  [[nodiscard]] std::uint32_t trace(std::uint32_t a) const noexcept;
+
+  /// Built-in primitive polynomial mask for m in [2,16].
+  [[nodiscard]] static std::uint32_t default_primitive(std::size_t m);
+
+ private:
+  std::size_t m_;
+  std::uint32_t q_;
+  std::vector<std::uint32_t> exp_;  // exp_[i] = alpha^i, length 2(q-1)
+  std::vector<std::uint32_t> log_;  // log_[x] for x in [1, q-1]
+};
+
+}  // namespace hvc::edc

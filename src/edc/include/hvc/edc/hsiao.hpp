@@ -1,0 +1,71 @@
+// Hsiao single-error-correcting, double-error-detecting (SEC-DED) codes.
+//
+// Hsiao codes (C. L. Chen & M. Y. Hsiao, IBM JRD 1984 — the paper's
+// reference [5]) are distance-4 codes whose parity-check matrix uses only
+// odd-weight columns, balanced across rows. Odd-weight columns give a
+// cheaper and faster decoder than classic extended Hamming: a syndrome with
+// even weight can only be a double error, so double-error detection is a
+// single parity of the syndrome.
+//
+// The construction here picks data columns of weight 3 first (then 5, 7,
+// ...) distributing column weight as evenly as possible over the rows,
+// which minimises the widest XOR tree — exactly the property Hsiao codes
+// are used for in SRAM macros.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hvc/edc/code.hpp"
+
+namespace hvc::edc {
+
+/// Hsiao SEC-DED code for an arbitrary data width.
+///
+/// For the paper's words: HsiaoSecded(32) is a (39,32) code and
+/// HsiaoSecded(26) is a (33,26) code, both with 7 check bits.
+class HsiaoSecded final : public Codec {
+ public:
+  /// Builds the code with `check_bits` check bits (0 = use the minimum for
+  /// this width). The paper uses 7 check bits for both 32-bit data words
+  /// and 26-bit tag words, even though 26 bits would fit in 6; pass 7 to
+  /// match it.
+  explicit HsiaoSecded(std::size_t data_bits, std::size_t check_bits = 0);
+
+  [[nodiscard]] std::size_t data_bits() const noexcept override {
+    return data_bits_;
+  }
+  [[nodiscard]] std::size_t check_bits() const noexcept override {
+    return check_bits_;
+  }
+  [[nodiscard]] std::size_t correctable() const noexcept override { return 1; }
+  [[nodiscard]] std::size_t detectable() const noexcept override { return 2; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] BitVec encode(const BitVec& data) const override;
+  [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
+
+  /// Parity-check row `r` as an n-bit mask over (data || check) positions.
+  [[nodiscard]] const BitVec& parity_row(std::size_t r) const;
+
+  /// Weight of the heaviest parity-check row (drives decoder XOR depth).
+  [[nodiscard]] std::size_t max_row_weight() const noexcept;
+
+  /// Total number of ones in the parity-check matrix (drives encoder size).
+  [[nodiscard]] std::size_t total_ones() const noexcept;
+
+  /// Smallest number of check bits r such that the number of odd-weight,
+  /// non-unit r-bit columns is at least `data_bits`.
+  [[nodiscard]] static std::size_t min_check_bits(std::size_t data_bits);
+
+ private:
+  std::size_t data_bits_;
+  std::size_t check_bits_;
+  /// H rows over codeword positions [data || check], check part = identity.
+  std::vector<BitVec> rows_;
+  /// Column syndrome value for each data position (bit r set if row r has
+  /// a one in that column).
+  std::vector<std::uint64_t> column_syndromes_;
+};
+
+}  // namespace hvc::edc

@@ -1,0 +1,61 @@
+// Polynomials over GF(2), used to build BCH generator polynomials and to
+// perform systematic encoding by polynomial division.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hvc::edc {
+
+/// Dense polynomial over GF(2); coefficient i is the x^i term.
+class Poly2 {
+ public:
+  Poly2() = default;
+  /// From a coefficient mask; bit i of `mask` is the x^i coefficient.
+  explicit Poly2(std::uint64_t mask);
+  /// From an explicit coefficient vector (index = degree).
+  explicit Poly2(std::vector<std::uint8_t> coeffs);
+
+  [[nodiscard]] static Poly2 zero() { return Poly2{}; }
+  [[nodiscard]] static Poly2 one() { return Poly2{1}; }
+  /// x^degree
+  [[nodiscard]] static Poly2 monomial(std::size_t degree);
+
+  [[nodiscard]] bool is_zero() const noexcept { return coeffs_.empty(); }
+  /// Degree; -1 for the zero polynomial.
+  [[nodiscard]] int degree() const noexcept {
+    return static_cast<int>(coeffs_.size()) - 1;
+  }
+  [[nodiscard]] bool coeff(std::size_t i) const noexcept {
+    return i < coeffs_.size() && coeffs_[i] != 0;
+  }
+
+  [[nodiscard]] Poly2 operator+(const Poly2& other) const;
+  [[nodiscard]] Poly2 operator*(const Poly2& other) const;
+  /// Quotient and remainder of division by `divisor` (divisor != 0).
+  struct DivMod;
+  [[nodiscard]] DivMod divmod(const Poly2& divisor) const;
+  [[nodiscard]] Poly2 mod(const Poly2& divisor) const;
+
+  [[nodiscard]] bool operator==(const Poly2& other) const noexcept = default;
+
+  /// Evaluation at a GF(2^m) point given multiply/add callables is done by
+  /// the BCH code itself; here only GF(2) evaluation is provided.
+  [[nodiscard]] bool eval_gf2(bool x) const noexcept;
+
+  /// e.g. "x^6 + x + 1"
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void trim() noexcept;
+  std::vector<std::uint8_t> coeffs_;  // normalized: back() == 1 unless empty
+};
+
+struct Poly2::DivMod {
+  Poly2 quotient;
+  Poly2 remainder;
+};
+
+}  // namespace hvc::edc

@@ -1,0 +1,269 @@
+#include "hvc/edc/bch.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::edc {
+
+namespace {
+constexpr std::size_t kPaperFieldDegree = 6;  // GF(2^6), n = 63
+}
+
+std::size_t BchDected::min_field_degree(std::size_t data_bits) {
+  for (std::size_t m = 4; m <= 16; ++m) {
+    if (data_bits + 2 * m <= (1ULL << m) - 1) {
+      return m;
+    }
+  }
+  throw PreconditionError("BchDected: data width too large");
+}
+
+Poly2 BchDected::minimal_polynomial(const GF2m& field, std::uint32_t power) {
+  // Collect the cyclotomic coset {power * 2^j mod (q-1)} and expand
+  // prod (x + alpha^c) using polynomial arithmetic with GF(2^m)
+  // coefficients; the product is guaranteed to have GF(2) coefficients.
+  std::set<std::uint32_t> coset;
+  std::uint32_t current = power % field.order();
+  while (coset.insert(current).second) {
+    current = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(current) * 2) % field.order());
+  }
+
+  // poly holds GF(2^m) coefficients, index = degree; start with "1".
+  std::vector<std::uint32_t> poly{1};
+  for (const auto c : coset) {
+    const std::uint32_t root = field.alpha_pow(c);
+    std::vector<std::uint32_t> next(poly.size() + 1, 0);
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+      // (x + root) * poly: x * poly[i] -> next[i+1]; root * poly[i] -> next[i]
+      next[i + 1] ^= poly[i];
+      next[i] ^= field.mul(root, poly[i]);
+    }
+    poly = std::move(next);
+  }
+
+  std::vector<std::uint8_t> bits(poly.size(), 0);
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    ensure(poly[i] <= 1, "minimal polynomial has non-GF(2) coefficient");
+    bits[i] = static_cast<std::uint8_t>(poly[i]);
+  }
+  return Poly2(std::move(bits));
+}
+
+BchDected::BchDected(std::size_t data_bits, std::size_t field_degree)
+    : data_bits_(data_bits),
+      bch_check_bits_(0),
+      field_(field_degree == 0 ? min_field_degree(data_bits) : field_degree) {
+  expects(data_bits_ >= 1, "BchDected requires at least one data bit");
+  const Poly2 m1 = minimal_polynomial(field_, 1);
+  const Poly2 m3 = minimal_polynomial(field_, 3);
+  generator_ = m1 * m3;
+  bch_check_bits_ = static_cast<std::size_t>(generator_.degree());
+  // For m >= 3, m1 and m3 are distinct degree-m minimal polynomials.
+  ensure(bch_check_bits_ == 2 * field_.m(),
+         "BCH t=2 generator must have degree 2m");
+
+  // Shortening limit: data + BCH check bits must fit in n = 2^m - 1.
+  expects(data_bits_ + bch_check_bits_ <= field_.order(),
+          "BchDected data width exceeds the BCH code capacity");
+
+  // Precompute syndrome rows over stored (data+check, no parity) bits for
+  // the circuit cost model: m rows for S1, m rows for S3.
+  const std::size_t degree = field_.m();
+  const std::size_t stored = data_bits_ + bch_check_bits_;
+  syndrome_rows_.assign(2 * degree, BitVec(stored));
+  for (std::size_t s = 0; s < stored; ++s) {
+    // Stored bit s corresponds to code-polynomial coefficient j:
+    const std::size_t j = s < data_bits_ ? bch_check_bits_ + s
+                                         : s - data_bits_;
+    const std::uint32_t a1 = field_.alpha_pow(static_cast<std::int64_t>(j));
+    const std::uint32_t a3 =
+        field_.alpha_pow(static_cast<std::int64_t>(3 * j));
+    for (std::size_t b = 0; b < degree; ++b) {
+      if ((a1 >> b) & 1U) {
+        syndrome_rows_[b].set(s);
+      }
+      if ((a3 >> b) & 1U) {
+        syndrome_rows_[degree + b].set(s);
+      }
+    }
+  }
+}
+
+std::string BchDected::name() const {
+  return "DECTED(" + std::to_string(codeword_bits()) + "," +
+         std::to_string(data_bits_) + ")";
+}
+
+std::optional<std::size_t> BchDected::coeff_to_stored(
+    std::size_t coeff) const noexcept {
+  if (coeff < bch_check_bits_) {
+    return data_bits_ + coeff;  // check bits live after the data bits
+  }
+  const std::size_t data_index = coeff - bch_check_bits_;
+  if (data_index < data_bits_) {
+    return data_index;
+  }
+  return std::nullopt;  // shortened (always zero) coefficient
+}
+
+BitVec BchDected::encode(const BitVec& data) const {
+  expects(data.size() == data_bits_, "encode: wrong data width");
+
+  // message(x) = x^12 * d(x); check bits = message mod g.
+  std::vector<std::uint8_t> message(bch_check_bits_ + data_bits_, 0);
+  for (std::size_t i = 0; i < data_bits_; ++i) {
+    message[bch_check_bits_ + i] = data.get(i) ? 1 : 0;
+  }
+  const Poly2 remainder = Poly2(std::move(message)).mod(generator_);
+
+  BitVec codeword(codeword_bits());
+  for (std::size_t i = 0; i < data_bits_; ++i) {
+    codeword.set(i, data.get(i));
+  }
+  for (std::size_t j = 0; j < bch_check_bits_; ++j) {
+    codeword.set(data_bits_ + j, remainder.coeff(j));
+  }
+  // Extended parity: make the total parity of the codeword even.
+  const BitVec without_parity = codeword.slice(0, codeword_bits() - 1);
+  codeword.set(codeword_bits() - 1, without_parity.parity());
+  return codeword;
+}
+
+std::uint32_t BchDected::syndrome(const BitVec& stored_no_parity,
+                                  std::uint32_t power) const {
+  std::uint32_t acc = 0;
+  for (std::size_t s = 0; s < stored_no_parity.size(); ++s) {
+    if (!stored_no_parity.get(s)) {
+      continue;
+    }
+    const std::size_t j = s < data_bits_ ? bch_check_bits_ + s
+                                         : s - data_bits_;
+    acc ^= field_.alpha_pow(static_cast<std::int64_t>(power) *
+                            static_cast<std::int64_t>(j));
+  }
+  return acc;
+}
+
+std::optional<std::vector<std::size_t>> BchDected::bch_locate_errors(
+    const BitVec& stored_no_parity) const {
+  const std::uint32_t s1 = syndrome(stored_no_parity, 1);
+  const std::uint32_t s3 = syndrome(stored_no_parity, 3);
+
+  if (s1 == 0 && s3 == 0) {
+    return std::vector<std::size_t>{};
+  }
+  if (s1 == 0) {
+    // Two or more errors with X1 = X2 impossible: uncorrectable.
+    return std::nullopt;
+  }
+
+  const std::uint32_t s1_cubed = field_.mul(field_.mul(s1, s1), s1);
+  if (s3 == s1_cubed) {
+    // Single error at locator alpha^j = S1.
+    const std::size_t j = field_.log(s1);
+    const auto stored = coeff_to_stored(j);
+    if (!stored) {
+      return std::nullopt;  // error "located" in the shortened region
+    }
+    return std::vector<std::size_t>{*stored};
+  }
+
+  // Two errors: locator sigma(x) = x^2 + S1 x + (S3 + S1^3)/S1.
+  // Substituting x = S1*y reduces to y^2 + y = c, c = (S3 + S1^3)/S1^3.
+  const std::uint32_t c =
+      field_.div(static_cast<std::uint32_t>(s3 ^ s1_cubed), s1_cubed);
+  const auto quad = field_.solve_x2_plus_x(c);
+  if (!quad.found) {
+    return std::nullopt;  // three or more errors
+  }
+  const std::uint32_t y1 = quad.root;
+  const std::uint32_t y2 = y1 ^ 1U;
+  if (y1 == 0 || y2 == 0) {
+    // One root at zero would mean an error locator of zero: invalid.
+    return std::nullopt;
+  }
+  const std::uint32_t x1 = field_.mul(s1, y1);
+  const std::uint32_t x2 = field_.mul(s1, y2);
+  const auto p1 = coeff_to_stored(field_.log(x1));
+  const auto p2 = coeff_to_stored(field_.log(x2));
+  if (!p1 || !p2) {
+    return std::nullopt;
+  }
+  return std::vector<std::size_t>{*p1, *p2};
+}
+
+DecodeResult BchDected::decode(const BitVec& received) const {
+  expects(received.size() == codeword_bits(), "decode: wrong codeword width");
+
+  const bool parity_odd = received.parity();
+  const BitVec bch_part = received.slice(0, codeword_bits() - 1);
+  const auto located = bch_locate_errors(bch_part);
+
+  DecodeResult result;
+  auto corrected_data = [&](const std::vector<std::size_t>& flips,
+                            std::size_t extra) {
+    BitVec fixed = bch_part;
+    for (const auto position : flips) {
+      fixed.flip(position);
+    }
+    result.data = fixed.slice(0, data_bits_);
+    result.corrected_bits = flips.size() + extra;
+    result.status = flips.empty() && extra == 0 ? DecodeStatus::kClean
+                                                : DecodeStatus::kCorrected;
+  };
+
+  if (!located) {
+    result.status = DecodeStatus::kDetected;
+    return result;
+  }
+
+  if (!parity_odd) {
+    if (located->empty()) {
+      corrected_data({}, 0);  // clean
+    } else if (located->size() == 2) {
+      corrected_data(*located, 0);  // classic double error
+    } else {
+      // One BCH error with even overall parity: the parity bit flipped too.
+      corrected_data(*located, 1);
+    }
+    return result;
+  }
+
+  // Odd parity: an odd number of errors (1 or 3).
+  if (located->empty()) {
+    // Only the parity bit flipped; data is intact.
+    corrected_data({}, 1);
+    return result;
+  }
+  if (located->size() == 1) {
+    corrected_data(*located, 0);
+    return result;
+  }
+  // BCH claims two errors plus parity mismatch: three errors -> detect.
+  result.status = DecodeStatus::kDetected;
+  return result;
+}
+
+std::size_t BchDected::total_ones() const noexcept {
+  std::size_t total = 0;
+  for (const auto& row : syndrome_rows_) {
+    total += row.popcount();
+  }
+  // Extended parity row covers every stored bit plus itself.
+  total += data_bits_ + bch_check_bits_ + 1;
+  return total;
+}
+
+std::size_t BchDected::max_row_weight() const noexcept {
+  // The extended parity row is always the widest.
+  std::size_t widest = data_bits_ + bch_check_bits_ + 1;
+  for (const auto& row : syndrome_rows_) {
+    widest = std::max(widest, row.popcount());
+  }
+  return widest;
+}
+
+}  // namespace hvc::edc

@@ -1,0 +1,126 @@
+#include "hvc/edc/checker.hpp"
+
+#include <algorithm>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::edc {
+
+namespace {
+
+[[nodiscard]] BitVec random_data(const Codec& codec, Rng& rng) {
+  BitVec data(codec.data_bits());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.set(i, rng.bernoulli(0.5));
+  }
+  return data;
+}
+
+void score(CheckReport& report, const Codec& codec, const BitVec& data,
+           const BitVec& corrupted, bool error_present) {
+  const DecodeResult result = codec.decode(corrupted);
+  ++report.trials;
+  switch (result.status) {
+    case DecodeStatus::kDetected:
+      ++report.detected;
+      return;
+    case DecodeStatus::kClean:
+      if (error_present && !(result.data == data)) {
+        ++report.missed;
+      } else {
+        ++report.correct_decodes;
+      }
+      return;
+    case DecodeStatus::kCorrected:
+      if (result.data == data) {
+        ++report.correct_decodes;
+      } else {
+        ++report.miscorrections;
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+CheckReport check_all_single_errors(const Codec& codec, Rng& rng,
+                                    std::size_t words) {
+  CheckReport report;
+  for (std::size_t w = 0; w < words; ++w) {
+    const BitVec data = random_data(codec, rng);
+    const BitVec codeword = codec.encode(data);
+    for (std::size_t bit = 0; bit < codeword.size(); ++bit) {
+      BitVec corrupted = codeword;
+      corrupted.flip(bit);
+      score(report, codec, data, corrupted, true);
+    }
+  }
+  return report;
+}
+
+CheckReport check_all_double_errors(const Codec& codec, Rng& rng,
+                                    std::size_t words) {
+  CheckReport report;
+  for (std::size_t w = 0; w < words; ++w) {
+    const BitVec data = random_data(codec, rng);
+    const BitVec codeword = codec.encode(data);
+    for (std::size_t i = 0; i < codeword.size(); ++i) {
+      for (std::size_t j = i + 1; j < codeword.size(); ++j) {
+        BitVec corrupted = codeword;
+        corrupted.flip(i);
+        corrupted.flip(j);
+        score(report, codec, data, corrupted, true);
+      }
+    }
+  }
+  return report;
+}
+
+CheckReport check_random_errors(const Codec& codec, Rng& rng,
+                                std::size_t error_bits, std::size_t trials) {
+  expects(error_bits <= codec.codeword_bits(),
+          "more error bits than codeword bits");
+  CheckReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const BitVec data = random_data(codec, rng);
+    BitVec corrupted = codec.encode(data);
+    // Sample `error_bits` distinct positions (Floyd's algorithm).
+    std::vector<std::size_t> positions;
+    const std::size_t n = corrupted.size();
+    for (std::size_t k = n - error_bits; k < n; ++k) {
+      const auto candidate = static_cast<std::size_t>(rng.below(k + 1));
+      if (std::find(positions.begin(), positions.end(), candidate) !=
+          positions.end()) {
+        positions.push_back(k);
+      } else {
+        positions.push_back(candidate);
+      }
+    }
+    for (const auto position : positions) {
+      corrupted.flip(position);
+    }
+    score(report, codec, data, corrupted, error_bits > 0);
+  }
+  return report;
+}
+
+std::size_t sampled_min_distance(const Codec& codec, Rng& rng,
+                                 std::size_t trials) {
+  std::size_t best = codec.codeword_bits();
+  for (std::size_t t = 0; t < trials; ++t) {
+    const BitVec a = random_data(codec, rng);
+    BitVec b = random_data(codec, rng);
+    if (a == b) {
+      if (b.size() > 0) {
+        b.flip(static_cast<std::size_t>(rng.below(b.size())));
+      } else {
+        continue;
+      }
+    }
+    const BitVec diff = codec.encode(a) ^ codec.encode(b);
+    best = std::min(best, diff.popcount());
+  }
+  return best;
+}
+
+}  // namespace hvc::edc

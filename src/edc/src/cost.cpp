@@ -1,0 +1,108 @@
+#include "hvc/edc/cost.hpp"
+
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+#include "hvc/edc/bch.hpp"
+#include "hvc/edc/hsiao.hpp"
+
+namespace hvc::edc {
+
+namespace {
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] std::size_t clog2(std::size_t x) {
+  std::size_t bits = 0;
+  std::size_t value = 1;
+  while (value < x) {
+    value <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+struct MatrixStats {
+  std::size_t total_ones = 0;
+  std::size_t max_row = 0;
+  std::size_t rows = 0;
+  std::size_t columns = 0;
+};
+
+[[nodiscard]] MatrixStats matrix_stats(const Codec& codec) {
+  MatrixStats stats;
+  stats.columns = codec.codeword_bits();
+  if (const auto* hsiao = dynamic_cast<const HsiaoSecded*>(&codec)) {
+    stats.total_ones = hsiao->total_ones();
+    stats.max_row = hsiao->max_row_weight();
+    stats.rows = codec.check_bits();
+  } else if (const auto* bch = dynamic_cast<const BchDected*>(&codec)) {
+    stats.total_ones = bch->total_ones();
+    stats.max_row = bch->max_row_weight();
+    stats.rows = codec.check_bits();
+  }
+  return stats;
+}
+
+}  // namespace
+
+CircuitShape encoder_shape(const Codec& codec) {
+  CircuitShape shape;
+  if (codec.check_bits() == 0) {
+    return shape;  // NullCode: wires only
+  }
+  const MatrixStats stats = matrix_stats(codec);
+  ensure(stats.total_ones > 0, "codec exposes no parity structure");
+  // Each check bit is the XOR of (row weight) inputs: weight-1 XOR2 gates
+  // in a balanced tree of depth ceil(log2(weight)). The encoder sees only
+  // data columns, but row weights over the full H are a tight upper bound
+  // (check columns contribute one term per row).
+  shape.xor2_gates = stats.total_ones - stats.rows;
+  shape.depth = clog2(stats.max_row);
+  return shape;
+}
+
+CircuitShape decoder_shape(const Codec& codec) {
+  CircuitShape shape;
+  if (codec.check_bits() == 0) {
+    return shape;
+  }
+  const MatrixStats stats = matrix_stats(codec);
+  // Syndrome generation: same XOR trees as the encoder but over the full
+  // received word (data + check columns).
+  shape.xor2_gates = stats.total_ones - stats.rows;
+  std::size_t depth = clog2(stats.max_row);
+
+  if (codec.correctable() == 1) {
+    // SECDED locate: one r-input match (NOR of XORs) per data column,
+    // + r XOR2 per column to compare against the column syndrome constant
+    // is optimised to an AND-tree on (syndrome XOR const) -> model as
+    // r-1 gates per column, plus the correcting XOR per data bit.
+    shape.other_gates = codec.data_bits() * (codec.check_bits() - 1);
+    shape.xor2_gates += codec.data_bits();  // correction XORs
+    depth += clog2(codec.check_bits()) + 1;
+  } else if (codec.correctable() >= 2) {
+    // DECTED locate: GF(2^6) syndrome algebra (S1^3 multiplier, quadratic
+    // solver) plus a Chien-style evaluation per position. GF multipliers
+    // are AND/XOR-heavy: ~36 equivalent gates per codeword position plus
+    // the correction XORs.
+    shape.other_gates = codec.codeword_bits() * 36;
+    shape.xor2_gates += codec.data_bits();
+    depth += clog2(codec.check_bits()) + 5;
+  }
+  shape.depth = depth;
+  return shape;
+}
+
+CircuitCost circuit_cost(const CircuitShape& shape, const GateFigures& figures,
+                         double activity) {
+  expects(activity >= 0.0 && activity <= 1.0, "activity must be in [0,1]");
+  CircuitCost cost;
+  cost.gates = shape.xor2_gates + shape.other_gates;
+  cost.energy_j = static_cast<double>(cost.gates) * activity *
+                  figures.switch_energy_j;
+  cost.leakage_w = static_cast<double>(cost.gates) * figures.leakage_w;
+  cost.delay_s = static_cast<double>(shape.depth) * figures.delay_s;
+  return cost;
+}
+
+}  // namespace hvc::edc

@@ -1,0 +1,140 @@
+#include "hvc/edc/gf2m.hpp"
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::edc {
+
+std::uint32_t GF2m::default_primitive(std::size_t m) {
+  // Standard primitive polynomials (Lin & Costello, Appendix A).
+  switch (m) {
+    case 2: return 0b111;                 // x^2+x+1
+    case 3: return 0b1011;                // x^3+x+1
+    case 4: return 0b10011;               // x^4+x+1
+    case 5: return 0b100101;              // x^5+x^2+1
+    case 6: return 0b1000011;             // x^6+x+1
+    case 7: return 0b10001001;            // x^7+x^3+1
+    case 8: return 0b100011101;           // x^8+x^4+x^3+x^2+1
+    case 9: return 0b1000010001;          // x^9+x^4+1
+    case 10: return 0b10000001001;        // x^10+x^3+1
+    case 11: return 0b100000000101;       // x^11+x^2+1
+    case 12: return 0b1000001010011;      // x^12+x^6+x^4+x+1
+    case 13: return 0b10000000011011;     // x^13+x^4+x^3+x+1
+    case 14: return 0b100010001000011;    // x^14+x^10+x^6+x+1
+    case 15: return 0b1000000000000011;   // x^15+x+1
+    case 16: return 0b10001000000001011;  // x^16+x^12+x^3+x+1
+    default:
+      throw PreconditionError("GF2m: unsupported field degree");
+  }
+}
+
+GF2m::GF2m(std::size_t m, std::uint32_t primitive_poly)
+    : m_(m), q_(1U << m) {
+  expects(m >= 2 && m <= 16, "GF2m supports m in [2,16]");
+  if (primitive_poly == 0) {
+    primitive_poly = default_primitive(m);
+  }
+  expects((primitive_poly >> m) == 1U, "primitive polynomial degree mismatch");
+
+  exp_.assign(2 * (q_ - 1), 0);
+  log_.assign(q_, 0);
+
+  std::uint32_t value = 1;
+  for (std::uint32_t i = 0; i < q_ - 1; ++i) {
+    exp_[i] = value;
+    ensure(value != 0 && value < q_, "GF2m table generation out of range");
+    ensure(i == 0 || value != 1, "polynomial is not primitive (short cycle)");
+    log_[value] = i;
+    value <<= 1;
+    if (value & q_) {
+      value ^= primitive_poly;
+    }
+  }
+  // Duplicate for cheap modular exponent arithmetic.
+  for (std::uint32_t i = 0; i < q_ - 1; ++i) {
+    exp_[q_ - 1 + i] = exp_[i];
+  }
+}
+
+std::uint32_t GF2m::alpha_pow(std::int64_t i) const noexcept {
+  const auto n = static_cast<std::int64_t>(order());
+  std::int64_t reduced = i % n;
+  if (reduced < 0) {
+    reduced += n;
+  }
+  return exp_[static_cast<std::size_t>(reduced)];
+}
+
+std::uint32_t GF2m::log(std::uint32_t x) const {
+  expects(x != 0 && x < q_, "GF2m::log requires a nonzero field element");
+  return log_[x];
+}
+
+std::uint32_t GF2m::mul(std::uint32_t a, std::uint32_t b) const noexcept {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return exp_[log_[a] + log_[b]];
+}
+
+std::uint32_t GF2m::div(std::uint32_t a, std::uint32_t b) const {
+  expects(b != 0, "GF2m division by zero");
+  if (a == 0) {
+    return 0;
+  }
+  return exp_[log_[a] + order() - log_[b]];
+}
+
+std::uint32_t GF2m::inv(std::uint32_t a) const {
+  expects(a != 0, "GF2m inverse of zero");
+  return exp_[order() - log_[a]];
+}
+
+std::uint32_t GF2m::pow(std::uint32_t a, std::int64_t e) const {
+  if (a == 0) {
+    expects(e > 0, "GF2m 0^e requires e > 0");
+    return 0;
+  }
+  const auto n = static_cast<std::int64_t>(order());
+  std::int64_t exponent = (static_cast<std::int64_t>(log_[a]) * (e % n)) % n;
+  if (exponent < 0) {
+    exponent += n;
+  }
+  return exp_[static_cast<std::size_t>(exponent)];
+}
+
+std::uint32_t GF2m::sqrt(std::uint32_t a) const noexcept {
+  // In characteristic 2 the Frobenius map x -> x^2 is bijective;
+  // sqrt(a) = a^(2^(m-1)).
+  std::uint32_t result = a;
+  for (std::size_t i = 0; i + 1 < m_; ++i) {
+    result = mul(result, result);
+  }
+  return result;
+}
+
+std::uint32_t GF2m::trace(std::uint32_t a) const noexcept {
+  std::uint32_t sum = 0;
+  std::uint32_t term = a;
+  for (std::size_t i = 0; i < m_; ++i) {
+    sum ^= term;
+    term = mul(term, term);
+  }
+  // The trace lands in GF(2) = {0,1}.
+  return sum;
+}
+
+GF2m::QuadraticRoot GF2m::solve_x2_plus_x(std::uint32_t c) const noexcept {
+  if (trace(c) != 0) {
+    return {};
+  }
+  // Half-trace style search is overkill for m <= 16 table fields: scan.
+  // (Used only during decode of rare multi-bit errors; q <= 65536.)
+  for (std::uint32_t x = 0; x < q_; ++x) {
+    if (static_cast<std::uint32_t>(mul(x, x) ^ x) == c) {
+      return {true, x};
+    }
+  }
+  return {};
+}
+
+}  // namespace hvc::edc

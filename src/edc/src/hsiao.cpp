@@ -1,0 +1,204 @@
+#include "hvc/edc/hsiao.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::edc {
+
+namespace {
+
+/// Number of r-bit columns with odd weight >= 3 (unit columns are reserved
+/// for the check-bit identity part).
+[[nodiscard]] std::size_t odd_nonunit_columns(std::size_t r) {
+  std::size_t count = 0;
+  for (std::uint64_t col = 1; col < (1ULL << r); ++col) {
+    const auto weight = static_cast<std::size_t>(std::popcount(col));
+    if (weight >= 3 && weight % 2 == 1) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::size_t HsiaoSecded::min_check_bits(std::size_t data_bits) {
+  expects(data_bits >= 1, "HsiaoSecded requires at least one data bit");
+  for (std::size_t r = 3; r <= 20; ++r) {
+    if (odd_nonunit_columns(r) >= data_bits) {
+      return r;
+    }
+  }
+  throw PreconditionError("HsiaoSecded data width too large");
+}
+
+HsiaoSecded::HsiaoSecded(std::size_t data_bits, std::size_t check_bits)
+    : data_bits_(data_bits),
+      check_bits_(check_bits == 0 ? min_check_bits(data_bits) : check_bits) {
+  expects(check_bits_ >= min_check_bits(data_bits),
+          "HsiaoSecded: too few check bits for this data width");
+  expects(check_bits_ <= 20, "HsiaoSecded: check width too large");
+  const std::size_t r = check_bits_;
+  const std::size_t n = data_bits_ + r;
+
+  // Candidate columns: odd weight >= 3, grouped by weight ascending so the
+  // lightest (cheapest) columns are used first.
+  std::vector<std::uint64_t> candidates;
+  for (std::size_t weight = 3; weight <= r; weight += 2) {
+    for (std::uint64_t col = 1; col < (1ULL << r); ++col) {
+      if (static_cast<std::size_t>(std::popcount(col)) == weight) {
+        candidates.push_back(col);
+      }
+    }
+  }
+  ensure(candidates.size() >= data_bits_, "not enough Hsiao columns");
+
+  // Greedy row balancing: pick, among remaining lightest-weight columns,
+  // the one that keeps per-row one-counts most even. This follows Hsiao's
+  // "equal weight per row" goal that bounds the widest XOR tree.
+  std::vector<std::size_t> row_load(r, 0);
+  column_syndromes_.reserve(data_bits_);
+  std::vector<bool> used(candidates.size(), false);
+
+  for (std::size_t picked = 0; picked < data_bits_; ++picked) {
+    std::size_t best = candidates.size();
+    long best_score = 0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (used[c]) {
+        continue;
+      }
+      // Only consider the currently lightest available weight class.
+      if (best != candidates.size() &&
+          std::popcount(candidates[c]) > std::popcount(candidates[best])) {
+        break;
+      }
+      long score = 0;
+      for (std::size_t row = 0; row < r; ++row) {
+        if ((candidates[c] >> row) & 1ULL) {
+          score += static_cast<long>(row_load[row]);
+        }
+      }
+      if (best == candidates.size() || score < best_score) {
+        best = c;
+        best_score = score;
+      }
+    }
+    ensure(best < candidates.size(), "Hsiao column selection failed");
+    used[best] = true;
+    column_syndromes_.push_back(candidates[best]);
+    for (std::size_t row = 0; row < r; ++row) {
+      if ((candidates[best] >> row) & 1ULL) {
+        ++row_load[row];
+      }
+    }
+  }
+
+  // Assemble H rows over [data || check]; the check part is the identity.
+  rows_.assign(r, BitVec(n));
+  for (std::size_t col = 0; col < data_bits_; ++col) {
+    for (std::size_t row = 0; row < r; ++row) {
+      if ((column_syndromes_[col] >> row) & 1ULL) {
+        rows_[row].set(col);
+      }
+    }
+  }
+  for (std::size_t row = 0; row < r; ++row) {
+    rows_[row].set(data_bits_ + row);
+  }
+}
+
+std::string HsiaoSecded::name() const {
+  return "SECDED(" + std::to_string(codeword_bits()) + "," +
+         std::to_string(data_bits_) + ")";
+}
+
+BitVec HsiaoSecded::encode(const BitVec& data) const {
+  expects(data.size() == data_bits_, "encode: wrong data width");
+  BitVec codeword(codeword_bits());
+  for (std::size_t i = 0; i < data_bits_; ++i) {
+    codeword.set(i, data.get(i));
+  }
+  for (std::size_t row = 0; row < check_bits_; ++row) {
+    // Check bit = parity of data positions selected by row `row`.
+    bool parity = false;
+    for (std::size_t i = 0; i < data_bits_; ++i) {
+      if (rows_[row].get(i) && data.get(i)) {
+        parity = !parity;
+      }
+    }
+    codeword.set(data_bits_ + row, parity);
+  }
+  return codeword;
+}
+
+DecodeResult HsiaoSecded::decode(const BitVec& received) const {
+  expects(received.size() == codeword_bits(), "decode: wrong codeword width");
+  std::uint64_t syndrome = 0;
+  for (std::size_t row = 0; row < check_bits_; ++row) {
+    if (rows_[row].dot(received)) {
+      syndrome |= 1ULL << row;
+    }
+  }
+
+  DecodeResult result;
+  if (syndrome == 0) {
+    result.status = DecodeStatus::kClean;
+    result.data = received.slice(0, data_bits_);
+    return result;
+  }
+
+  const auto weight = static_cast<std::size_t>(std::popcount(syndrome));
+  if (weight % 2 == 0) {
+    // Even nonzero syndrome: double error (Hsiao's key property).
+    result.status = DecodeStatus::kDetected;
+    return result;
+  }
+
+  // Odd syndrome: single error. Unit syndrome -> a check bit flipped; data
+  // is untouched. Otherwise find the matching data column.
+  if (weight == 1) {
+    result.status = DecodeStatus::kCorrected;
+    result.corrected_bits = 1;
+    result.data = received.slice(0, data_bits_);
+    return result;
+  }
+  const auto it = std::find(column_syndromes_.begin(), column_syndromes_.end(),
+                            syndrome);
+  if (it == column_syndromes_.end()) {
+    // Odd-weight syndrome not matching any column: >= 3 errors detected.
+    result.status = DecodeStatus::kDetected;
+    return result;
+  }
+  const auto position =
+      static_cast<std::size_t>(std::distance(column_syndromes_.begin(), it));
+  result.status = DecodeStatus::kCorrected;
+  result.corrected_bits = 1;
+  result.data = received.slice(0, data_bits_);
+  result.data.flip(position);
+  return result;
+}
+
+const BitVec& HsiaoSecded::parity_row(std::size_t r) const {
+  expects(r < rows_.size(), "parity_row index out of range");
+  return rows_[r];
+}
+
+std::size_t HsiaoSecded::max_row_weight() const noexcept {
+  std::size_t widest = 0;
+  for (const auto& row : rows_) {
+    widest = std::max(widest, row.popcount());
+  }
+  return widest;
+}
+
+std::size_t HsiaoSecded::total_ones() const noexcept {
+  return std::accumulate(rows_.begin(), rows_.end(), std::size_t{0},
+                         [](std::size_t acc, const BitVec& row) {
+                           return acc + row.popcount();
+                         });
+}
+
+}  // namespace hvc::edc

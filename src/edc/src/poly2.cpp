@@ -1,0 +1,125 @@
+#include "hvc/edc/poly2.hpp"
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::edc {
+
+Poly2::Poly2(std::uint64_t mask) {
+  for (std::size_t i = 0; i < 64; ++i) {
+    if ((mask >> i) & 1ULL) {
+      if (coeffs_.size() <= i) {
+        coeffs_.resize(i + 1, 0);
+      }
+      coeffs_[i] = 1;
+    }
+  }
+  trim();
+}
+
+Poly2::Poly2(std::vector<std::uint8_t> coeffs) : coeffs_(std::move(coeffs)) {
+  for (auto& c : coeffs_) {
+    c = c ? 1 : 0;
+  }
+  trim();
+}
+
+Poly2 Poly2::monomial(std::size_t degree) {
+  std::vector<std::uint8_t> coeffs(degree + 1, 0);
+  coeffs[degree] = 1;
+  return Poly2(std::move(coeffs));
+}
+
+void Poly2::trim() noexcept {
+  while (!coeffs_.empty() && coeffs_.back() == 0) {
+    coeffs_.pop_back();
+  }
+}
+
+Poly2 Poly2::operator+(const Poly2& other) const {
+  std::vector<std::uint8_t> out(std::max(coeffs_.size(), other.coeffs_.size()),
+                                0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint8_t a = i < coeffs_.size() ? coeffs_[i] : 0;
+    const std::uint8_t b = i < other.coeffs_.size() ? other.coeffs_[i] : 0;
+    out[i] = a ^ b;
+  }
+  return Poly2(std::move(out));
+}
+
+Poly2 Poly2::operator*(const Poly2& other) const {
+  if (is_zero() || other.is_zero()) {
+    return zero();
+  }
+  std::vector<std::uint8_t> out(coeffs_.size() + other.coeffs_.size() - 1, 0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (!coeffs_[i]) {
+      continue;
+    }
+    for (std::size_t j = 0; j < other.coeffs_.size(); ++j) {
+      out[i + j] ^= other.coeffs_[j];
+    }
+  }
+  return Poly2(std::move(out));
+}
+
+Poly2 Poly2::mod(const Poly2& divisor) const {
+  return divmod(divisor).remainder;
+}
+
+Poly2::DivMod Poly2::divmod(const Poly2& divisor) const {
+  expects(!divisor.is_zero(), "Poly2 division by zero polynomial");
+  std::vector<std::uint8_t> rem = coeffs_;
+  const int ddeg = divisor.degree();
+  if (degree() < ddeg) {
+    return {zero(), *this};
+  }
+  std::vector<std::uint8_t> quot(coeffs_.size() - divisor.coeffs_.size() + 1,
+                                 0);
+  for (int shift = degree() - ddeg; shift >= 0; --shift) {
+    const auto top = static_cast<std::size_t>(shift + ddeg);
+    if (top < rem.size() && rem[top]) {
+      quot[static_cast<std::size_t>(shift)] = 1;
+      for (std::size_t j = 0; j < divisor.coeffs_.size(); ++j) {
+        rem[static_cast<std::size_t>(shift) + j] ^= divisor.coeffs_[j];
+      }
+    }
+  }
+  return {Poly2(std::move(quot)), Poly2(std::move(rem))};
+}
+
+bool Poly2::eval_gf2(bool x) const noexcept {
+  if (!x) {
+    return coeff(0);
+  }
+  // At x = 1 the value is the parity of the coefficients.
+  bool acc = false;
+  for (const auto c : coeffs_) {
+    acc ^= (c != 0);
+  }
+  return acc;
+}
+
+std::string Poly2::to_string() const {
+  if (is_zero()) {
+    return "0";
+  }
+  std::string out;
+  for (int i = degree(); i >= 0; --i) {
+    if (!coeff(static_cast<std::size_t>(i))) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " + ";
+    }
+    if (i == 0) {
+      out += "1";
+    } else if (i == 1) {
+      out += "x";
+    } else {
+      out += "x^" + std::to_string(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace hvc::edc

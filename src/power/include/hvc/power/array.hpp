@@ -1,0 +1,79 @@
+// CACTI-like SRAM array model.
+//
+// Substitutes the paper's modified CACTI 6.5 (Section IV-A3): per-access
+// dynamic energy, leakage power, access delay and area for one SRAM
+// subarray, decomposed the way CACTI does it — row decoder, wordline,
+// bitlines, sense amplifiers/output drivers — but driven by our analytic
+// 32 nm device model and the sized 6T/8T/10T bitcells.
+//
+// Sensing: above ~0.7 V the model assumes small-swing differential sensing
+// (swing = 20% of Vcc); near threshold sense amplifiers are unreliable, so
+// reads are full-swing. Writes are always full-swing.
+#pragma once
+
+#include <cstddef>
+
+#include "hvc/tech/sram_cell.hpp"
+
+namespace hvc::power {
+
+/// Physical organisation of one subarray.
+struct ArrayGeometry {
+  std::size_t rows = 64;        ///< wordlines
+  std::size_t cols = 256;       ///< bitline pairs (bits per row)
+  std::size_t bits_per_access = 32;  ///< bits read/written per access
+};
+
+/// Energy/delay/area figures for one subarray at one operating point.
+struct ArrayFigures {
+  double read_energy_j = 0.0;
+  double write_energy_j = 0.0;
+  double leakage_w = 0.0;
+  double access_delay_s = 0.0;
+  double area_um2 = 0.0;
+};
+
+/// One SRAM subarray built from a sized bitcell, evaluated at `vcc`.
+class ArrayModel {
+ public:
+  ArrayModel(ArrayGeometry geometry, tech::CellDesign cell, double vcc,
+             const tech::TechNode& node = tech::node32());
+
+  [[nodiscard]] const ArrayGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] const tech::CellDesign& cell() const noexcept { return cell_; }
+  [[nodiscard]] double vcc() const noexcept { return vcc_; }
+
+  /// Dynamic energy of one read access (decoder + wordline + bitlines +
+  /// sensing + output drive).
+  [[nodiscard]] double read_energy() const noexcept {
+    return figures_.read_energy_j;
+  }
+  /// Dynamic energy of one write access.
+  [[nodiscard]] double write_energy() const noexcept {
+    return figures_.write_energy_j;
+  }
+  /// Static power of the whole subarray while powered at vcc.
+  [[nodiscard]] double leakage_power() const noexcept {
+    return figures_.leakage_w;
+  }
+  /// Critical-path delay of one access.
+  [[nodiscard]] double access_delay() const noexcept {
+    return figures_.access_delay_s;
+  }
+  /// Silicon area including peripheral overhead.
+  [[nodiscard]] double area_um2() const noexcept { return figures_.area_um2; }
+
+  [[nodiscard]] const ArrayFigures& figures() const noexcept {
+    return figures_;
+  }
+
+ private:
+  ArrayGeometry geometry_;
+  tech::CellDesign cell_;
+  double vcc_;
+  ArrayFigures figures_;
+};
+
+}  // namespace hvc::power

@@ -1,0 +1,125 @@
+#include "hvc/power/array.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::power {
+
+namespace {
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] std::size_t clog2(std::size_t x) {
+  std::size_t bits = 0;
+  std::size_t value = 1;
+  while (value < x) {
+    value <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+ArrayModel::ArrayModel(ArrayGeometry geometry, tech::CellDesign cell,
+                       double vcc, const tech::TechNode& node)
+    : geometry_(geometry), cell_(cell), vcc_(vcc) {
+  expects(geometry_.rows >= 1 && geometry_.cols >= 1, "empty array");
+  expects(geometry_.bits_per_access >= 1 &&
+              geometry_.bits_per_access <= geometry_.cols,
+          "bits_per_access must fit in one row");
+  expects(vcc_ > 0.05 && vcc_ <= 1.5, "vcc out of modelled range");
+
+  const tech::TransistorModel model(node);
+  const tech::CellElectrical cellel = tech::cell_electrical(cell_, vcc_, node);
+
+  // --- geometry-derived wire lengths ---
+  const double cell_area_um2 =
+      tech::cell_area_f2(cell_, node) * node.feature_nm * node.feature_nm *
+      1e-6;  // F^2 -> um^2
+  const double cell_pitch_um = std::sqrt(cell_area_um2);
+  const double wordline_um = cell_pitch_um * static_cast<double>(geometry_.cols);
+  const double bitline_um = cell_pitch_um * static_cast<double>(geometry_.rows);
+
+  // --- capacitances ---
+  const double c_wordline =
+      static_cast<double>(geometry_.cols) * cellel.wordline_cap_f +
+      wordline_um * node.cwire_ff_per_um * 1e-15;
+  const double c_bitline =
+      static_cast<double>(geometry_.rows) * cellel.bitline_cap_f +
+      bitline_um * node.cwire_ff_per_um * 1e-15;
+
+  // --- row decoder: ~2 gate levels per address bit, driving the wordline.
+  const std::size_t addr_bits = clog2(geometry_.rows);
+  const tech::Device decoder_dev{2.0};
+  const double c_decoder_stage =
+      4.0 * (model.cgate(decoder_dev) + model.cdrain(decoder_dev));
+  const double decoder_energy =
+      static_cast<double>(std::max<std::size_t>(addr_bits, 1)) * 2.0 *
+      c_decoder_stage * vcc_ * vcc_;
+
+  // --- sensing swing ---
+  const bool small_swing = vcc_ >= 0.7;
+  const double read_swing = small_swing ? 0.20 * vcc_ : vcc_;
+
+  // Differential cells (6T/10T) toggle both bitlines of a pair; the 8T
+  // read port is single-ended.
+  const double bitlines_per_read = cell_.kind == tech::CellKind::k8T ? 1.0 : 2.0;
+
+  // All columns are precharged and selected rows discharge them; energy is
+  // counted for every column in the row (CACTI does the same for the
+  // active mat), with sensing on the accessed bits only.
+  const double read_bitline_energy =
+      static_cast<double>(geometry_.cols) * bitlines_per_read * c_bitline *
+      read_swing * vcc_;
+  const tech::Device sense_dev{2.0};
+  const double sense_energy_per_bit =
+      6.0 * (model.cgate(sense_dev) + model.cdrain(sense_dev)) * vcc_ * vcc_;
+  const double sense_energy = small_swing
+                                  ? static_cast<double>(geometry_.bits_per_access) *
+                                        sense_energy_per_bit
+                                  : static_cast<double>(geometry_.bits_per_access) *
+                                        0.5 * sense_energy_per_bit;
+
+  const double read_energy = decoder_energy + c_wordline * vcc_ * vcc_ +
+                             read_bitline_energy + sense_energy;
+
+  // --- write: full swing on the written columns, both bitlines driven,
+  // plus internal node flips (~half the bits change on average).
+  const double write_bitline_energy =
+      static_cast<double>(geometry_.bits_per_access) * 2.0 * c_bitline * vcc_ *
+      vcc_;
+  const double internal_flip_energy =
+      0.5 * static_cast<double>(geometry_.bits_per_access) *
+      cellel.internal_cap_f * vcc_ * vcc_;
+  const double write_energy = decoder_energy + c_wordline * vcc_ * vcc_ +
+                              write_bitline_energy + internal_flip_energy;
+
+  // --- leakage: every cell leaks; peripherals add ~15% on top.
+  const double cell_leakage =
+      static_cast<double>(geometry_.rows) *
+      static_cast<double>(geometry_.cols) * cellel.leakage_a * vcc_;
+  const double leakage = cell_leakage * 1.15;
+
+  // --- delay: decoder chain + wordline RC + bitline discharge + sensing.
+  const tech::Device wl_driver{4.0};
+  const double decoder_delay =
+      static_cast<double>(std::max<std::size_t>(2 * addr_bits, 2)) *
+      model.gate_delay(decoder_dev, c_decoder_stage, vcc_);
+  const double wordline_delay = model.gate_delay(wl_driver, c_wordline, vcc_);
+  const double bitline_delay =
+      cellel.read_current_a > 0.0
+          ? c_bitline * read_swing / cellel.read_current_a
+          : 1.0;
+  const double delay = decoder_delay + wordline_delay + bitline_delay;
+
+  // --- area: cells + ~30% peripheral (decoder, sense amps, drivers).
+  const double area =
+      cell_area_um2 * static_cast<double>(geometry_.rows) *
+      static_cast<double>(geometry_.cols) * 1.30;
+
+  figures_ = {read_energy, write_energy, leakage, delay, area};
+}
+
+}  // namespace hvc::power

@@ -1,0 +1,81 @@
+// Duty-cycle simulation of the paper's deployment model (Section I):
+// the chip spends 99%-99.99% of its time in ULE mode (monitoring) and
+// reacts to infrequent events in HP mode, switching modes on a single
+// Vcc domain.
+//
+// One DutyCycle run alternates: [N x ULE monitoring workload] -> switch ->
+// [HP event burst] -> switch -> ... accumulating active energy, idle
+// (leakage-only) energy, and the mode-transition costs (HP-way writebacks
+// and ULE-way re-encoding, plus a configurable settle time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hvc/sim/system.hpp"
+
+namespace hvc::sim {
+
+/// One workload invocation inside a phase.
+struct PhaseSpec {
+  std::string workload = "adpcm_c";
+  std::uint64_t seed = 1;
+  std::size_t scale = 1;
+};
+
+struct DutyCycleConfig {
+  DesignChoice design;
+  /// ULE monitoring work per cycle (run back to back).
+  std::vector<PhaseSpec> ule_phases{{"adpcm_c", 1, 1}, {"epic_c", 2, 1}};
+  /// The rare HP event burst.
+  PhaseSpec hp_phase{"mpeg2_c", 3, 1};
+  /// Number of full ULE->HP->ULE cycles.
+  std::size_t cycles = 2;
+  /// Fraction of ULE-phase wall-clock spent idle (leakage only).
+  double idle_fraction = 0.95;
+  /// Vcc/PLL settle time per mode switch; the chip burns leakage at the
+  /// *target* mode during it.
+  double switch_settle_s = 100e-6;
+  std::uint64_t system_seed = 42;
+};
+
+struct DutyCycleResult {
+  double ule_active_energy_j = 0.0;
+  double hp_active_energy_j = 0.0;
+  double idle_energy_j = 0.0;
+  double switch_energy_j = 0.0;  ///< cache transitions + settle leakage
+  double total_seconds = 0.0;
+  double ule_seconds = 0.0;      ///< active + idle time at ULE
+  std::uint64_t mode_switches = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t edc_corrections = 0;
+  std::uint64_t edc_uncorrectable = 0;
+
+  [[nodiscard]] double total_energy_j() const noexcept {
+    return ule_active_energy_j + hp_active_energy_j + idle_energy_j +
+           switch_energy_j;
+  }
+  [[nodiscard]] double average_power_w() const noexcept {
+    return total_seconds > 0.0 ? total_energy_j() / total_seconds : 0.0;
+  }
+  /// Fraction of wall-clock time spent at ULE mode (the paper quotes
+  /// 99%-99.99% for the target market).
+  [[nodiscard]] double ule_time_fraction() const noexcept {
+    return total_seconds > 0.0 ? ule_seconds / total_seconds : 0.0;
+  }
+  /// Runtime on a battery of the given capacity at this duty cycle.
+  [[nodiscard]] double battery_seconds(double battery_j) const noexcept {
+    const double power = average_power_w();
+    return power > 0.0 ? battery_j / power : 0.0;
+  }
+};
+
+/// Runs the duty cycle on a fresh System built for `config.design`.
+[[nodiscard]] DutyCycleResult run_duty_cycle(const DutyCycleConfig& config);
+
+/// Runs the duty cycle on an existing system (retains cache state).
+[[nodiscard]] DutyCycleResult run_duty_cycle(System& system,
+                                             const DutyCycleConfig& config);
+
+}  // namespace hvc::sim

@@ -1,0 +1,45 @@
+// Reporting helpers: map raw energy breakdowns onto the paper's figure
+// categories and print normalized EPI tables (Figures 3 and 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hvc/cpu/core.hpp"
+
+namespace hvc::sim {
+
+/// The EPI breakdown categories of Figures 3/4.
+struct EpiBreakdown {
+  double l1_dynamic = 0.0;
+  double l1_leakage = 0.0;
+  double l1_edc = 0.0;
+  double core_other = 0.0;  ///< core logic + non-L1 arrays
+
+  [[nodiscard]] double total() const noexcept {
+    return l1_dynamic + l1_leakage + l1_edc + core_other;
+  }
+  EpiBreakdown& operator/=(double d) noexcept;
+};
+
+/// Per-instruction breakdown of one run.
+[[nodiscard]] EpiBreakdown epi_breakdown(const cpu::RunResult& result);
+
+/// One row of a Fig.3/Fig.4-style table.
+struct EpiRow {
+  std::string label;
+  EpiBreakdown epi;          ///< absolute J/instruction
+  double normalized = 1.0;   ///< total EPI / baseline total EPI
+  double cpi = 0.0;
+};
+
+/// Prints rows with per-category columns normalized to `baseline_total`.
+void print_epi_table(const std::string& title,
+                     const std::vector<EpiRow>& rows);
+
+/// Builds a row from a run result, normalizing against a baseline total.
+[[nodiscard]] EpiRow make_epi_row(const std::string& label,
+                                  const cpu::RunResult& result,
+                                  double baseline_epi_total);
+
+}  // namespace hvc::sim

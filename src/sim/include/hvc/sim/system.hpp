@@ -1,0 +1,121 @@
+// Full-system experiment assembly (paper Section IV).
+//
+// A System is one simulated chip: IL1 + DL1 hybrid caches built from the
+// design-methodology cell plan, a main memory, and the in-order core.
+// Four cache designs exist per the paper:
+//   scenario A baseline : 6T        + 10T
+//   scenario A proposed : 6T        + 8T+SECDED (SECDED only at ULE)
+//   scenario B baseline : 6T+SECDED + 10T+SECDED
+//   scenario B proposed : 6T+SECDED + 8T+DECTED (DECTED only at ULE)
+// The default organisation is the paper's: 8KB, 8-way, 7+1 way split,
+// 32-bit data words, 26-bit tags, 1V/1GHz HP and 350mV/5MHz ULE.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hvc/cache/cache.hpp"
+#include "hvc/cpu/core.hpp"
+#include "hvc/workloads/workload.hpp"
+#include "hvc/yield/methodology.hpp"
+
+namespace hvc::sim {
+
+/// Which of the four cache designs to build.
+struct DesignChoice {
+  yield::Scenario scenario = yield::Scenario::kA;
+  bool proposed = false;  ///< false = baseline (10T), true = 8T+EDC
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct SystemConfig {
+  DesignChoice design;
+  power::Mode mode = power::Mode::kHp;
+  power::CacheOrg org;            ///< defaults: 8KB 8-way 32B lines
+  std::size_t ule_ways = 1;       ///< paper: 7+1
+  power::OperatingPoint hp{power::Mode::kHp, 1.0, 1e9};
+  power::OperatingPoint ule{power::Mode::kUle, 0.35, 5e6};
+  cpu::CoreParams core;
+  cache::WritePolicy write_policy = cache::WritePolicy::kWriteBackAllocate;
+  std::size_t memory_latency_cycles = 20;  ///< paper IV-A
+  bool inject_hard_faults = true;
+  std::uint64_t seed = 42;
+};
+
+/// Builds the per-way plans + fault rates for one design choice.
+struct CachePlan {
+  std::vector<power::WayPlan> ways;
+  std::vector<double> way_hard_pf;
+};
+
+[[nodiscard]] CachePlan build_cache_plan(const DesignChoice& design,
+                                         const yield::CacheCellPlan& cells,
+                                         std::size_t total_ways,
+                                         std::size_t ule_ways,
+                                         bool inject_hard_faults);
+
+/// One simulated chip instance.
+class System {
+ public:
+  System(const SystemConfig& config, const yield::CacheCellPlan& cells);
+
+  /// Runs a workload by registry name and returns timing/energy results.
+  [[nodiscard]] cpu::RunResult run_workload(const std::string& name,
+                                            std::uint64_t seed = 1,
+                                            std::size_t scale = 1);
+
+  /// Runs an already-captured trace.
+  [[nodiscard]] cpu::RunResult run_trace(const trace::Tracer& tracer);
+
+  /// Switches the whole chip between HP and ULE mode: gates/ungates cache
+  /// ways (with the writeback/re-encode costs) and re-points the core at
+  /// the new operating point. The energy spent on the transition itself
+  /// is accumulated in mode_switch_energy_j().
+  void set_mode(power::Mode mode);
+  [[nodiscard]] power::Mode mode() const noexcept { return config_.mode; }
+  [[nodiscard]] double mode_switch_energy_j() const noexcept {
+    return mode_switch_energy_j_;
+  }
+  [[nodiscard]] std::uint64_t mode_switches() const noexcept {
+    return mode_switches_;
+  }
+
+  /// Total chip static power at the current mode (caches + core + arrays).
+  [[nodiscard]] double chip_leakage_w() const noexcept;
+
+  [[nodiscard]] cache::Cache& il1() noexcept { return *il1_; }
+  [[nodiscard]] cache::Cache& dl1() noexcept { return *dl1_; }
+  [[nodiscard]] cpu::Core& core() noexcept { return *core_; }
+  [[nodiscard]] cache::MainMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+
+  /// Total L1 area (IL1 + DL1), um^2.
+  [[nodiscard]] double l1_area_um2() const noexcept;
+
+ private:
+  void rebuild_core();
+
+  SystemConfig config_;
+  cache::MainMemory memory_;
+  Rng rng_;
+  std::unique_ptr<cache::Cache> il1_;
+  std::unique_ptr<cache::Cache> dl1_;
+  std::unique_ptr<cpu::Core> core_;
+  double mode_switch_energy_j_ = 0.0;
+  std::uint64_t mode_switches_ = 0;
+};
+
+/// Runs the methodology once and caches the plan per scenario (the sizing
+/// loop is deterministic, so this is shared across benches/tests).
+[[nodiscard]] const yield::CacheCellPlan& cell_plan_for(
+    yield::Scenario scenario);
+
+/// Convenience: build a system and run one workload.
+[[nodiscard]] cpu::RunResult run_one(const SystemConfig& config,
+                                     const std::string& workload,
+                                     std::uint64_t workload_seed = 1,
+                                     std::size_t scale = 1);
+
+}  // namespace hvc::sim

@@ -1,0 +1,83 @@
+#include "hvc/sim/duty_cycle.hpp"
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::sim {
+
+namespace {
+
+void accumulate_run(DutyCycleResult& result, const cpu::RunResult& run,
+                    bool ule) {
+  (ule ? result.ule_active_energy_j : result.hp_active_energy_j) +=
+      run.total_energy();
+  result.total_seconds += run.seconds;
+  if (ule) {
+    result.ule_seconds += run.seconds;
+  }
+  result.instructions += run.instructions;
+  result.edc_corrections += run.il1.edc_corrections + run.dl1.edc_corrections;
+  result.edc_uncorrectable += run.il1.edc_detected + run.dl1.edc_detected;
+}
+
+}  // namespace
+
+DutyCycleResult run_duty_cycle(System& system, const DutyCycleConfig& config) {
+  expects(config.cycles >= 1, "need at least one duty cycle");
+  expects(config.idle_fraction >= 0.0 && config.idle_fraction < 1.0,
+          "idle fraction must be in [0,1)");
+
+  DutyCycleResult result;
+  const auto switch_to = [&](power::Mode mode) {
+    const double before = system.mode_switch_energy_j();
+    system.set_mode(mode);
+    result.switch_energy_j += system.mode_switch_energy_j() - before;
+    // Settle time: chip leaks at the target mode while Vcc/PLL stabilise.
+    const double settle_leak =
+        system.chip_leakage_w() * config.switch_settle_s;
+    result.switch_energy_j += settle_leak;
+    result.total_seconds += config.switch_settle_s;
+    if (mode == power::Mode::kUle) {
+      result.ule_seconds += config.switch_settle_s;
+    }
+  };
+
+  for (std::size_t cycle = 0; cycle < config.cycles; ++cycle) {
+    switch_to(power::Mode::kUle);
+    double ule_active_seconds = 0.0;
+    for (const auto& phase : config.ule_phases) {
+      const auto run =
+          system.run_workload(phase.workload, phase.seed + cycle, phase.scale);
+      accumulate_run(result, run, /*ule=*/true);
+      ule_active_seconds += run.seconds;
+    }
+    // Idle stretch between samples: leakage only, at ULE mode.
+    if (config.idle_fraction > 0.0) {
+      const double idle_seconds = ule_active_seconds * config.idle_fraction /
+                                  (1.0 - config.idle_fraction);
+      result.idle_energy_j += system.chip_leakage_w() * idle_seconds;
+      result.total_seconds += idle_seconds;
+      result.ule_seconds += idle_seconds;
+    }
+
+    switch_to(power::Mode::kHp);
+    const auto burst = system.run_workload(
+        config.hp_phase.workload, config.hp_phase.seed + cycle,
+        config.hp_phase.scale);
+    accumulate_run(result, burst, /*ule=*/false);
+  }
+  // End the mission back at ULE (the resting state).
+  switch_to(power::Mode::kUle);
+  result.mode_switches = system.mode_switches();
+  return result;
+}
+
+DutyCycleResult run_duty_cycle(const DutyCycleConfig& config) {
+  SystemConfig system_config;
+  system_config.design = config.design;
+  system_config.mode = power::Mode::kUle;
+  system_config.seed = config.system_seed;
+  System system(system_config, cell_plan_for(config.design.scenario));
+  return run_duty_cycle(system, config);
+}
+
+}  // namespace hvc::sim

@@ -1,0 +1,61 @@
+#include "hvc/sim/report.hpp"
+
+#include <cstdio>
+
+#include "hvc/common/units.hpp"
+
+namespace hvc::sim {
+
+EpiBreakdown& EpiBreakdown::operator/=(double d) noexcept {
+  if (d != 0.0) {
+    l1_dynamic /= d;
+    l1_leakage /= d;
+    l1_edc /= d;
+    core_other /= d;
+  }
+  return *this;
+}
+
+EpiBreakdown epi_breakdown(const cpu::RunResult& result) {
+  EpiBreakdown out;
+  const auto instr = static_cast<double>(
+      result.instructions == 0 ? 1 : result.instructions);
+  out.l1_dynamic = result.energy.get("l1.dynamic") / instr;
+  out.l1_leakage = result.energy.get("l1.leakage") / instr;
+  out.l1_edc = result.energy.get("l1.edc") / instr;
+  out.core_other =
+      (result.energy.get("arrays.dynamic") +
+       result.energy.get("arrays.leakage") +
+       result.energy.get("core.dynamic") +
+       result.energy.get("core.leakage")) /
+      instr;
+  return out;
+}
+
+EpiRow make_epi_row(const std::string& label, const cpu::RunResult& result,
+                    double baseline_epi_total) {
+  EpiRow row;
+  row.label = label;
+  row.epi = epi_breakdown(result);
+  row.normalized =
+      baseline_epi_total > 0.0 ? row.epi.total() / baseline_epi_total : 1.0;
+  row.cpi = result.cpi();
+  return row;
+}
+
+void print_epi_table(const std::string& title,
+                     const std::vector<EpiRow>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-34s %10s %10s %10s %10s %10s %8s\n", "config", "L1.dyn",
+              "L1.leak", "EDC", "core+oth", "EPI(norm)", "CPI");
+  for (const auto& row : rows) {
+    const double total = row.epi.total();
+    const double norm = total > 0.0 ? row.normalized / total : 0.0;
+    std::printf("%-34s %10.4f %10.4f %10.4f %10.4f %10.4f %8.3f\n",
+                row.label.c_str(), row.epi.l1_dynamic * norm,
+                row.epi.l1_leakage * norm, row.epi.l1_edc * norm,
+                row.epi.core_other * norm, row.normalized, row.cpi);
+  }
+}
+
+}  // namespace hvc::sim

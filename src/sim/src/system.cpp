@@ -1,0 +1,149 @@
+#include "hvc/sim/system.hpp"
+
+#include <map>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::sim {
+
+std::string DesignChoice::label() const {
+  std::string out = "scenario";
+  out += yield::to_string(scenario);
+  out += proposed ? "/proposed" : "/baseline";
+  return out;
+}
+
+CachePlan build_cache_plan(const DesignChoice& design,
+                           const yield::CacheCellPlan& cells,
+                           std::size_t total_ways, std::size_t ule_ways,
+                           bool inject_hard_faults) {
+  expects(ule_ways >= 1 && ule_ways < total_ways,
+          "need at least one ULE way and one HP way");
+  CachePlan plan;
+  plan.ways.resize(total_ways);
+  plan.way_hard_pf.assign(total_ways, 0.0);
+
+  const bool scenario_b = design.scenario == yield::Scenario::kB;
+  const edc::Protection hp_ways_protection =
+      scenario_b ? edc::Protection::kSecded : edc::Protection::kNone;
+
+  for (std::size_t w = 0; w < total_ways; ++w) {
+    const bool is_ule = w >= total_ways - ule_ways;
+    power::WayPlan& way = plan.ways[w];
+    way.ule_way = is_ule;
+    if (!is_ule) {
+      // HP way: 6T cells, gated off at ULE.
+      way.cell = cells.hp_6t.cell;
+      way.hp_protection = hp_ways_protection;
+      way.ule_protection = hp_ways_protection;
+      continue;
+    }
+    if (!design.proposed) {
+      // Baseline ULE way: 10T sized for fault-free NST operation.
+      way.cell = cells.baseline_10t.cell;
+      way.hp_protection = hp_ways_protection;
+      way.ule_protection = hp_ways_protection;
+      if (inject_hard_faults) {
+        plan.way_hard_pf[w] = cells.baseline_10t.pf;
+      }
+    } else {
+      // Proposed ULE way: smaller 8T with the stronger code at ULE only.
+      way.cell = cells.proposed_8t.cell;
+      way.hp_protection = hp_ways_protection;
+      way.ule_protection = scenario_b ? edc::Protection::kDected
+                                      : edc::Protection::kSecded;
+      if (inject_hard_faults) {
+        plan.way_hard_pf[w] = cells.proposed_8t.pf;
+      }
+    }
+  }
+  return plan;
+}
+
+System::System(const SystemConfig& config, const yield::CacheCellPlan& cells)
+    : config_(config), rng_(config.seed) {
+  const CachePlan plan =
+      build_cache_plan(config_.design, cells, config_.org.ways,
+                       config_.ule_ways, config_.inject_hard_faults);
+
+  const auto make_cache = [&](const std::string& name, std::uint64_t salt) {
+    cache::CacheConfig cc;
+    cc.name = name;
+    cc.org = config_.org;
+    cc.ways = plan.ways;
+    cc.way_hard_pf = plan.way_hard_pf;
+    cc.write_policy = config_.write_policy;
+    cc.memory_latency_cycles = config_.memory_latency_cycles;
+    cc.hp = config_.hp;
+    cc.ule = config_.ule;
+    cc.fault_seed = config_.seed ^ salt;
+    return std::make_unique<cache::Cache>(cc, memory_, rng_);
+  };
+  il1_ = make_cache("IL1", 0x11);
+  dl1_ = make_cache("DL1", 0xDD);
+
+  il1_->set_mode(config_.mode);
+  dl1_->set_mode(config_.mode);
+  rebuild_core();
+}
+
+void System::rebuild_core() {
+  const power::OperatingPoint op =
+      config_.mode == power::Mode::kHp ? config_.hp : config_.ule;
+  core_ = std::make_unique<cpu::Core>(config_.core, *il1_, *dl1_, op);
+}
+
+void System::set_mode(power::Mode mode) {
+  if (mode == config_.mode) {
+    return;
+  }
+  // Capture the transition's cache energy (writebacks + re-encode scrub).
+  il1_->clear_energy();
+  dl1_->clear_energy();
+  il1_->set_mode(mode);
+  dl1_->set_mode(mode);
+  mode_switch_energy_j_ += il1_->energy().total() + dl1_->energy().total();
+  il1_->clear_energy();
+  dl1_->clear_energy();
+  config_.mode = mode;
+  ++mode_switches_;
+  rebuild_core();
+}
+
+double System::chip_leakage_w() const noexcept {
+  return il1_->leakage_power() + dl1_->leakage_power() +
+         core_->core_leakage_w();
+}
+
+cpu::RunResult System::run_workload(const std::string& name,
+                                    std::uint64_t seed, std::size_t scale) {
+  const wl::WorkloadInfo& info = wl::find_workload(name);
+  const wl::WorkloadResult workload = info.run(seed, scale);
+  ensure(workload.self_check, "workload self-check failed: " + name);
+  return run_trace(workload.tracer);
+}
+
+cpu::RunResult System::run_trace(const trace::Tracer& tracer) {
+  return core_->run(tracer);
+}
+
+double System::l1_area_um2() const noexcept {
+  return il1_->total_area_um2() + dl1_->total_area_um2();
+}
+
+const yield::CacheCellPlan& cell_plan_for(yield::Scenario scenario) {
+  static std::map<yield::Scenario, yield::CacheCellPlan> plans;
+  auto it = plans.find(scenario);
+  if (it == plans.end()) {
+    it = plans.emplace(scenario, yield::run_methodology(scenario)).first;
+  }
+  return it->second;
+}
+
+cpu::RunResult run_one(const SystemConfig& config, const std::string& workload,
+                       std::uint64_t workload_seed, std::size_t scale) {
+  System system(config, cell_plan_for(config.design.scenario));
+  return system.run_workload(workload, workload_seed, scale);
+}
+
+}  // namespace hvc::sim

@@ -1,0 +1,54 @@
+// 32 nm technology node description.
+//
+// The paper uses the 32 nm Predictive Technology Model (PTM) through HSPICE
+// plus a modified CACTI 6.5. We substitute an analytic device model whose
+// constants live here. Absolute values are representative of 32 nm
+// published data (PTM, CACTI); what matters for the reproduction is that
+// every trend the paper relies on (sub-threshold leakage exponentiality,
+// Pelgrom Vt mismatch scaling, linear capacitance-with-width) is present.
+#pragma once
+
+#include <cstddef>
+
+namespace hvc::tech {
+
+/// Process/technology constants for one node.
+struct TechNode {
+  // --- geometry ---
+  double feature_nm = 32.0;       ///< drawn gate length (nm)
+  double min_width_nm = 48.0;     ///< minimum transistor width (nm)
+
+  // --- electrostatics ---
+  double vdd_nominal = 1.0;       ///< nominal supply (V)
+  double vth0 = 0.42;             ///< nominal threshold voltage (V)
+  double vth_sigma_min_mv = 35.0; ///< Vt sigma for a min-size device (mV)
+  double subthreshold_n = 1.5;    ///< sub-threshold slope factor
+  double thermal_voltage = 0.026; ///< kT/q at 300 K (V)
+  double dibl = 0.08;             ///< DIBL coefficient (V/V)
+  /// Reverse narrow-channel effect: Vth drop per e-fold of width increase
+  /// (V). Makes leakage grow superlinearly with device width, which is why
+  /// the oversized 10T cells pay an outsized leakage penalty (paper IV-B2).
+  double rnce_mv_per_efold = 8.0;
+
+  // --- currents / caps (per um of width) ---
+  double ion_per_um_ua = 900.0;   ///< saturation current at vdd (uA/um)
+  double ioff_per_um_na = 2.0;    ///< off current at vdd, nominal Vt (nA/um)
+  /// Drive current at Vgs = Vth as a fraction of the full-on current;
+  /// anchors the sub-threshold exponential so near-threshold delay slows
+  /// by the ~100-200x that justifies 5 MHz ULE operation.
+  double sub_vt_anchor = 0.03;
+  double alpha_power = 1.3;       ///< alpha-power-law velocity saturation
+  double cgate_ff_per_um = 0.9;   ///< gate capacitance (fF/um)
+  double cdrain_ff_per_um = 0.6;  ///< drain/junction capacitance (fF/um)
+  double cwire_ff_per_um = 0.20;  ///< wire capacitance (fF/um of wire)
+
+  // --- SRAM cell footprints ---
+  /// 6T cell area in F^2 (F = feature size) at minimum sizing; published
+  /// 32 nm 6T cells are ~0.15-0.17 um^2 ~= 150-165 F^2.
+  double cell6t_area_f2 = 150.0;
+};
+
+/// The default node used across the reproduction (paper Section III-B).
+[[nodiscard]] const TechNode& node32();
+
+}  // namespace hvc::tech

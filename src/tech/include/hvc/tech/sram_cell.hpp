@@ -1,0 +1,118 @@
+// SRAM bitcell models: differential 6T, read-decoupled 8T and
+// Schmitt-trigger 10T (paper references [16] Morita 8T, [12] Kulkarni 10T).
+//
+// Each cell kind carries:
+//  * static margin models (read stability / writability) as linear
+//    functions of Vcc, plus per-transistor sensitivity vectors that turn
+//    threshold-voltage mismatch samples into margin shifts. Failure of a
+//    cell = any margin below zero. This is the model the Chen-style
+//    importance-sampling yield analysis (hvc::yield) evaluates.
+//  * electrical factors (switched capacitance, leakage width, area) that
+//    feed the CACTI-like array model (hvc::power).
+//
+// "size" is a single width multiplier applied to every device in the cell,
+// which is how the paper's methodology (Fig. 2) upsizes cells: Vt sigma
+// shrinks with sqrt(size) (Pelgrom), capacitance and leakage grow.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hvc/tech/transistor.hpp"
+
+namespace hvc::tech {
+
+enum class CellKind {
+  k6T,   ///< differential 6T, HP ways
+  k8T,   ///< read-decoupled 8T, proposed ULE ways
+  k10T,  ///< Schmitt-trigger 10T, baseline ULE ways
+};
+
+[[nodiscard]] std::string to_string(CellKind kind);
+
+/// Margin model: margin(vcc) = slope * (vcc - v0), failing when the
+/// mismatch-induced shift exceeds it.
+struct MarginModel {
+  double slope = 0.0;  ///< V of margin per V of supply
+  double v0 = 0.0;     ///< supply at which the nominal margin hits zero
+  /// Sensitivity of this margin to each transistor's Vt shift (unitless
+  /// weights; margin shift = -sum(weights[i] * dVt[i])).
+  std::vector<double> sensitivities;
+
+  [[nodiscard]] double mean(double vcc) const noexcept {
+    return slope * (vcc - v0);
+  }
+  /// L2 norm of the sensitivity vector: margin sigma = norm * vt_sigma.
+  [[nodiscard]] double sensitivity_norm() const noexcept;
+};
+
+/// Static description of one bitcell flavour.
+struct CellTraits {
+  CellKind kind = CellKind::k6T;
+  std::size_t transistors = 6;
+  /// Cell area at minimum sizing, relative to a minimum 6T cell.
+  double area_factor = 1.0;
+  /// Switched capacitance per access relative to 6T per unit width
+  /// (wordline + bitline + internal nodes).
+  double dynamic_cap_factor = 1.0;
+  /// Total leaking width relative to 6T per unit width multiplier.
+  double leakage_width_factor = 1.0;
+  MarginModel read;
+  MarginModel write;
+};
+
+[[nodiscard]] const CellTraits& cell_traits(CellKind kind);
+
+/// A concrete, sized bitcell instance as produced by the design
+/// methodology: a kind plus the uniform width multiplier.
+struct CellDesign {
+  CellKind kind = CellKind::k6T;
+  double size = 1.0;  ///< width multiplier >= 1
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Evaluates both margins for one Monte-Carlo sample of per-transistor Vt
+/// shifts (length must equal cell_traits(kind).transistors). Returns the
+/// worst (minimum) margin; the cell is faulty when it is negative.
+[[nodiscard]] double worst_margin(const CellDesign& cell, double vcc,
+                                  std::span<const double> vt_shifts);
+
+/// Closed-form cell hard-failure probability at `vcc`: union bound over
+/// the Gaussian read/write margin tails. Used as the fast path; the
+/// importance-sampling estimator in hvc::yield validates it.
+[[nodiscard]] double analytic_pfail(const CellDesign& cell, double vcc,
+                                    const TechNode& node = node32());
+
+/// Per-transistor Vt sigma for this cell's sizing (Pelgrom).
+[[nodiscard]] double cell_vt_sigma(const CellDesign& cell,
+                                   const TechNode& node = node32());
+
+/// Cell area in F^2. Peripheral-independent: scales linearly with the
+/// width multiplier on top of a fixed layout overhead.
+[[nodiscard]] double cell_area_f2(const CellDesign& cell,
+                                  const TechNode& node = node32());
+
+/// Electrical figures the array model consumes.
+struct CellElectrical {
+  double bitline_cap_f = 0.0;   ///< drain load added to the bitline
+  double wordline_cap_f = 0.0;  ///< gate load added to the wordline
+  double internal_cap_f = 0.0;  ///< switched internal-node capacitance
+  double leakage_a = 0.0;       ///< cell leakage current at the given vcc
+  double read_current_a = 0.0;  ///< cell drive available to the bitline
+};
+
+[[nodiscard]] CellElectrical cell_electrical(const CellDesign& cell,
+                                             double vcc,
+                                             const TechNode& node = node32());
+
+/// Soft-error rate per bit (errors/second) — scales inversely-exponentially
+/// with critical charge ~ C*Vcc, so smaller cells at lower Vcc are hit
+/// harder. Magnitudes follow the usual ~1e-3 FIT/bit ballpark at nominal.
+[[nodiscard]] double soft_error_rate_per_bit(const CellDesign& cell,
+                                             double vcc,
+                                             const TechNode& node = node32());
+
+}  // namespace hvc::tech

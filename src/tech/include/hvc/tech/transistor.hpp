@@ -1,0 +1,66 @@
+// Analytic MOSFET model: on-current (alpha-power law above threshold,
+// exponential sub-threshold conduction below), off-current with DIBL and
+// reverse narrow-channel effect, width-dependent Vt mismatch (Pelgrom).
+//
+// This is the substitution for the paper's HSPICE + 32 nm PTM stack; see
+// DESIGN.md section 2.
+#pragma once
+
+#include "hvc/tech/node.hpp"
+
+namespace hvc::tech {
+
+/// A transistor instance: width as a multiple of the node's minimum width.
+struct Device {
+  double width_mult = 1.0;
+};
+
+class TransistorModel {
+ public:
+  explicit TransistorModel(const TechNode& node) : node_(node) {}
+
+  /// Effective threshold voltage including the reverse narrow-channel
+  /// effect (wider devices have slightly lower Vt -> superlinear leakage).
+  [[nodiscard]] double vth_eff(const Device& dev) const noexcept;
+
+  /// Drive current (A) at gate/drain voltage `vcc`. Smoothly spans the
+  /// super-threshold alpha-power regime and sub-threshold exponential.
+  [[nodiscard]] double ion(const Device& dev, double vcc) const noexcept;
+
+  /// Leakage current (A) with the device nominally off at supply `vcc`.
+  [[nodiscard]] double ioff(const Device& dev, double vcc) const noexcept;
+
+  /// Gate capacitance (F).
+  [[nodiscard]] double cgate(const Device& dev) const noexcept;
+
+  /// Drain/junction capacitance (F).
+  [[nodiscard]] double cdrain(const Device& dev) const noexcept;
+
+  /// Vt mismatch sigma (V): Pelgrom scaling sigma0 / sqrt(W/Wmin).
+  [[nodiscard]] double vth_sigma(const Device& dev) const noexcept;
+
+  /// Rough gate delay (s) for driving load `cload` at supply `vcc`;
+  /// explodes exponentially below threshold, which is what forces the
+  /// 5 MHz ULE-mode frequency (paper IV-A2).
+  [[nodiscard]] double gate_delay(const Device& dev, double cload,
+                                  double vcc) const noexcept;
+
+  [[nodiscard]] const TechNode& node() const noexcept { return node_; }
+
+ private:
+  [[nodiscard]] double width_um(const Device& dev) const noexcept;
+  const TechNode& node_;
+};
+
+/// Electrical figures for a generic static CMOS gate (used for EDC
+/// encoder/decoder cost; mirrors hvc::edc::GateFigures fields).
+struct LogicFigures {
+  double switch_energy_j = 0.0;
+  double leakage_w = 0.0;
+  double delay_s = 0.0;
+};
+
+/// Figures for a 2-input XOR built from near-minimum devices at `vcc`.
+[[nodiscard]] LogicFigures xor_gate_figures(const TechNode& node, double vcc);
+
+}  // namespace hvc::tech

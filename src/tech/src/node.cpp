@@ -1,0 +1,10 @@
+#include "hvc/tech/node.hpp"
+
+namespace hvc::tech {
+
+const TechNode& node32() {
+  static const TechNode node{};
+  return node;
+}
+
+}  // namespace hvc::tech

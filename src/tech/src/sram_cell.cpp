@@ -1,0 +1,178 @@
+#include "hvc/tech/sram_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::tech {
+
+namespace {
+
+/// Standard normal upper-tail probability Q(z) = P(X > z).
+[[nodiscard]] double q_function(double z) noexcept {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+[[nodiscard]] CellTraits make_6t() {
+  CellTraits t;
+  t.kind = CellKind::k6T;
+  t.transistors = 6;
+  t.area_factor = 1.0;
+  t.dynamic_cap_factor = 1.0;
+  t.leakage_width_factor = 1.0;
+  // 6T read stability collapses quickly below ~0.7 V: margin zero at 0.35 V
+  // nominal, and the highest mismatch sensitivity of the three cells.
+  t.read = {0.26, 0.35, {0.9, -0.7, 0.5, -0.5, 0.3, -0.3}};
+  t.write = {0.34, 0.18, {0.7, -0.6, 0.5, -0.4, 0.3, -0.2}};
+  return t;
+}
+
+[[nodiscard]] CellTraits make_8t() {
+  CellTraits t;
+  t.kind = CellKind::k8T;
+  t.transistors = 8;
+  t.area_factor = 1.25;  // ~25% over 6T at iso-sizing (Morita ISLPED'07)
+  t.dynamic_cap_factor = 1.15;
+  t.leakage_width_factor = 1.25;
+  // Read-decoupled port removes read disturb: much lower v0 than 6T, but
+  // still less robust than the Schmitt-trigger cell near threshold.
+  t.read = {0.52, 0.16, {0.8, -0.6, 0.5, -0.4, 0.3, -0.3, 0.2, -0.2}};
+  t.write = {0.46, 0.14, {0.7, -0.6, 0.5, -0.5, 0.3, -0.2, 0.2, -0.1}};
+  return t;
+}
+
+[[nodiscard]] CellTraits make_10t() {
+  CellTraits t;
+  t.kind = CellKind::k10T;
+  t.transistors = 10;
+  t.area_factor = 1.7;  // Schmitt-trigger feedback devices + extra stack
+  // The ST cell's internal nodes are mostly shielded from the bitlines, so
+  // its switched capacitance grows moderately — but its feedback devices
+  // and raised internal nodes leak continuously, so the leakage penalty is
+  // steep. This is why the paper sees larger leakage savings than dynamic
+  // savings when 10T is replaced (Section IV-B2).
+  t.dynamic_cap_factor = 1.55;
+  t.leakage_width_factor = 3.0;
+  // Best read stability at near-threshold (Kulkarni ISLPED'07); writes
+  // fight the hysteresis, making the write margin the sizing-critical one
+  // at 350 mV, though still better than the other cells' margins there.
+  t.read = {0.56, 0.12,
+            {0.6, -0.5, 0.45, -0.4, 0.35, -0.3, 0.25, -0.2, 0.15, -0.1}};
+  t.write = {0.50, 0.14,
+             {0.7, -0.6, 0.45, -0.35, 0.3, -0.25, 0.2, -0.15, 0.1, -0.1}};
+  return t;
+}
+
+}  // namespace
+
+std::string to_string(CellKind kind) {
+  switch (kind) {
+    case CellKind::k6T: return "6T";
+    case CellKind::k8T: return "8T";
+    case CellKind::k10T: return "10T";
+  }
+  return "?";
+}
+
+double MarginModel::sensitivity_norm() const noexcept {
+  double sum = 0.0;
+  for (const auto s : sensitivities) {
+    sum += s * s;
+  }
+  return std::sqrt(sum);
+}
+
+const CellTraits& cell_traits(CellKind kind) {
+  static const CellTraits t6 = make_6t();
+  static const CellTraits t8 = make_8t();
+  static const CellTraits t10 = make_10t();
+  switch (kind) {
+    case CellKind::k6T: return t6;
+    case CellKind::k8T: return t8;
+    case CellKind::k10T: return t10;
+  }
+  throw PreconditionError("unknown cell kind");
+}
+
+std::string CellDesign::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s@%.2fx", tech::to_string(kind).c_str(),
+                size);
+  return buf;
+}
+
+double worst_margin(const CellDesign& cell, double vcc,
+                    std::span<const double> vt_shifts) {
+  const CellTraits& traits = cell_traits(cell.kind);
+  expects(vt_shifts.size() == traits.transistors,
+          "worst_margin: Vt shift vector size mismatch");
+  double read = traits.read.mean(vcc);
+  double write = traits.write.mean(vcc);
+  for (std::size_t i = 0; i < vt_shifts.size(); ++i) {
+    read -= traits.read.sensitivities[i] * vt_shifts[i];
+    write -= traits.write.sensitivities[i] * vt_shifts[i];
+  }
+  return std::min(read, write);
+}
+
+double cell_vt_sigma(const CellDesign& cell, const TechNode& node) {
+  expects(cell.size >= 1.0, "cell size multiplier must be >= 1");
+  return node.vth_sigma_min_mv * 1e-3 / std::sqrt(cell.size);
+}
+
+double analytic_pfail(const CellDesign& cell, double vcc,
+                      const TechNode& node) {
+  const CellTraits& traits = cell_traits(cell.kind);
+  const double sigma_vt = cell_vt_sigma(cell, node);
+  const double z_read =
+      traits.read.mean(vcc) / (traits.read.sensitivity_norm() * sigma_vt);
+  const double z_write =
+      traits.write.mean(vcc) / (traits.write.sensitivity_norm() * sigma_vt);
+  // Union bound over the two (correlated) failure modes, capped at 1.
+  return std::min(1.0, q_function(z_read) + q_function(z_write));
+}
+
+double cell_area_f2(const CellDesign& cell, const TechNode& node) {
+  const CellTraits& traits = cell_traits(cell.kind);
+  // Half the layout (wells, contacts, spacing) is fixed; the device strips
+  // scale with the width multiplier.
+  return node.cell6t_area_f2 * traits.area_factor * (0.5 + 0.5 * cell.size);
+}
+
+CellElectrical cell_electrical(const CellDesign& cell, double vcc,
+                               const TechNode& node) {
+  const CellTraits& traits = cell_traits(cell.kind);
+  const TransistorModel model(node);
+  const Device dev{cell.size};
+
+  CellElectrical e;
+  // One access-transistor drain per bitline; type factor folds in extra
+  // ports/stacks (8T read port, 10T feedback devices).
+  e.bitline_cap_f = model.cdrain(dev) * traits.dynamic_cap_factor;
+  e.wordline_cap_f = model.cgate(dev) * traits.dynamic_cap_factor;
+  e.internal_cap_f =
+      (model.cgate(dev) + model.cdrain(dev)) * traits.dynamic_cap_factor;
+  e.leakage_a = model.ioff(dev, vcc) * traits.leakage_width_factor;
+  e.read_current_a = model.ion(dev, vcc);
+  return e;
+}
+
+double soft_error_rate_per_bit(const CellDesign& cell, double vcc,
+                               const TechNode& node) {
+  const CellTraits& traits = cell_traits(cell.kind);
+  const TransistorModel model(node);
+  const Device dev{cell.size};
+  // Critical charge ~ storage-node capacitance * Vcc, normalised to a
+  // minimum 6T cell at nominal vdd.
+  const Device min_dev{1.0};
+  const double qcrit = (model.cgate(dev) + model.cdrain(dev)) *
+                       traits.dynamic_cap_factor * vcc;
+  const double qref = (model.cgate(min_dev) + model.cdrain(min_dev)) * 1.0 *
+                      node.vdd_nominal;
+  // ~1e-3 FIT/bit reference -> per-second rate, exponential in Qcrit.
+  constexpr double kRefRate = 1e-3 / (1e9 * 3600.0);
+  return kRefRate * std::exp(-(qcrit / qref - 1.0) / 0.30);
+}
+
+}  // namespace hvc::tech

@@ -1,0 +1,146 @@
+// Trace capture for workload kernels.
+//
+// The paper drives its evaluation with MediaBench programs through the
+// MPSim full-chip simulator. Our substitution: the workloads in
+// hvc::wl are real codec kernels written against *traced memory* — typed
+// arrays whose every element access is recorded — plus synthetic code
+// blocks that emit instruction-fetch streams with realistic locality
+// (small hot loops, larger cold prologues). The resulting trace is what
+// the CPU timing model replays against the IL1/DL1 simulators.
+//
+// Address map: code starts at kCodeBase, data allocations at kDataBase;
+// both grow upward and never overlap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::trace {
+
+enum class Kind : std::uint8_t {
+  kIfetch,  ///< one instruction fetch (one executed instruction)
+  kLoad,    ///< data read
+  kStore,   ///< data write
+  kBranch,  ///< control-flow marker at the end of a block (no cache access)
+};
+
+struct Record {
+  Kind kind = Kind::kIfetch;
+  bool taken = false;  ///< for kBranch: backward/taken branch
+  std::uint64_t addr = 0;
+};
+
+/// Aggregate shape of a trace (used by tests and reports).
+struct TraceStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t data_footprint_bytes = 0;
+  std::uint64_t code_footprint_bytes = 0;
+};
+
+class Tracer;
+
+/// A synthetic basic block: `instructions` sequential 4-byte instructions
+/// ending in a branch slot. Executing it emits its fetch stream.
+class Block {
+ public:
+  Block() = default;
+
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t instructions() const noexcept {
+    return instructions_;
+  }
+
+ private:
+  friend class Tracer;
+  Block(std::uint64_t base, std::size_t instructions)
+      : base_(base), instructions_(instructions) {}
+  std::uint64_t base_ = 0;
+  std::size_t instructions_ = 0;
+};
+
+/// Records every event of one kernel run.
+class Tracer {
+ public:
+  static constexpr std::uint64_t kCodeBase = 0x0040'0000;
+  static constexpr std::uint64_t kDataBase = 0x1000'0000;
+
+  Tracer() = default;
+
+  /// Lays out a new basic block in the synthetic code segment.
+  [[nodiscard]] Block block(std::size_t instructions);
+
+  /// Emits the fetch stream of `b` followed by its terminating branch.
+  /// `taken` marks loop back-edges (they cost a redirect in the core).
+  void exec(const Block& b, bool taken = false);
+
+  /// Raw data-access hooks (used by Array<T>).
+  void load(std::uint64_t addr) { records_.push_back({Kind::kLoad, false, addr}); }
+  void store(std::uint64_t addr) { records_.push_back({Kind::kStore, false, addr}); }
+
+  /// Reserves `bytes` of data address space aligned to `align`.
+  [[nodiscard]] std::uint64_t alloc_data(std::size_t bytes,
+                                         std::size_t align = 4);
+
+  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] TraceStats stats() const;
+
+  void reserve(std::size_t records) { records_.reserve(records); }
+
+ private:
+  std::vector<Record> records_;
+  std::uint64_t next_code_ = kCodeBase;
+  std::uint64_t next_data_ = kDataBase;
+};
+
+/// Typed array over traced memory: element reads/writes are recorded in
+/// the owning Tracer and backed by a real std::vector so kernels stay
+/// functionally exact.
+template <typename T>
+class Array {
+ public:
+  Array(Tracer& tracer, std::size_t count)
+      : tracer_(&tracer),
+        base_(tracer.alloc_data(count * sizeof(T), alignof(T) >= 4 ? alignof(T) : 4)),
+        storage_(count) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t addr_of(std::size_t i) const noexcept {
+    return base_ + i * sizeof(T);
+  }
+
+  /// Recorded read.
+  [[nodiscard]] T get(std::size_t i) const {
+    expects(i < storage_.size(), "Array read out of range");
+    tracer_->load(addr_of(i));
+    return storage_[i];
+  }
+
+  /// Recorded write.
+  void set(std::size_t i, T value) {
+    expects(i < storage_.size(), "Array write out of range");
+    tracer_->store(addr_of(i));
+    storage_[i] = value;
+  }
+
+  /// Un-traced access for test assertions / result checks.
+  [[nodiscard]] const std::vector<T>& raw() const noexcept { return storage_; }
+  void set_raw(std::size_t i, T value) { storage_[i] = value; }
+  [[nodiscard]] T get_raw(std::size_t i) const { return storage_[i]; }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t base_;
+  std::vector<T> storage_;
+};
+
+}  // namespace hvc::trace

@@ -1,0 +1,71 @@
+#include "hvc/trace/trace.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hvc::trace {
+
+Block Tracer::block(std::size_t instructions) {
+  expects(instructions >= 1, "a block needs at least one instruction");
+  const Block b(next_code_, instructions);
+  next_code_ += instructions * 4;
+  return b;
+}
+
+void Tracer::exec(const Block& b, bool taken) {
+  expects(b.instructions() >= 1, "cannot exec an empty block");
+  for (std::size_t i = 0; i < b.instructions(); ++i) {
+    records_.push_back({Kind::kIfetch, false, b.base() + 4 * i});
+  }
+  records_.push_back(
+      {Kind::kBranch, taken, b.base() + 4 * (b.instructions() - 1)});
+}
+
+std::uint64_t Tracer::alloc_data(std::size_t bytes, std::size_t align) {
+  expects(align > 0 && (align & (align - 1)) == 0,
+          "alignment must be a power of two");
+  next_data_ = (next_data_ + align - 1) & ~static_cast<std::uint64_t>(align - 1);
+  const std::uint64_t base = next_data_;
+  next_data_ += bytes;
+  return base;
+}
+
+TraceStats Tracer::stats() const {
+  TraceStats s;
+  std::uint64_t data_lo = ~0ULL, data_hi = 0;
+  std::uint64_t code_lo = ~0ULL, code_hi = 0;
+  for (const auto& r : records_) {
+    switch (r.kind) {
+      case Kind::kIfetch:
+        ++s.instructions;
+        code_lo = std::min(code_lo, r.addr);
+        code_hi = std::max(code_hi, r.addr + 4);
+        break;
+      case Kind::kLoad:
+        ++s.loads;
+        data_lo = std::min(data_lo, r.addr);
+        data_hi = std::max(data_hi, r.addr + 4);
+        break;
+      case Kind::kStore:
+        ++s.stores;
+        data_lo = std::min(data_lo, r.addr);
+        data_hi = std::max(data_hi, r.addr + 4);
+        break;
+      case Kind::kBranch:
+        ++s.branches;
+        if (r.taken) {
+          ++s.taken_branches;
+        }
+        break;
+    }
+  }
+  if (data_hi > data_lo) {
+    s.data_footprint_bytes = data_hi - data_lo;
+  }
+  if (code_hi > code_lo) {
+    s.code_footprint_bytes = code_hi - code_lo;
+  }
+  return s;
+}
+
+}  // namespace hvc::trace

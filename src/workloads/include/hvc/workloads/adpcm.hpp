@@ -1,0 +1,40 @@
+// IMA ADPCM codec (MediaBench adpcm_c / adpcm_d stand-in).
+//
+// Real IMA/DVI ADPCM: 16-bit PCM <-> 4-bit codes with an adaptive step
+// table and predictor. SmallBench: tiny state, streaming access pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hvc/workloads/workload.hpp"
+
+namespace hvc::wl {
+
+/// Pure (un-traced) reference used by the traced kernels and the tests.
+namespace adpcm {
+
+struct State {
+  std::int32_t predictor = 0;
+  std::int32_t index = 0;
+};
+
+/// Encodes one sample; updates state.
+[[nodiscard]] std::uint8_t encode_sample(State& state, std::int16_t sample);
+/// Decodes one 4-bit code; updates state.
+[[nodiscard]] std::int16_t decode_sample(State& state, std::uint8_t code);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    const std::vector<std::int16_t>& pcm);
+[[nodiscard]] std::vector<std::int16_t> decode(
+    const std::vector<std::uint8_t>& codes);
+
+}  // namespace adpcm
+
+/// Traced kernels (paper's adpcm_c / adpcm_d).
+[[nodiscard]] WorkloadResult run_adpcm_c(std::uint64_t seed,
+                                         std::size_t scale);
+[[nodiscard]] WorkloadResult run_adpcm_d(std::uint64_t seed,
+                                         std::size_t scale);
+
+}  // namespace hvc::wl

@@ -1,0 +1,43 @@
+// EPIC-like image codec (MediaBench epic / unepic stand-in).
+//
+// A Haar wavelet pyramid (the same structure as EPIC's QMF pyramid) with
+// uniform quantization and run-length packing of zero coefficients.
+// SmallBench: operates on a small tile with a compact working set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hvc/workloads/workload.hpp"
+
+namespace hvc::wl {
+
+namespace epic {
+
+/// Encoded stream: header (width, height, levels, qstep) + RLE symbols.
+struct Encoded {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::size_t levels = 0;
+  std::int32_t qstep = 1;
+  std::vector<std::int32_t> symbols;
+};
+
+/// Forward 2-D Haar pyramid in place over int32 coefficients.
+void forward_pyramid(std::vector<std::int32_t>& coeffs, std::size_t width,
+                     std::size_t height, std::size_t levels);
+/// Inverse of forward_pyramid.
+void inverse_pyramid(std::vector<std::int32_t>& coeffs, std::size_t width,
+                     std::size_t height, std::size_t levels);
+
+[[nodiscard]] Encoded encode(const std::vector<std::uint8_t>& image,
+                             std::size_t width, std::size_t height,
+                             std::size_t levels, std::int32_t qstep);
+[[nodiscard]] std::vector<std::uint8_t> decode(const Encoded& encoded);
+
+}  // namespace epic
+
+[[nodiscard]] WorkloadResult run_epic_c(std::uint64_t seed, std::size_t scale);
+[[nodiscard]] WorkloadResult run_epic_d(std::uint64_t seed, std::size_t scale);
+
+}  // namespace hvc::wl

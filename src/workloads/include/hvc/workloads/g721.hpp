@@ -1,0 +1,49 @@
+// G.721-style adaptive-predictive ADPCM (MediaBench g721 stand-in).
+//
+// 4-bit ADPCM with an adaptive two-pole / four-zero predictor updated by
+// sign-sign LMS with leakage, and an IMA-style adaptive quantizer. All
+// state arithmetic is integer, so the decoder reproduces the encoder's
+// local reconstruction bit-exactly — which is the self-check.
+//
+// BigBench: long streams plus predictor/table state exceed the ULE way.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hvc/workloads/workload.hpp"
+
+namespace hvc::wl {
+
+namespace g721 {
+
+struct State {
+  std::int32_t a1 = 0, a2 = 0;          ///< pole coefficients, Q14
+  std::array<std::int32_t, 4> b{};      ///< zero coefficients, Q14
+  std::int32_t sr1 = 0, sr2 = 0;        ///< reconstructed-signal history
+  std::array<std::int32_t, 4> dq{};     ///< quantized-difference history
+  std::int32_t step_index = 0;          ///< adaptive quantizer state
+};
+
+/// Predictor output for the current state (Q0).
+[[nodiscard]] std::int32_t predict(const State& state);
+
+/// Encodes one sample: returns the 4-bit code and updates state with the
+/// local reconstruction.
+[[nodiscard]] std::uint8_t encode_sample(State& state, std::int16_t sample);
+
+/// Decodes one code; returns the reconstructed sample.
+[[nodiscard]] std::int16_t decode_sample(State& state, std::uint8_t code);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    const std::vector<std::int16_t>& pcm);
+[[nodiscard]] std::vector<std::int16_t> decode(
+    const std::vector<std::uint8_t>& codes);
+
+}  // namespace g721
+
+[[nodiscard]] WorkloadResult run_g721_c(std::uint64_t seed, std::size_t scale);
+[[nodiscard]] WorkloadResult run_g721_d(std::uint64_t seed, std::size_t scale);
+
+}  // namespace hvc::wl

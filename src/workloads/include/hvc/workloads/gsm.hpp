@@ -1,0 +1,59 @@
+// GSM full-rate-style speech codec (MediaBench gsm stand-in).
+//
+// The real structure of GSM 06.10 at reduced precision: per 160-sample
+// frame, LPC analysis (autocorrelation + Levinson-Durbin), 6-bit
+// reflection-coefficient quantization, short-term lattice filtering,
+// long-term prediction (lag 40..120 search + 2-bit gain) per 40-sample
+// subframe, and regular-pulse excitation (decimation-by-3 grid, 3-bit
+// samples, block shift). All post-quantization arithmetic is integer, so
+// the decoder tracks the encoder's local reconstruction bit-exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hvc/workloads/workload.hpp"
+
+namespace hvc::wl {
+
+namespace gsm {
+
+inline constexpr std::size_t kFrameSize = 160;
+inline constexpr std::size_t kSubframes = 4;
+inline constexpr std::size_t kSubframeSize = 40;
+inline constexpr std::size_t kLpcOrder = 8;
+inline constexpr std::size_t kMinLag = 40;
+inline constexpr std::size_t kMaxLag = 120;
+inline constexpr std::size_t kPulses = 13;  // ceil(40/3)
+
+struct SubframeCode {
+  std::int32_t lag = static_cast<std::int32_t>(kMinLag);
+  std::int32_t gain_idx = 0;  ///< 2-bit LTP gain index
+  std::int32_t grid = 0;      ///< RPE grid offset 0..2
+  std::int32_t shift = 0;     ///< RPE block shift
+  std::array<std::int8_t, kPulses> pulses{};  ///< 3-bit codes [-4,3]
+};
+
+struct FrameCode {
+  std::array<std::int8_t, kLpcOrder> kq{};  ///< 6-bit reflection codes
+  std::array<SubframeCode, kSubframes> sub{};
+};
+
+struct Bitstream {
+  std::vector<FrameCode> frames;
+};
+
+/// Encodes whole frames (input truncated to a multiple of kFrameSize).
+/// `local_recon`, if non-null, receives the encoder-side reconstruction.
+[[nodiscard]] Bitstream encode(const std::vector<std::int16_t>& pcm,
+                               std::vector<std::int16_t>* local_recon = nullptr);
+
+[[nodiscard]] std::vector<std::int16_t> decode(const Bitstream& bitstream);
+
+}  // namespace gsm
+
+[[nodiscard]] WorkloadResult run_gsm_c(std::uint64_t seed, std::size_t scale);
+[[nodiscard]] WorkloadResult run_gsm_d(std::uint64_t seed, std::size_t scale);
+
+}  // namespace hvc::wl

@@ -1,0 +1,69 @@
+// MPEG-2-style intra/inter video codec (MediaBench mpeg2 stand-in).
+//
+// Real structure: 16x16 macroblocks, three-step motion search on the
+// previous *reconstructed* frame, 8x8 integer DCT of the residual,
+// uniform quantization, zigzag+RLE packing, and closed-loop reconstruction
+// (IDCT + motion compensation) so the decoder matches the encoder's
+// reference frames bit-exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hvc/workloads/workload.hpp"
+
+namespace hvc::wl {
+
+namespace mpeg2 {
+
+inline constexpr std::size_t kBlock = 8;
+inline constexpr std::size_t kMacroblock = 16;
+
+struct MacroblockCode {
+  bool intra = true;
+  std::int32_t mv_x = 0;
+  std::int32_t mv_y = 0;
+  /// Quantized coefficients of the four 8x8 blocks, zigzag order.
+  std::array<std::array<std::int16_t, kBlock * kBlock>, 4> coeffs{};
+};
+
+struct FrameCode {
+  bool intra = true;
+  std::vector<MacroblockCode> macroblocks;
+};
+
+struct Bitstream {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::int32_t qstep = 8;
+  std::vector<FrameCode> frames;
+};
+
+/// Integer 8x8 DCT/IDCT pair (Q10 fixed-point cosine table). They are not
+/// mathematical inverses to the last bit, but both sides use the same
+/// IDCT, which is what closed-loop coding requires.
+void forward_dct(const std::array<std::int32_t, kBlock * kBlock>& in,
+                 std::array<std::int32_t, kBlock * kBlock>& out);
+void inverse_dct(const std::array<std::int32_t, kBlock * kBlock>& in,
+                 std::array<std::int32_t, kBlock * kBlock>& out);
+
+/// Encodes frames (dimensions must be multiples of 16). First frame intra,
+/// rest predicted. `local_recon`, if non-null, receives the encoder-side
+/// reconstructed frames.
+[[nodiscard]] Bitstream encode(
+    const std::vector<std::vector<std::uint8_t>>& frames, std::size_t width,
+    std::size_t height, std::int32_t qstep,
+    std::vector<std::vector<std::uint8_t>>* local_recon = nullptr);
+
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> decode(
+    const Bitstream& bitstream);
+
+}  // namespace mpeg2
+
+[[nodiscard]] WorkloadResult run_mpeg2_c(std::uint64_t seed,
+                                         std::size_t scale);
+[[nodiscard]] WorkloadResult run_mpeg2_d(std::uint64_t seed,
+                                         std::size_t scale);
+
+}  // namespace hvc::wl

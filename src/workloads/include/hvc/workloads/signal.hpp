@@ -1,0 +1,36 @@
+// Deterministic synthetic input generators for the codec kernels:
+// speech-like 16-bit audio and natural-image-like 8-bit frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hvc/common/rng.hpp"
+
+namespace hvc::wl {
+
+/// Speech-like signal: sum of slowly-wandering harmonics plus noise,
+/// amplitude-modulated into syllable-like bursts. Range fits int16.
+[[nodiscard]] std::vector<std::int16_t> make_speech(std::size_t samples,
+                                                    std::uint64_t seed);
+
+/// Natural-image-like frame: smooth gradients + blobs + texture noise.
+[[nodiscard]] std::vector<std::uint8_t> make_image(std::size_t width,
+                                                   std::size_t height,
+                                                   std::uint64_t seed);
+
+/// Video: `frames` frames where content translates slowly (so motion
+/// estimation has something to find) with per-frame noise.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> make_video(
+    std::size_t width, std::size_t height, std::size_t frames,
+    std::uint64_t seed);
+
+/// Signal-to-noise ratio in dB between original and reconstruction.
+[[nodiscard]] double snr_db(const std::vector<std::int16_t>& original,
+                            const std::vector<std::int16_t>& reconstructed);
+
+/// PSNR in dB for 8-bit images.
+[[nodiscard]] double psnr_db(const std::vector<std::uint8_t>& original,
+                             const std::vector<std::uint8_t>& reconstructed);
+
+}  // namespace hvc::wl

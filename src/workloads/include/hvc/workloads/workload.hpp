@@ -1,0 +1,53 @@
+// Workload kernels standing in for MediaBench (paper Section IV-A1).
+//
+// Each kernel is a real, functionally-verified codec operating on traced
+// memory (hvc::trace), so its load/store/ifetch stream has the genuine
+// access pattern of the algorithm. Kernels come in _c (encode) and _d
+// (decode) variants like MediaBench, and are classified exactly as the
+// paper does:
+//   SmallBench (fit ~1KB working set): adpcm_c/d, epic_c/d  -> ULE mode
+//   BigBench  (need the full cache):   g721_c/d, gsm_c/d, mpeg2_c/d -> HP
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hvc/trace/trace.hpp"
+
+namespace hvc::wl {
+
+enum class BenchClass {
+  kSmall,  ///< ULE-mode workload (paper: adpcm, epic)
+  kBig,    ///< HP-mode workload (paper: g721, gsm, mpeg2)
+};
+
+[[nodiscard]] std::string to_string(BenchClass cls);
+
+/// Output of one kernel run.
+struct WorkloadResult {
+  std::string name;
+  trace::Tracer tracer;      ///< full access trace
+  bool self_check = false;   ///< functional round-trip verification
+  double fidelity_db = 0.0;  ///< SNR/PSNR of the round trip where lossy
+};
+
+/// Registry entry.
+struct WorkloadInfo {
+  std::string name;
+  BenchClass bench_class = BenchClass::kSmall;
+  /// Runs the kernel; `scale` multiplies the default problem size.
+  std::function<WorkloadResult(std::uint64_t seed, std::size_t scale)> run;
+};
+
+/// All ten kernels in paper order.
+[[nodiscard]] const std::vector<WorkloadInfo>& registry();
+
+/// Lookup by name; throws ConfigError for unknown names.
+[[nodiscard]] const WorkloadInfo& find_workload(const std::string& name);
+
+/// Names of one class, e.g. for the FIG3 (big) / FIG4 (small) benches.
+[[nodiscard]] std::vector<std::string> names_of(BenchClass cls);
+
+}  // namespace hvc::wl

@@ -1,0 +1,192 @@
+#include "hvc/workloads/adpcm.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "hvc/workloads/signal.hpp"
+
+namespace hvc::wl {
+
+namespace adpcm {
+
+namespace {
+// Standard IMA ADPCM tables.
+constexpr std::array<std::int32_t, 89> kStepTable = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr std::array<std::int32_t, 16> kIndexTable = {
+    -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+}  // namespace
+
+std::uint8_t encode_sample(State& state, std::int16_t sample) {
+  const std::int32_t step = kStepTable[static_cast<std::size_t>(state.index)];
+  std::int32_t diff = static_cast<std::int32_t>(sample) - state.predictor;
+  std::uint8_t code = 0;
+  if (diff < 0) {
+    code = 8;
+    diff = -diff;
+  }
+  std::int32_t delta = step >> 3;
+  if (diff >= step) {
+    code |= 4;
+    diff -= step;
+    delta += step;
+  }
+  if (diff >= (step >> 1)) {
+    code |= 2;
+    diff -= step >> 1;
+    delta += step >> 1;
+  }
+  if (diff >= (step >> 2)) {
+    code |= 1;
+    delta += step >> 2;
+  }
+  state.predictor += (code & 8) ? -delta : delta;
+  state.predictor = std::clamp(state.predictor, -32768, 32767);
+  state.index += kIndexTable[code];
+  state.index = std::clamp(state.index, 0, 88);
+  return code;
+}
+
+std::int16_t decode_sample(State& state, std::uint8_t code) {
+  const std::int32_t step = kStepTable[static_cast<std::size_t>(state.index)];
+  std::int32_t delta = step >> 3;
+  if (code & 4) {
+    delta += step;
+  }
+  if (code & 2) {
+    delta += step >> 1;
+  }
+  if (code & 1) {
+    delta += step >> 2;
+  }
+  state.predictor += (code & 8) ? -delta : delta;
+  state.predictor = std::clamp(state.predictor, -32768, 32767);
+  state.index += kIndexTable[code];
+  state.index = std::clamp(state.index, 0, 88);
+  return static_cast<std::int16_t>(state.predictor);
+}
+
+std::vector<std::uint8_t> encode(const std::vector<std::int16_t>& pcm) {
+  State state;
+  std::vector<std::uint8_t> out;
+  out.reserve(pcm.size());
+  for (const auto sample : pcm) {
+    out.push_back(encode_sample(state, sample));
+  }
+  return out;
+}
+
+std::vector<std::int16_t> decode(const std::vector<std::uint8_t>& codes) {
+  State state;
+  std::vector<std::int16_t> out;
+  out.reserve(codes.size());
+  for (const auto code : codes) {
+    out.push_back(decode_sample(state, code));
+  }
+  return out;
+}
+
+}  // namespace adpcm
+
+namespace {
+constexpr std::size_t kDefaultSamples = 4096;
+}
+
+WorkloadResult run_adpcm_c(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "adpcm_c";
+  const std::size_t samples = kDefaultSamples * std::max<std::size_t>(scale, 1);
+  const auto pcm = make_speech(samples, seed);
+
+  trace::Tracer& t = result.tracer;
+  t.reserve(samples * 16);
+  trace::Array<std::int16_t> in(t, samples);
+  trace::Array<std::uint8_t> out(t, samples);
+  // Step/index tables live in data memory like the real program.
+  trace::Array<std::int32_t> step_table(t, 89);
+  trace::Array<std::int32_t> index_table(t, 16);
+  for (std::size_t i = 0; i < samples; ++i) {
+    in.set_raw(i, pcm[i]);
+  }
+  // (Table contents are read through the reference implementation; the
+  // traced accesses model their cache footprint.)
+
+  const trace::Block prologue = t.block(24);
+  const trace::Block loop = t.block(30);
+  const trace::Block epilogue = t.block(12);
+
+  t.exec(prologue);
+  adpcm::State state;
+  for (std::size_t i = 0; i < samples; ++i) {
+    t.exec(loop, /*taken=*/i + 1 < samples);
+    const std::int16_t sample = in.get(i);
+    (void)step_table.get(static_cast<std::size_t>(state.index));
+    const std::uint8_t code = adpcm::encode_sample(state, sample);
+    (void)index_table.get(code);
+    out.set(i, code);
+  }
+  t.exec(epilogue);
+
+  // Self-check: decoding the produced codes reaches a sane SNR.
+  std::vector<std::uint8_t> codes(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    codes[i] = out.get_raw(i);
+  }
+  const auto reconstructed = adpcm::decode(codes);
+  result.fidelity_db = snr_db(pcm, reconstructed);
+  result.self_check = result.fidelity_db > 15.0;
+  return result;
+}
+
+WorkloadResult run_adpcm_d(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "adpcm_d";
+  const std::size_t samples = kDefaultSamples * std::max<std::size_t>(scale, 1);
+  const auto pcm = make_speech(samples, seed);
+  const auto codes = adpcm::encode(pcm);
+
+  trace::Tracer& t = result.tracer;
+  t.reserve(samples * 14);
+  trace::Array<std::uint8_t> in(t, samples);
+  trace::Array<std::int16_t> out(t, samples);
+  trace::Array<std::int32_t> step_table(t, 89);
+  trace::Array<std::int32_t> index_table(t, 16);
+  for (std::size_t i = 0; i < samples; ++i) {
+    in.set_raw(i, codes[i]);
+  }
+
+  const trace::Block prologue = t.block(20);
+  const trace::Block loop = t.block(24);
+  const trace::Block epilogue = t.block(12);
+
+  t.exec(prologue);
+  adpcm::State state;
+  for (std::size_t i = 0; i < samples; ++i) {
+    t.exec(loop, /*taken=*/i + 1 < samples);
+    const std::uint8_t code = in.get(i);
+    (void)step_table.get(static_cast<std::size_t>(state.index));
+    const std::int16_t sample = adpcm::decode_sample(state, code);
+    (void)index_table.get(code);
+    out.set(i, sample);
+  }
+  t.exec(epilogue);
+
+  std::vector<std::int16_t> reconstructed(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    reconstructed[i] = out.get_raw(i);
+  }
+  result.fidelity_db = snr_db(pcm, reconstructed);
+  result.self_check = result.fidelity_db > 15.0;
+  return result;
+}
+
+}  // namespace hvc::wl

@@ -1,0 +1,369 @@
+#include "hvc/workloads/epic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hvc/common/error.hpp"
+#include "hvc/workloads/signal.hpp"
+
+namespace hvc::wl {
+
+namespace epic {
+
+namespace {
+/// Zero-run sentinel: INT32_MIN + runlength encodes a run of zeros.
+constexpr std::int32_t kRunBase = std::numeric_limits<std::int32_t>::min();
+
+/// Lossless S-transform pair: (a,b) -> (mean, diff).
+inline void haar_fwd(std::int32_t a, std::int32_t b, std::int32_t& s,
+                     std::int32_t& d) noexcept {
+  // floor-division mean keeps the transform integer-reversible.
+  s = (a + b) >> 1;
+  d = a - b;
+}
+
+inline void haar_inv(std::int32_t s, std::int32_t d, std::int32_t& a,
+                     std::int32_t& b) noexcept {
+  a = s + ((d + 1) >> 1);
+  b = a - d;
+}
+}  // namespace
+
+void forward_pyramid(std::vector<std::int32_t>& coeffs, std::size_t width,
+                     std::size_t height, std::size_t levels) {
+  expects(coeffs.size() == width * height, "coefficient buffer size mismatch");
+  std::vector<std::int32_t> scratch(std::max(width, height));
+  for (std::size_t level = 0; level < levels; ++level) {
+    const std::size_t w = width >> level;
+    const std::size_t h = height >> level;
+    expects(w >= 2 && h >= 2 && w % 2 == 0 && h % 2 == 0,
+            "pyramid level does not divide evenly");
+    // Rows: low-pass into the left half, high-pass into the right half.
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w / 2; ++x) {
+        std::int32_t s, d;
+        haar_fwd(coeffs[y * width + 2 * x], coeffs[y * width + 2 * x + 1], s,
+                 d);
+        scratch[x] = s;
+        scratch[w / 2 + x] = d;
+      }
+      for (std::size_t x = 0; x < w; ++x) {
+        coeffs[y * width + x] = scratch[x];
+      }
+    }
+    // Columns.
+    for (std::size_t x = 0; x < w; ++x) {
+      for (std::size_t y = 0; y < h / 2; ++y) {
+        std::int32_t s, d;
+        haar_fwd(coeffs[(2 * y) * width + x], coeffs[(2 * y + 1) * width + x],
+                 s, d);
+        scratch[y] = s;
+        scratch[h / 2 + y] = d;
+      }
+      for (std::size_t y = 0; y < h; ++y) {
+        coeffs[y * width + x] = scratch[y];
+      }
+    }
+  }
+}
+
+void inverse_pyramid(std::vector<std::int32_t>& coeffs, std::size_t width,
+                     std::size_t height, std::size_t levels) {
+  expects(coeffs.size() == width * height, "coefficient buffer size mismatch");
+  std::vector<std::int32_t> scratch(std::max(width, height));
+  for (std::size_t level = levels; level-- > 0;) {
+    const std::size_t w = width >> level;
+    const std::size_t h = height >> level;
+    // Columns first (reverse of forward order).
+    for (std::size_t x = 0; x < w; ++x) {
+      for (std::size_t y = 0; y < h; ++y) {
+        scratch[y] = coeffs[y * width + x];
+      }
+      for (std::size_t y = 0; y < h / 2; ++y) {
+        std::int32_t a, b;
+        haar_inv(scratch[y], scratch[h / 2 + y], a, b);
+        coeffs[(2 * y) * width + x] = a;
+        coeffs[(2 * y + 1) * width + x] = b;
+      }
+    }
+    // Rows.
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        scratch[x] = coeffs[y * width + x];
+      }
+      for (std::size_t x = 0; x < w / 2; ++x) {
+        std::int32_t a, b;
+        haar_inv(scratch[x], scratch[w / 2 + x], a, b);
+        coeffs[y * width + 2 * x] = a;
+        coeffs[y * width + 2 * x + 1] = b;
+      }
+    }
+  }
+}
+
+Encoded encode(const std::vector<std::uint8_t>& image, std::size_t width,
+               std::size_t height, std::size_t levels, std::int32_t qstep) {
+  expects(qstep >= 1, "quantizer step must be >= 1");
+  Encoded out;
+  out.width = width;
+  out.height = height;
+  out.levels = levels;
+  out.qstep = qstep;
+
+  std::vector<std::int32_t> coeffs(width * height);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    coeffs[i] = static_cast<std::int32_t>(image[i]);
+  }
+  forward_pyramid(coeffs, width, height, levels);
+
+  std::int32_t zero_run = 0;
+  for (const auto c : coeffs) {
+    // Symmetric round-to-nearest quantization.
+    const std::int32_t q =
+        c >= 0 ? (c + qstep / 2) / qstep : -((-c + qstep / 2) / qstep);
+    if (q == 0) {
+      ++zero_run;
+      continue;
+    }
+    if (zero_run > 0) {
+      out.symbols.push_back(kRunBase + zero_run);
+      zero_run = 0;
+    }
+    out.symbols.push_back(q);
+  }
+  if (zero_run > 0) {
+    out.symbols.push_back(kRunBase + zero_run);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decode(const Encoded& encoded) {
+  std::vector<std::int32_t> coeffs;
+  coeffs.reserve(encoded.width * encoded.height);
+  for (const auto symbol : encoded.symbols) {
+    if (symbol < kRunBase + (1 << 30)) {  // zero-run sentinel range
+      const std::int32_t run = symbol - kRunBase;
+      coeffs.insert(coeffs.end(), static_cast<std::size_t>(run), 0);
+    } else {
+      coeffs.push_back(symbol * encoded.qstep);
+    }
+  }
+  ensure(coeffs.size() == encoded.width * encoded.height,
+         "epic decode: coefficient count mismatch");
+  inverse_pyramid(coeffs, encoded.width, encoded.height, encoded.levels);
+  std::vector<std::uint8_t> image(coeffs.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    image[i] = static_cast<std::uint8_t>(std::clamp(coeffs[i], 0, 255));
+  }
+  return image;
+}
+
+}  // namespace epic
+
+namespace {
+constexpr std::size_t kTile = 16;     // SmallBench: ~1KB coefficient tile
+constexpr std::size_t kLevels = 2;
+constexpr std::int32_t kQstep = 4;
+constexpr std::size_t kTiles = 8;     // number of tiles processed per run
+
+/// Traced forward pyramid over an Array<int32_t> tile.
+void traced_forward(trace::Tracer& t, trace::Array<std::int32_t>& coeffs,
+                    trace::Array<std::int32_t>& scratch, std::size_t width,
+                    std::size_t height, std::size_t levels,
+                    const trace::Block& pair_block) {
+  for (std::size_t level = 0; level < levels; ++level) {
+    const std::size_t w = width >> level;
+    const std::size_t h = height >> level;
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w / 2; ++x) {
+        t.exec(pair_block, x + 1 < w / 2);
+        const std::int32_t a = coeffs.get(y * width + 2 * x);
+        const std::int32_t b = coeffs.get(y * width + 2 * x + 1);
+        scratch.set(x, (a + b) >> 1);
+        scratch.set(w / 2 + x, a - b);
+      }
+      for (std::size_t x = 0; x < w; ++x) {
+        coeffs.set(y * width + x, scratch.get(x));
+      }
+    }
+    for (std::size_t x = 0; x < w; ++x) {
+      for (std::size_t y = 0; y < h / 2; ++y) {
+        t.exec(pair_block, y + 1 < h / 2);
+        const std::int32_t a = coeffs.get((2 * y) * width + x);
+        const std::int32_t b = coeffs.get((2 * y + 1) * width + x);
+        scratch.set(y, (a + b) >> 1);
+        scratch.set(h / 2 + y, a - b);
+      }
+      for (std::size_t y = 0; y < h; ++y) {
+        coeffs.set(y * width + x, scratch.get(y));
+      }
+    }
+  }
+}
+}  // namespace
+
+WorkloadResult run_epic_c(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "epic_c";
+  const std::size_t tiles = kTiles * std::max<std::size_t>(scale, 1);
+
+  trace::Tracer& t = result.tracer;
+  trace::Array<std::uint8_t> input(t, kTile * kTile);
+  trace::Array<std::int32_t> coeffs(t, kTile * kTile);
+  trace::Array<std::int32_t> scratch(t, kTile);
+  trace::Array<std::int32_t> symbols(t, kTile * kTile + 8);
+  const trace::Block prologue = t.block(32);
+  const trace::Block copy_block = t.block(6);
+  const trace::Block pair_block = t.block(12);
+  const trace::Block quant_block = t.block(10);
+
+  bool all_ok = true;
+  double worst_psnr = 1e9;
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    const auto image = make_image(kTile, kTile, seed + tile);
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      input.set_raw(i, image[i]);
+    }
+
+    t.exec(prologue);
+    for (std::size_t i = 0; i < kTile * kTile; ++i) {
+      t.exec(copy_block, i + 1 < kTile * kTile);
+      coeffs.set(i, static_cast<std::int32_t>(input.get(i)));
+    }
+    traced_forward(t, coeffs, scratch, kTile, kTile, kLevels, pair_block);
+
+    // Quantize + RLE into the symbol buffer.
+    std::size_t cursor = 0;
+    std::int32_t zero_run = 0;
+    for (std::size_t i = 0; i < kTile * kTile; ++i) {
+      t.exec(quant_block, i + 1 < kTile * kTile);
+      const std::int32_t c = coeffs.get(i);
+      const std::int32_t q =
+          c >= 0 ? (c + kQstep / 2) / kQstep : -((-c + kQstep / 2) / kQstep);
+      if (q == 0) {
+        ++zero_run;
+        continue;
+      }
+      if (zero_run > 0) {
+        symbols.set(cursor++, std::numeric_limits<std::int32_t>::min() + zero_run);
+        zero_run = 0;
+      }
+      symbols.set(cursor++, q);
+    }
+    if (zero_run > 0) {
+      symbols.set(cursor++, std::numeric_limits<std::int32_t>::min() + zero_run);
+    }
+
+    // Self-check: the symbols match the reference encoder, and the
+    // reference decoder reconstructs the tile with sane quality.
+    const epic::Encoded reference =
+        epic::encode(image, kTile, kTile, kLevels, kQstep);
+    bool match = reference.symbols.size() == cursor;
+    for (std::size_t i = 0; match && i < cursor; ++i) {
+      match = reference.symbols[i] == symbols.get_raw(i);
+    }
+    const auto reconstructed = epic::decode(reference);
+    const double psnr = psnr_db(image, reconstructed);
+    worst_psnr = std::min(worst_psnr, psnr);
+    all_ok = all_ok && match && psnr > 25.0;
+  }
+  result.fidelity_db = worst_psnr;
+  result.self_check = all_ok;
+  return result;
+}
+
+WorkloadResult run_epic_d(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "epic_d";
+  const std::size_t tiles = kTiles * std::max<std::size_t>(scale, 1);
+
+  trace::Tracer& t = result.tracer;
+  trace::Array<std::int32_t> symbols(t, kTile * kTile + 8);
+  trace::Array<std::int32_t> coeffs(t, kTile * kTile);
+  trace::Array<std::int32_t> scratch(t, kTile);
+  trace::Array<std::uint8_t> output(t, kTile * kTile);
+  const trace::Block prologue = t.block(28);
+  const trace::Block unpack_block = t.block(9);
+  const trace::Block pair_block = t.block(14);
+  const trace::Block clamp_block = t.block(7);
+
+  bool all_ok = true;
+  double worst_psnr = 1e9;
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    const auto image = make_image(kTile, kTile, seed + tile);
+    const epic::Encoded encoded =
+        epic::encode(image, kTile, kTile, kLevels, kQstep);
+    for (std::size_t i = 0; i < encoded.symbols.size(); ++i) {
+      symbols.set_raw(i, encoded.symbols[i]);
+    }
+
+    t.exec(prologue);
+    // Unpack RLE symbols and dequantize.
+    std::size_t out_pos = 0;
+    for (std::size_t i = 0; i < encoded.symbols.size(); ++i) {
+      t.exec(unpack_block, i + 1 < encoded.symbols.size());
+      const std::int32_t symbol = symbols.get(i);
+      if (symbol < std::numeric_limits<std::int32_t>::min() + (1 << 30)) {
+        const std::int32_t run =
+            symbol - std::numeric_limits<std::int32_t>::min();
+        for (std::int32_t z = 0; z < run; ++z) {
+          coeffs.set(out_pos++, 0);
+        }
+      } else {
+        coeffs.set(out_pos++, symbol * kQstep);
+      }
+    }
+
+    // Traced inverse pyramid.
+    for (std::size_t level = kLevels; level-- > 0;) {
+      const std::size_t w = kTile >> level;
+      const std::size_t h = kTile >> level;
+      for (std::size_t x = 0; x < w; ++x) {
+        for (std::size_t y = 0; y < h; ++y) {
+          scratch.set(y % kTile, coeffs.get(y * kTile + x));
+        }
+        for (std::size_t y = 0; y < h / 2; ++y) {
+          t.exec(pair_block, y + 1 < h / 2);
+          const std::int32_t s = scratch.get(y);
+          const std::int32_t d = scratch.get(h / 2 + y);
+          const std::int32_t a = s + ((d + 1) >> 1);
+          coeffs.set((2 * y) * kTile + x, a);
+          coeffs.set((2 * y + 1) * kTile + x, a - d);
+        }
+      }
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          scratch.set(x % kTile, coeffs.get(y * kTile + x));
+        }
+        for (std::size_t x = 0; x < w / 2; ++x) {
+          t.exec(pair_block, x + 1 < w / 2);
+          const std::int32_t s = scratch.get(x);
+          const std::int32_t d = scratch.get(w / 2 + x);
+          const std::int32_t a = s + ((d + 1) >> 1);
+          coeffs.set(y * kTile + 2 * x, a);
+          coeffs.set(y * kTile + 2 * x + 1, a - d);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < kTile * kTile; ++i) {
+      t.exec(clamp_block, i + 1 < kTile * kTile);
+      output.set(i, static_cast<std::uint8_t>(
+                        std::clamp(coeffs.get(i), 0, 255)));
+    }
+
+    // Self-check: traced decode matches the reference decoder bit-exactly.
+    const auto reference = epic::decode(encoded);
+    bool match = true;
+    for (std::size_t i = 0; match && i < reference.size(); ++i) {
+      match = reference[i] == output.get_raw(i);
+    }
+    const double psnr = psnr_db(image, reference);
+    worst_psnr = std::min(worst_psnr, psnr);
+    all_ok = all_ok && match && psnr > 25.0;
+  }
+  result.fidelity_db = worst_psnr;
+  result.self_check = all_ok;
+  return result;
+}
+
+}  // namespace hvc::wl

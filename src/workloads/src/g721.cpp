@@ -1,0 +1,281 @@
+#include "hvc/workloads/g721.hpp"
+
+#include <algorithm>
+
+#include "hvc/workloads/signal.hpp"
+
+namespace hvc::wl {
+
+namespace g721 {
+
+namespace {
+// Quantizer step table shared with IMA ADPCM (public-domain constants).
+constexpr std::array<std::int32_t, 89> kStepTable = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr std::array<std::int32_t, 16> kIndexTable = {
+    -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+
+[[nodiscard]] constexpr std::int32_t sign(std::int32_t x) noexcept {
+  return x > 0 ? 1 : (x < 0 ? -1 : 0);
+}
+
+/// Quantizes difference `d` against `step`; returns code and the exactly
+/// reproducible dequantized value via `dq_out`.
+[[nodiscard]] std::uint8_t quantize(std::int32_t d, std::int32_t step,
+                                    std::int32_t& dq_out) {
+  std::uint8_t code = 0;
+  std::int32_t magnitude = d;
+  if (d < 0) {
+    code = 8;
+    magnitude = -d;
+  }
+  std::int32_t dq = step >> 3;
+  if (magnitude >= step) {
+    code |= 4;
+    magnitude -= step;
+    dq += step;
+  }
+  if (magnitude >= (step >> 1)) {
+    code |= 2;
+    magnitude -= step >> 1;
+    dq += step >> 1;
+  }
+  if (magnitude >= (step >> 2)) {
+    code |= 1;
+    dq += step >> 2;
+  }
+  dq_out = (code & 8) ? -dq : dq;
+  return code;
+}
+
+[[nodiscard]] std::int32_t dequantize(std::uint8_t code, std::int32_t step) {
+  std::int32_t dq = step >> 3;
+  if (code & 4) {
+    dq += step;
+  }
+  if (code & 2) {
+    dq += step >> 1;
+  }
+  if (code & 1) {
+    dq += step >> 2;
+  }
+  return (code & 8) ? -dq : dq;
+}
+
+/// Shared state update from the dequantized difference: predictor
+/// adaptation, reconstruction, quantizer adaptation. Identical on both
+/// sides -> bit-exact decoder.
+std::int16_t update(State& state, std::int32_t dq, std::int32_t pred,
+                    std::uint8_t code) {
+  std::int32_t recon = pred + dq;
+  recon = std::clamp(recon, -32768, 32767);
+
+  // Sign-sign LMS with leakage on the zero section.
+  for (std::size_t i = 0; i < state.b.size(); ++i) {
+    state.b[i] += -(state.b[i] >> 8) + (sign(dq) * sign(state.dq[i]) << 7);
+    state.b[i] = std::clamp(state.b[i], -0x3000, 0x3000);
+  }
+  // Pole section adapts on the sign of the reconstructed-signal slope.
+  const std::int32_t d1 = recon - state.sr1;
+  const std::int32_t d2 = state.sr1 - state.sr2;
+  state.a1 += -(state.a1 >> 8) + (sign(d1) * sign(d2) << 6);
+  state.a1 = std::clamp(state.a1, -0x3000, 0x3000);  // |a1| <= 0.75
+  state.a2 += -(state.a2 >> 8) + (sign(d1) * sign(recon - state.sr2) << 5);
+  state.a2 = std::clamp(state.a2, -0x1800, 0x1800);  // |a2| <= 0.375
+
+  // Shift histories.
+  for (std::size_t i = state.dq.size(); i-- > 1;) {
+    state.dq[i] = state.dq[i - 1];
+  }
+  state.dq[0] = dq;
+  state.sr2 = state.sr1;
+  state.sr1 = recon;
+
+  // Quantizer adaptation.
+  state.step_index += kIndexTable[code];
+  state.step_index = std::clamp(state.step_index, 0, 88);
+  return static_cast<std::int16_t>(recon);
+}
+
+}  // namespace
+
+std::int32_t predict(const State& state) {
+  std::int64_t acc = static_cast<std::int64_t>(state.a1) * state.sr1 +
+                     static_cast<std::int64_t>(state.a2) * state.sr2;
+  for (std::size_t i = 0; i < state.b.size(); ++i) {
+    acc += static_cast<std::int64_t>(state.b[i]) * state.dq[i];
+  }
+  return static_cast<std::int32_t>(acc >> 14);
+}
+
+std::uint8_t encode_sample(State& state, std::int16_t sample) {
+  const std::int32_t pred = predict(state);
+  const std::int32_t step =
+      kStepTable[static_cast<std::size_t>(state.step_index)];
+  std::int32_t dq = 0;
+  const std::uint8_t code =
+      quantize(static_cast<std::int32_t>(sample) - pred, step, dq);
+  (void)update(state, dq, pred, code);
+  return code;
+}
+
+std::int16_t decode_sample(State& state, std::uint8_t code) {
+  const std::int32_t pred = predict(state);
+  const std::int32_t step =
+      kStepTable[static_cast<std::size_t>(state.step_index)];
+  const std::int32_t dq = dequantize(code, step);
+  return update(state, dq, pred, code);
+}
+
+std::vector<std::uint8_t> encode(const std::vector<std::int16_t>& pcm) {
+  State state;
+  std::vector<std::uint8_t> out;
+  out.reserve(pcm.size());
+  for (const auto sample : pcm) {
+    out.push_back(encode_sample(state, sample));
+  }
+  return out;
+}
+
+std::vector<std::int16_t> decode(const std::vector<std::uint8_t>& codes) {
+  State state;
+  std::vector<std::int16_t> out;
+  out.reserve(codes.size());
+  for (const auto code : codes) {
+    out.push_back(decode_sample(state, code));
+  }
+  return out;
+}
+
+}  // namespace g721
+
+namespace {
+constexpr std::size_t kDefaultSamples = 24576;  // ~48KB stream: BigBench
+}
+
+WorkloadResult run_g721_c(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "g721_c";
+  const std::size_t samples = kDefaultSamples * std::max<std::size_t>(scale, 1);
+  const auto pcm = make_speech(samples, seed);
+
+  trace::Tracer& t = result.tracer;
+  t.reserve(samples * 30);
+  trace::Array<std::int16_t> in(t, samples);
+  trace::Array<std::uint8_t> out(t, samples);
+  trace::Array<std::int32_t> step_table(t, 89);
+  trace::Array<std::int32_t> coeffs(t, 6);   // predictor coefficients
+  trace::Array<std::int32_t> history(t, 6);  // sr/dq histories
+  for (std::size_t i = 0; i < samples; ++i) {
+    in.set_raw(i, pcm[i]);
+  }
+
+  const trace::Block prologue = t.block(40);
+  const trace::Block predict_block = t.block(18);
+  const trace::Block quant_block = t.block(22);
+  const trace::Block adapt_block = t.block(26);
+
+  t.exec(prologue);
+  g721::State state;
+  for (std::size_t i = 0; i < samples; ++i) {
+    t.exec(predict_block, false);
+    // Predictor state traffic.
+    for (std::size_t c = 0; c < 6; ++c) {
+      (void)coeffs.get(c);
+      (void)history.get(c);
+    }
+    const std::int16_t sample = in.get(i);
+    t.exec(quant_block, false);
+    (void)step_table.get(static_cast<std::size_t>(state.step_index));
+    const std::uint8_t code = g721::encode_sample(state, sample);
+    out.set(i, code);
+    t.exec(adapt_block, i + 1 < samples);
+    for (std::size_t c = 0; c < 6; ++c) {
+      coeffs.set(c, 0);
+      history.set(c, 0);
+    }
+  }
+
+  std::vector<std::uint8_t> codes(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    codes[i] = out.get_raw(i);
+  }
+  const auto reconstructed = g721::decode(codes);
+  result.fidelity_db = snr_db(pcm, reconstructed);
+  result.self_check = result.fidelity_db > 12.0;
+  return result;
+}
+
+WorkloadResult run_g721_d(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "g721_d";
+  const std::size_t samples = kDefaultSamples * std::max<std::size_t>(scale, 1);
+  const auto pcm = make_speech(samples, seed);
+
+  // Reference encode, capturing the encoder's local reconstruction.
+  g721::State enc_state;
+  std::vector<std::uint8_t> codes(samples);
+  std::vector<std::int16_t> enc_recon(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    codes[i] = g721::encode_sample(enc_state, pcm[i]);
+    enc_recon[i] = static_cast<std::int16_t>(enc_state.sr1);
+  }
+
+  trace::Tracer& t = result.tracer;
+  t.reserve(samples * 26);
+  trace::Array<std::uint8_t> in(t, samples);
+  trace::Array<std::int16_t> out(t, samples);
+  trace::Array<std::int32_t> step_table(t, 89);
+  trace::Array<std::int32_t> coeffs(t, 6);
+  trace::Array<std::int32_t> history(t, 6);
+  for (std::size_t i = 0; i < samples; ++i) {
+    in.set_raw(i, codes[i]);
+  }
+
+  const trace::Block prologue = t.block(36);
+  const trace::Block predict_block = t.block(18);
+  const trace::Block dequant_block = t.block(16);
+  const trace::Block adapt_block = t.block(26);
+
+  t.exec(prologue);
+  g721::State state;
+  bool exact = true;
+  for (std::size_t i = 0; i < samples; ++i) {
+    t.exec(predict_block, false);
+    for (std::size_t c = 0; c < 6; ++c) {
+      (void)coeffs.get(c);
+      (void)history.get(c);
+    }
+    const std::uint8_t code = in.get(i);
+    t.exec(dequant_block, false);
+    (void)step_table.get(static_cast<std::size_t>(state.step_index));
+    const std::int16_t sample = g721::decode_sample(state, code);
+    out.set(i, sample);
+    t.exec(adapt_block, i + 1 < samples);
+    for (std::size_t c = 0; c < 6; ++c) {
+      coeffs.set(c, 0);
+      history.set(c, 0);
+    }
+    exact = exact && sample == enc_recon[i];
+  }
+
+  std::vector<std::int16_t> reconstructed(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    reconstructed[i] = out.get_raw(i);
+  }
+  result.fidelity_db = snr_db(pcm, reconstructed);
+  // Decoder must track the encoder's local reconstruction bit-exactly.
+  result.self_check = exact && result.fidelity_db > 12.0;
+  return result;
+}
+
+}  // namespace hvc::wl

@@ -1,0 +1,508 @@
+#include "hvc/workloads/gsm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+#include "hvc/workloads/signal.hpp"
+
+namespace hvc::wl {
+
+namespace gsm {
+
+namespace {
+
+/// LTP gain quantization levels in Q6 (~0.1, 0.35, 0.65, 0.9).
+constexpr std::array<std::int32_t, 4> kLtpGainQ6 = {6, 22, 42, 58};
+
+[[nodiscard]] std::int32_t mul_q15(std::int32_t a, std::int32_t b) noexcept {
+  return static_cast<std::int32_t>(
+      (static_cast<std::int64_t>(a) * b) >> 15);
+}
+
+/// Levinson-Durbin on autocorrelation -> reflection coefficients (double).
+[[nodiscard]] std::array<double, kLpcOrder> reflection_coeffs(
+    const std::array<double, kLpcOrder + 1>& acf) {
+  std::array<double, kLpcOrder> k{};
+  if (acf[0] <= 0.0) {
+    return k;  // silent frame
+  }
+  std::array<double, kLpcOrder + 1> a{};
+  double err = acf[0];
+  for (std::size_t m = 1; m <= kLpcOrder; ++m) {
+    double acc = acf[m];
+    for (std::size_t i = 1; i < m; ++i) {
+      acc -= a[i] * acf[m - i];
+    }
+    double km = err > 1e-9 ? acc / err : 0.0;
+    km = std::clamp(km, -0.98, 0.98);
+    k[m - 1] = km;
+    std::array<double, kLpcOrder + 1> next = a;
+    next[m] = km;
+    for (std::size_t i = 1; i < m; ++i) {
+      next[i] = a[i] - km * a[m - i];
+    }
+    a = next;
+    err *= (1.0 - km * km);
+  }
+  return k;
+}
+
+/// 6-bit quantization of a reflection coefficient (Q15 semantics).
+[[nodiscard]] std::int8_t quantize_k(double k) noexcept {
+  const auto scaled = static_cast<std::int32_t>(std::lround(k * 32768.0));
+  return static_cast<std::int8_t>(std::clamp(scaled >> 10, -31, 31));
+}
+
+[[nodiscard]] std::int32_t dequantize_k(std::int8_t kq) noexcept {
+  return static_cast<std::int32_t>(kq) << 10;  // Q15
+}
+
+/// Short-term analysis lattice over one frame (state carried across
+/// frames), producing the residual.
+struct AnalysisState {
+  std::array<std::int32_t, kLpcOrder> u{};
+};
+
+void analysis_filter(AnalysisState& state,
+                     const std::array<std::int32_t, kLpcOrder>& rp,
+                     const std::int16_t* input, std::int32_t* residual,
+                     std::size_t count) {
+  for (std::size_t n = 0; n < count; ++n) {
+    std::int32_t di = input[n];
+    std::int32_t sav = di;
+    for (std::size_t i = 0; i < kLpcOrder; ++i) {
+      const std::int32_t temp = state.u[i] + mul_q15(rp[i], di);
+      di += mul_q15(rp[i], state.u[i]);
+      state.u[i] = sav;
+      sav = temp;
+    }
+    residual[n] = std::clamp(di, -32768, 32767);
+  }
+}
+
+/// Short-term synthesis lattice (the exact decoder-side inverse path).
+struct SynthesisState {
+  std::array<std::int32_t, kLpcOrder + 1> v{};
+};
+
+void synthesis_filter(SynthesisState& state,
+                      const std::array<std::int32_t, kLpcOrder>& rp,
+                      const std::int32_t* residual, std::int16_t* output,
+                      std::size_t count) {
+  for (std::size_t n = 0; n < count; ++n) {
+    std::int32_t sri = residual[n];
+    for (std::size_t i = kLpcOrder; i-- > 0;) {
+      sri -= mul_q15(rp[i], state.v[i]);
+      state.v[i + 1] = state.v[i] + mul_q15(rp[i], sri);
+    }
+    state.v[0] = sri;
+    output[n] = static_cast<std::int16_t>(std::clamp(sri, -32768, 32767));
+  }
+}
+
+/// Long-term history: reconstructed residual of the previous kMaxLag
+/// samples relative to the current subframe start.
+struct LtpHistory {
+  std::array<std::int32_t, kMaxLag> past{};  // past[kMaxLag-1] = newest
+
+  [[nodiscard]] std::int32_t at_lag(std::size_t lag, std::size_t i) const {
+    // Sample i of a segment starting `lag` samples in the past. For
+    // i >= lag the reference wraps onto the current (already
+    // reconstructed) part; GSM avoids that by lag >= kMinLag = subframe.
+    return past[kMaxLag - lag + i];
+  }
+
+  void push(const std::int32_t* recon, std::size_t count) {
+    // Shift left by count and append.
+    for (std::size_t i = 0; i + count < kMaxLag; ++i) {
+      past[i] = past[i + count];
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      past[kMaxLag - count + i] = recon[i];
+    }
+  }
+};
+
+/// Decodes one subframe's reconstructed residual from its code (shared by
+/// encoder local reconstruction and decoder -> bit-exact by construction).
+void reconstruct_subframe(const SubframeCode& code, const LtpHistory& history,
+                          std::int32_t* recon) {
+  const std::int32_t gain = kLtpGainQ6[static_cast<std::size_t>(code.gain_idx)];
+  for (std::size_t i = 0; i < kSubframeSize; ++i) {
+    const std::int32_t pred =
+        (gain * history.at_lag(static_cast<std::size_t>(code.lag), i)) >> 6;
+    recon[i] = pred;
+  }
+  for (std::size_t p = 0; p < kPulses; ++p) {
+    const std::size_t pos = static_cast<std::size_t>(code.grid) + 3 * p;
+    if (pos < kSubframeSize) {
+      recon[pos] += static_cast<std::int32_t>(code.pulses[p]) << code.shift;
+    }
+  }
+  for (std::size_t i = 0; i < kSubframeSize; ++i) {
+    recon[i] = std::clamp(recon[i], -32768, 32767);
+  }
+}
+
+}  // namespace
+
+Bitstream encode(const std::vector<std::int16_t>& pcm,
+                 std::vector<std::int16_t>* local_recon) {
+  Bitstream stream;
+  const std::size_t frames = pcm.size() / kFrameSize;
+  stream.frames.reserve(frames);
+  if (local_recon != nullptr) {
+    local_recon->assign(frames * kFrameSize, 0);
+  }
+
+  AnalysisState analysis;
+  SynthesisState synthesis;
+  LtpHistory history;
+
+  std::array<std::int32_t, kFrameSize> residual{};
+  std::array<std::int32_t, kFrameSize> recon_residual{};
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::int16_t* frame = pcm.data() + f * kFrameSize;
+    FrameCode code;
+
+    // --- LPC analysis ---
+    std::array<double, kLpcOrder + 1> acf{};
+    for (std::size_t lag = 0; lag <= kLpcOrder; ++lag) {
+      double acc = 0.0;
+      for (std::size_t i = lag; i < kFrameSize; ++i) {
+        acc += static_cast<double>(frame[i]) *
+               static_cast<double>(frame[i - lag]);
+      }
+      acf[lag] = acc;
+    }
+    const auto k = reflection_coeffs(acf);
+    std::array<std::int32_t, kLpcOrder> rp{};
+    for (std::size_t i = 0; i < kLpcOrder; ++i) {
+      // The GSM lattice convention needs the negated PARCOR coefficients
+      // relative to our Levinson recursion (verified by prediction gain).
+      code.kq[i] = quantize_k(-k[i]);
+      rp[i] = dequantize_k(code.kq[i]);
+    }
+
+    // --- short-term residual ---
+    analysis_filter(analysis, rp, frame, residual.data(), kFrameSize);
+
+    // --- per-subframe LTP + RPE ---
+    for (std::size_t sf = 0; sf < kSubframes; ++sf) {
+      SubframeCode& sub = code.sub[sf];
+      const std::int32_t* d = residual.data() + sf * kSubframeSize;
+
+      // LTP lag search: maximize normalized cross-correlation.
+      std::int64_t best_score_num = 0;
+      std::int64_t best_score_den = 1;
+      std::size_t best_lag = kMinLag;
+      for (std::size_t lag = kMinLag; lag <= kMaxLag; ++lag) {
+        std::int64_t corr = 0;
+        std::int64_t energy = 0;
+        for (std::size_t i = 0; i < kSubframeSize; ++i) {
+          const std::int64_t h = history.at_lag(lag, i);
+          corr += static_cast<std::int64_t>(d[i]) * h;
+          energy += h * h;
+        }
+        if (corr <= 0 || energy == 0) {
+          continue;
+        }
+        // Compare corr^2/energy without division:
+        if (corr * corr * best_score_den > best_score_num * energy) {
+          best_score_num = corr * corr;
+          best_score_den = energy;
+          best_lag = lag;
+        }
+      }
+      sub.lag = static_cast<std::int32_t>(best_lag);
+
+      // Gain: corr/energy quantized to the nearest of 4 levels.
+      std::int64_t corr = 0, energy = 0;
+      for (std::size_t i = 0; i < kSubframeSize; ++i) {
+        const std::int64_t h = history.at_lag(best_lag, i);
+        corr += static_cast<std::int64_t>(d[i]) * h;
+        energy += h * h;
+      }
+      double gain = energy > 0 ? static_cast<double>(corr) /
+                                     static_cast<double>(energy)
+                               : 0.0;
+      gain = std::clamp(gain, 0.0, 1.0);
+      std::size_t gain_idx = 0;
+      double best_err = 1e9;
+      for (std::size_t g = 0; g < kLtpGainQ6.size(); ++g) {
+        const double err =
+            std::fabs(gain - static_cast<double>(kLtpGainQ6[g]) / 64.0);
+        if (err < best_err) {
+          best_err = err;
+          gain_idx = g;
+        }
+      }
+      sub.gain_idx = static_cast<std::int32_t>(gain_idx);
+
+      // LTP residual.
+      std::array<std::int32_t, kSubframeSize> e{};
+      const std::int32_t gq = kLtpGainQ6[gain_idx];
+      for (std::size_t i = 0; i < kSubframeSize; ++i) {
+        e[i] = d[i] - ((gq * history.at_lag(best_lag, i)) >> 6);
+      }
+
+      // RPE grid selection: the decimated grid with the most energy.
+      std::size_t best_grid = 0;
+      std::int64_t best_energy = -1;
+      for (std::size_t grid = 0; grid < 3; ++grid) {
+        std::int64_t sum = 0;
+        for (std::size_t p = 0; p < kPulses; ++p) {
+          const std::size_t pos = grid + 3 * p;
+          if (pos < kSubframeSize) {
+            sum += static_cast<std::int64_t>(e[pos]) * e[pos];
+          }
+        }
+        if (sum > best_energy) {
+          best_energy = sum;
+          best_grid = grid;
+        }
+      }
+      sub.grid = static_cast<std::int32_t>(best_grid);
+
+      // Block shift from the max magnitude, 3-bit pulses in [-4,3].
+      std::int32_t max_abs = 0;
+      for (std::size_t p = 0; p < kPulses; ++p) {
+        const std::size_t pos = best_grid + 3 * p;
+        if (pos < kSubframeSize) {
+          max_abs = std::max(max_abs, std::abs(e[pos]));
+        }
+      }
+      std::int32_t shift = 0;
+      while ((max_abs >> shift) > 3 && shift < 14) {
+        ++shift;
+      }
+      sub.shift = shift;
+      for (std::size_t p = 0; p < kPulses; ++p) {
+        const std::size_t pos = best_grid + 3 * p;
+        const std::int32_t value = pos < kSubframeSize ? e[pos] : 0;
+        sub.pulses[p] =
+            static_cast<std::int8_t>(std::clamp(value >> shift, -4, 3));
+      }
+
+      // Local reconstruction of the subframe residual; feeds the LTP
+      // history exactly as the decoder will.
+      reconstruct_subframe(sub, history,
+                           recon_residual.data() + sf * kSubframeSize);
+      history.push(recon_residual.data() + sf * kSubframeSize, kSubframeSize);
+    }
+
+    // Encoder-side synthesis for the self-check.
+    if (local_recon != nullptr) {
+      synthesis_filter(synthesis, rp, recon_residual.data(),
+                       local_recon->data() + f * kFrameSize, kFrameSize);
+    }
+    stream.frames.push_back(code);
+  }
+  return stream;
+}
+
+std::vector<std::int16_t> decode(const Bitstream& bitstream) {
+  std::vector<std::int16_t> out(bitstream.frames.size() * kFrameSize, 0);
+  SynthesisState synthesis;
+  LtpHistory history;
+  std::array<std::int32_t, kFrameSize> recon_residual{};
+
+  for (std::size_t f = 0; f < bitstream.frames.size(); ++f) {
+    const FrameCode& code = bitstream.frames[f];
+    std::array<std::int32_t, kLpcOrder> rp{};
+    for (std::size_t i = 0; i < kLpcOrder; ++i) {
+      rp[i] = dequantize_k(code.kq[i]);
+    }
+    for (std::size_t sf = 0; sf < kSubframes; ++sf) {
+      reconstruct_subframe(code.sub[sf], history,
+                           recon_residual.data() + sf * kSubframeSize);
+      history.push(recon_residual.data() + sf * kSubframeSize, kSubframeSize);
+    }
+    synthesis_filter(synthesis, rp, recon_residual.data(),
+                     out.data() + f * kFrameSize, kFrameSize);
+  }
+  return out;
+}
+
+}  // namespace gsm
+
+namespace {
+constexpr std::size_t kDefaultFrames = 48;  // 7680 samples, ~15KB: BigBench
+
+/// Emits the traced memory traffic of GSM encoding/decoding.
+/// The functional work is done by the reference implementation; the traced
+/// arrays replay its exact access pattern (same loop trip counts). Sample
+/// and code arrays span every frame — the stream is the BigBench-sized
+/// footprint (paper IV-A1) — while filter state and LTP history are small
+/// per-frame structures like in the real codec.
+struct GsmTraceArrays {
+  trace::Array<std::int16_t> samples;   ///< full input/output stream
+  trace::Array<std::int32_t> residual;  ///< per-frame working buffer
+  trace::Array<std::int32_t> history;
+  trace::Array<std::int32_t> lattice_state;
+  trace::Array<std::int32_t> codes;     ///< full bitstream
+
+  static constexpr std::size_t kCodesPerFrame =
+      gsm::kLpcOrder + gsm::kSubframes * (4 + gsm::kPulses);
+
+  GsmTraceArrays(trace::Tracer& t, std::size_t frames)
+      : samples(t, frames * gsm::kFrameSize),
+        residual(t, gsm::kFrameSize),
+        history(t, gsm::kMaxLag),
+        lattice_state(t, gsm::kLpcOrder + 1),
+        codes(t, frames * kCodesPerFrame) {}
+};
+
+void trace_lpc_and_lattice(trace::Tracer& t, GsmTraceArrays& arrays,
+                           std::size_t frame, const trace::Block& acf_block,
+                           const trace::Block& lattice_block) {
+  const std::size_t base = frame * gsm::kFrameSize;
+  // Autocorrelation: 9 lags over the frame.
+  for (std::size_t lag = 0; lag <= gsm::kLpcOrder; ++lag) {
+    for (std::size_t i = lag; i < gsm::kFrameSize; ++i) {
+      if (i % 4 == 0) {
+        t.exec(acf_block, true);
+      }
+      (void)arrays.samples.get(base + i);
+      (void)arrays.samples.get(base + i - lag);
+    }
+  }
+  // Lattice filter: per sample, order taps of state traffic.
+  for (std::size_t n = 0; n < gsm::kFrameSize; ++n) {
+    t.exec(lattice_block, n + 1 < gsm::kFrameSize);
+    (void)arrays.samples.get(base + n);
+    for (std::size_t i = 0; i < gsm::kLpcOrder; ++i) {
+      (void)arrays.lattice_state.get(i);
+      arrays.lattice_state.set(i, 0);
+    }
+    arrays.residual.set(n, 0);
+  }
+}
+
+void trace_ltp_rpe(trace::Tracer& t, GsmTraceArrays& arrays,
+                   std::size_t frame, const trace::Block& ltp_block,
+                   const trace::Block& rpe_block) {
+  for (std::size_t sf = 0; sf < gsm::kSubframes; ++sf) {
+    // Lag search: (kMaxLag - kMinLag + 1) lags x subframe MACs.
+    for (std::size_t lag = gsm::kMinLag; lag <= gsm::kMaxLag; ++lag) {
+      for (std::size_t i = 0; i < gsm::kSubframeSize; ++i) {
+        if (i % 8 == 0) {
+          t.exec(ltp_block, true);
+        }
+        (void)arrays.residual.get(sf * gsm::kSubframeSize + i);
+        (void)arrays.history.get((gsm::kMaxLag - lag + i) % gsm::kMaxLag);
+      }
+    }
+    // RPE grid + quantization + history update.
+    for (std::size_t i = 0; i < gsm::kSubframeSize; ++i) {
+      t.exec(rpe_block, i + 1 < gsm::kSubframeSize);
+      (void)arrays.residual.get(sf * gsm::kSubframeSize + i);
+      arrays.history.set(i % gsm::kMaxLag, 0);
+    }
+    for (std::size_t p = 0; p < gsm::kPulses; ++p) {
+      arrays.codes.set(frame * GsmTraceArrays::kCodesPerFrame +
+                           gsm::kLpcOrder + sf * (4 + gsm::kPulses) + 4 + p,
+                       0);
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_gsm_c(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "gsm_c";
+  const std::size_t frames = kDefaultFrames * std::max<std::size_t>(scale, 1);
+  const auto pcm = make_speech(frames * gsm::kFrameSize, seed);
+
+  // Reference encode with local reconstruction (functional ground truth).
+  std::vector<std::int16_t> local_recon;
+  const gsm::Bitstream stream = gsm::encode(pcm, &local_recon);
+
+  // Traced replay of the encoder's memory behaviour.
+  trace::Tracer& t = result.tracer;
+  t.reserve(frames * 40000);
+  GsmTraceArrays arrays(t, frames);
+  const trace::Block prologue = t.block(48);
+  const trace::Block acf_block = t.block(10);
+  const trace::Block lattice_block = t.block(28);
+  const trace::Block ltp_block = t.block(14);
+  const trace::Block rpe_block = t.block(16);
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    t.exec(prologue);
+    trace_lpc_and_lattice(t, arrays, f, acf_block, lattice_block);
+    trace_ltp_rpe(t, arrays, f, ltp_block, rpe_block);
+  }
+
+  // Self-check: the decoder reproduces the encoder's reconstruction
+  // bit-exactly (closed-loop predictive coding) with usable quality.
+  const auto decoded = gsm::decode(stream);
+  bool exact = decoded.size() == local_recon.size();
+  for (std::size_t i = 0; exact && i < decoded.size(); ++i) {
+    exact = decoded[i] == local_recon[i];
+  }
+  result.fidelity_db = snr_db(pcm, decoded);
+  result.self_check = exact && result.fidelity_db > 1.0;
+  return result;
+}
+
+WorkloadResult run_gsm_d(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "gsm_d";
+  const std::size_t frames = kDefaultFrames * std::max<std::size_t>(scale, 1);
+  const auto pcm = make_speech(frames * gsm::kFrameSize, seed);
+  std::vector<std::int16_t> local_recon;
+  const gsm::Bitstream stream = gsm::encode(pcm, &local_recon);
+
+  trace::Tracer& t = result.tracer;
+  t.reserve(frames * 8000);
+  GsmTraceArrays arrays(t, frames);
+  const trace::Block prologue = t.block(40);
+  const trace::Block parse_block = t.block(12);
+  const trace::Block excite_block = t.block(18);
+  const trace::Block synth_block = t.block(30);
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    t.exec(prologue);
+    // Parse this frame's codes.
+    for (std::size_t i = 0; i < GsmTraceArrays::kCodesPerFrame; ++i) {
+      if (i % 4 == 0) {
+        t.exec(parse_block, true);
+      }
+      (void)arrays.codes.get(f * GsmTraceArrays::kCodesPerFrame + i);
+    }
+    // Rebuild excitation per subframe.
+    for (std::size_t sf = 0; sf < gsm::kSubframes; ++sf) {
+      for (std::size_t i = 0; i < gsm::kSubframeSize; ++i) {
+        t.exec(excite_block, i + 1 < gsm::kSubframeSize);
+        (void)arrays.history.get(i % gsm::kMaxLag);
+        arrays.residual.set(sf * gsm::kSubframeSize + i, 0);
+        arrays.history.set(i % gsm::kMaxLag, 0);
+      }
+    }
+    // Synthesis lattice.
+    for (std::size_t n = 0; n < gsm::kFrameSize; ++n) {
+      t.exec(synth_block, n + 1 < gsm::kFrameSize);
+      (void)arrays.residual.get(n);
+      for (std::size_t i = 0; i < gsm::kLpcOrder; ++i) {
+        (void)arrays.lattice_state.get(i);
+        arrays.lattice_state.set(i, 0);
+      }
+      arrays.samples.set(f * gsm::kFrameSize + n, 0);
+    }
+  }
+
+  const auto decoded = gsm::decode(stream);
+  bool exact = decoded.size() == local_recon.size();
+  for (std::size_t i = 0; exact && i < decoded.size(); ++i) {
+    exact = decoded[i] == local_recon[i];
+  }
+  result.fidelity_db = snr_db(pcm, decoded);
+  result.self_check = exact && result.fidelity_db > 1.0;
+  return result;
+}
+
+}  // namespace hvc::wl

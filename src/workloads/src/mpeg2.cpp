@@ -1,0 +1,535 @@
+#include "hvc/workloads/mpeg2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+#include "hvc/workloads/signal.hpp"
+
+namespace hvc::wl {
+
+namespace mpeg2 {
+
+namespace {
+
+/// Q10 cosine table: c[u][x] = round(1024 * a(u) * cos((2x+1)u*pi/16))
+/// with a(0)=sqrt(1/8), a(u)=sqrt(2/8).
+struct CosTable {
+  std::array<std::array<std::int32_t, kBlock>, kBlock> c{};
+  CosTable() {
+    for (std::size_t u = 0; u < kBlock; ++u) {
+      const double a = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (std::size_t x = 0; x < kBlock; ++x) {
+        c[u][x] = static_cast<std::int32_t>(std::lround(
+            1024.0 * a *
+            std::cos((2.0 * static_cast<double>(x) + 1.0) *
+                     static_cast<double>(u) * 3.14159265358979323846 / 16.0)));
+      }
+    }
+  }
+};
+
+const CosTable& cos_table() {
+  static const CosTable table;
+  return table;
+}
+
+/// Zigzag scan order for an 8x8 block.
+struct Zigzag {
+  std::array<std::size_t, kBlock * kBlock> order{};
+  Zigzag() {
+    std::size_t index = 0;
+    for (std::size_t s = 0; s < 2 * kBlock - 1; ++s) {
+      if (s % 2 == 0) {
+        for (std::size_t y = std::min(s, kBlock - 1) + 1; y-- > 0;) {
+          const std::size_t x = s - y;
+          if (x < kBlock && y < kBlock) {
+            order[index++] = y * kBlock + x;
+          }
+        }
+      } else {
+        for (std::size_t x = std::min(s, kBlock - 1) + 1; x-- > 0;) {
+          const std::size_t y = s - x;
+          if (x < kBlock && y < kBlock) {
+            order[index++] = y * kBlock + x;
+          }
+        }
+      }
+    }
+  }
+};
+
+const Zigzag& zigzag() {
+  static const Zigzag z;
+  return z;
+}
+
+[[nodiscard]] std::uint8_t clamp_pixel(std::int32_t v) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+}
+
+/// Sum of absolute differences between a macroblock of `cur` and a
+/// displaced macroblock of `ref` (both width x height, positions valid).
+[[nodiscard]] std::int64_t sad16(const std::vector<std::uint8_t>& cur,
+                                 const std::vector<std::uint8_t>& ref,
+                                 std::size_t width, std::size_t mbx,
+                                 std::size_t mby, std::int32_t dx,
+                                 std::int32_t dy) {
+  std::int64_t sum = 0;
+  for (std::size_t y = 0; y < kMacroblock; ++y) {
+    const std::size_t cy = mby + y;
+    const std::size_t ry = static_cast<std::size_t>(
+        static_cast<std::int64_t>(cy) + dy);
+    for (std::size_t x = 0; x < kMacroblock; ++x) {
+      const std::size_t cx = mbx + x;
+      const std::size_t rx = static_cast<std::size_t>(
+          static_cast<std::int64_t>(cx) + dx);
+      sum += std::abs(static_cast<std::int32_t>(cur[cy * width + cx]) -
+                      static_cast<std::int32_t>(ref[ry * width + rx]));
+    }
+  }
+  return sum;
+}
+
+[[nodiscard]] bool mv_valid(std::size_t width, std::size_t height,
+                            std::size_t mbx, std::size_t mby, std::int32_t dx,
+                            std::int32_t dy) noexcept {
+  const auto x0 = static_cast<std::int64_t>(mbx) + dx;
+  const auto y0 = static_cast<std::int64_t>(mby) + dy;
+  return x0 >= 0 && y0 >= 0 &&
+         x0 + static_cast<std::int64_t>(kMacroblock) <=
+             static_cast<std::int64_t>(width) &&
+         y0 + static_cast<std::int64_t>(kMacroblock) <=
+             static_cast<std::int64_t>(height);
+}
+
+/// Three-step search around (0,0) with steps 4,2,1.
+void motion_search(const std::vector<std::uint8_t>& cur,
+                   const std::vector<std::uint8_t>& ref, std::size_t width,
+                   std::size_t height, std::size_t mbx, std::size_t mby,
+                   std::int32_t& best_dx, std::int32_t& best_dy) {
+  best_dx = 0;
+  best_dy = 0;
+  std::int64_t best = sad16(cur, ref, width, mbx, mby, 0, 0);
+  for (std::int32_t step = 4; step >= 1; step /= 2) {
+    std::int32_t base_dx = best_dx;
+    std::int32_t base_dy = best_dy;
+    for (std::int32_t dy = -step; dy <= step; dy += step) {
+      for (std::int32_t dx = -step; dx <= step; dx += step) {
+        if (dx == 0 && dy == 0) {
+          continue;
+        }
+        const std::int32_t cand_dx = base_dx + dx;
+        const std::int32_t cand_dy = base_dy + dy;
+        if (!mv_valid(width, height, mbx, mby, cand_dx, cand_dy)) {
+          continue;
+        }
+        const std::int64_t sad =
+            sad16(cur, ref, width, mbx, mby, cand_dx, cand_dy);
+        if (sad < best) {
+          best = sad;
+          best_dx = cand_dx;
+          best_dy = cand_dy;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void forward_dct(const std::array<std::int32_t, kBlock * kBlock>& in,
+                 std::array<std::int32_t, kBlock * kBlock>& out) {
+  const auto& c = cos_table().c;
+  std::array<std::int64_t, kBlock * kBlock> temp{};
+  // Rows.
+  for (std::size_t y = 0; y < kBlock; ++y) {
+    for (std::size_t u = 0; u < kBlock; ++u) {
+      std::int64_t acc = 0;
+      for (std::size_t x = 0; x < kBlock; ++x) {
+        acc += static_cast<std::int64_t>(c[u][x]) * in[y * kBlock + x];
+      }
+      temp[y * kBlock + u] = (acc + 512) >> 10;
+    }
+  }
+  // Columns.
+  for (std::size_t u = 0; u < kBlock; ++u) {
+    for (std::size_t v = 0; v < kBlock; ++v) {
+      std::int64_t acc = 0;
+      for (std::size_t y = 0; y < kBlock; ++y) {
+        acc += static_cast<std::int64_t>(c[v][y]) * temp[y * kBlock + u];
+      }
+      out[v * kBlock + u] = static_cast<std::int32_t>((acc + 512) >> 10);
+    }
+  }
+}
+
+void inverse_dct(const std::array<std::int32_t, kBlock * kBlock>& in,
+                 std::array<std::int32_t, kBlock * kBlock>& out) {
+  const auto& c = cos_table().c;
+  std::array<std::int64_t, kBlock * kBlock> temp{};
+  // Columns.
+  for (std::size_t u = 0; u < kBlock; ++u) {
+    for (std::size_t y = 0; y < kBlock; ++y) {
+      std::int64_t acc = 0;
+      for (std::size_t v = 0; v < kBlock; ++v) {
+        acc += static_cast<std::int64_t>(c[v][y]) * in[v * kBlock + u];
+      }
+      temp[y * kBlock + u] = (acc + 512) >> 10;
+    }
+  }
+  // Rows.
+  for (std::size_t y = 0; y < kBlock; ++y) {
+    for (std::size_t x = 0; x < kBlock; ++x) {
+      std::int64_t acc = 0;
+      for (std::size_t u = 0; u < kBlock; ++u) {
+        acc += static_cast<std::int64_t>(c[u][x]) * temp[y * kBlock + u];
+      }
+      out[y * kBlock + x] = static_cast<std::int32_t>((acc + 512) >> 10);
+    }
+  }
+}
+
+Bitstream encode(const std::vector<std::vector<std::uint8_t>>& frames,
+                 std::size_t width, std::size_t height, std::int32_t qstep,
+                 std::vector<std::vector<std::uint8_t>>* local_recon) {
+  expects(width % kMacroblock == 0 && height % kMacroblock == 0,
+          "frame dimensions must be multiples of 16");
+  expects(qstep >= 1, "quantizer step must be >= 1");
+  Bitstream stream;
+  stream.width = width;
+  stream.height = height;
+  stream.qstep = qstep;
+  if (local_recon != nullptr) {
+    local_recon->clear();
+  }
+
+  std::vector<std::uint8_t> reference(width * height, 0);
+  const auto& zz = zigzag().order;
+
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const auto& frame = frames[f];
+    expects(frame.size() == width * height, "frame size mismatch");
+    FrameCode frame_code;
+    frame_code.intra = (f == 0);
+    std::vector<std::uint8_t> recon(width * height, 0);
+
+    for (std::size_t mby = 0; mby < height; mby += kMacroblock) {
+      for (std::size_t mbx = 0; mbx < width; mbx += kMacroblock) {
+        MacroblockCode mb;
+        mb.intra = frame_code.intra;
+        if (!mb.intra) {
+          motion_search(frame, reference, width, height, mbx, mby, mb.mv_x,
+                        mb.mv_y);
+        }
+
+        // Four 8x8 blocks: residual -> DCT -> quant -> dequant -> IDCT.
+        for (std::size_t blk = 0; blk < 4; ++blk) {
+          const std::size_t bx = mbx + (blk % 2) * kBlock;
+          const std::size_t by = mby + (blk / 2) * kBlock;
+          std::array<std::int32_t, kBlock * kBlock> residual{};
+          for (std::size_t y = 0; y < kBlock; ++y) {
+            for (std::size_t x = 0; x < kBlock; ++x) {
+              const std::size_t px = bx + x;
+              const std::size_t py = by + y;
+              std::int32_t pred = 128;
+              if (!mb.intra) {
+                pred = reference[(py + static_cast<std::size_t>(
+                                           static_cast<std::int64_t>(mb.mv_y))) *
+                                     width +
+                                 (px + static_cast<std::size_t>(
+                                           static_cast<std::int64_t>(mb.mv_x)))];
+              }
+              residual[y * kBlock + x] =
+                  static_cast<std::int32_t>(frame[py * width + px]) - pred;
+            }
+          }
+          std::array<std::int32_t, kBlock * kBlock> transformed{};
+          forward_dct(residual, transformed);
+          // Quantize in zigzag order.
+          std::array<std::int32_t, kBlock * kBlock> dequantized{};
+          for (std::size_t i = 0; i < zz.size(); ++i) {
+            const std::int32_t coeff = transformed[zz[i]];
+            const std::int32_t q =
+                coeff >= 0 ? (coeff + qstep / 2) / qstep
+                           : -((-coeff + qstep / 2) / qstep);
+            mb.coeffs[blk][i] = static_cast<std::int16_t>(
+                std::clamp(q, -32768, 32767));
+            dequantized[zz[i]] = q * qstep;
+          }
+          std::array<std::int32_t, kBlock * kBlock> restored{};
+          inverse_dct(dequantized, restored);
+          for (std::size_t y = 0; y < kBlock; ++y) {
+            for (std::size_t x = 0; x < kBlock; ++x) {
+              const std::size_t px = bx + x;
+              const std::size_t py = by + y;
+              std::int32_t pred = 128;
+              if (!mb.intra) {
+                pred = reference[(py + static_cast<std::size_t>(
+                                           static_cast<std::int64_t>(mb.mv_y))) *
+                                     width +
+                                 (px + static_cast<std::size_t>(
+                                           static_cast<std::int64_t>(mb.mv_x)))];
+              }
+              recon[py * width + px] =
+                  clamp_pixel(pred + restored[y * kBlock + x]);
+            }
+          }
+        }
+        frame_code.macroblocks.push_back(mb);
+      }
+    }
+
+    reference = recon;
+    if (local_recon != nullptr) {
+      local_recon->push_back(std::move(recon));
+    }
+    stream.frames.push_back(std::move(frame_code));
+  }
+  return stream;
+}
+
+std::vector<std::vector<std::uint8_t>> decode(const Bitstream& bitstream) {
+  const std::size_t width = bitstream.width;
+  const std::size_t height = bitstream.height;
+  const auto& zz = zigzag().order;
+  std::vector<std::vector<std::uint8_t>> out;
+  std::vector<std::uint8_t> reference(width * height, 0);
+
+  for (const auto& frame_code : bitstream.frames) {
+    std::vector<std::uint8_t> recon(width * height, 0);
+    std::size_t mb_index = 0;
+    for (std::size_t mby = 0; mby < height; mby += kMacroblock) {
+      for (std::size_t mbx = 0; mbx < width; mbx += kMacroblock) {
+        const MacroblockCode& mb = frame_code.macroblocks[mb_index++];
+        for (std::size_t blk = 0; blk < 4; ++blk) {
+          const std::size_t bx = mbx + (blk % 2) * kBlock;
+          const std::size_t by = mby + (blk / 2) * kBlock;
+          std::array<std::int32_t, kBlock * kBlock> dequantized{};
+          for (std::size_t i = 0; i < zz.size(); ++i) {
+            dequantized[zz[i]] =
+                static_cast<std::int32_t>(mb.coeffs[blk][i]) * bitstream.qstep;
+          }
+          std::array<std::int32_t, kBlock * kBlock> restored{};
+          inverse_dct(dequantized, restored);
+          for (std::size_t y = 0; y < kBlock; ++y) {
+            for (std::size_t x = 0; x < kBlock; ++x) {
+              const std::size_t px = bx + x;
+              const std::size_t py = by + y;
+              std::int32_t pred = 128;
+              if (!mb.intra) {
+                pred = reference[(py + static_cast<std::size_t>(
+                                           static_cast<std::int64_t>(mb.mv_y))) *
+                                     width +
+                                 (px + static_cast<std::size_t>(
+                                           static_cast<std::int64_t>(mb.mv_x)))];
+              }
+              recon[py * width + px] =
+                  clamp_pixel(pred + restored[y * kBlock + x]);
+            }
+          }
+        }
+      }
+    }
+    reference = recon;
+    out.push_back(std::move(recon));
+  }
+  return out;
+}
+
+}  // namespace mpeg2
+
+namespace {
+constexpr std::size_t kWidth = 64;
+constexpr std::size_t kHeight = 64;
+constexpr std::size_t kFrames = 3;
+constexpr std::int32_t kQstep = 8;
+
+/// Traced access-pattern replay of DCT/IDCT + motion search over the
+/// frame buffers (functional work in the reference implementation).
+struct Mpeg2TraceArrays {
+  trace::Array<std::uint8_t> current;
+  trace::Array<std::uint8_t> reference;
+  trace::Array<std::int32_t> block;
+  trace::Array<std::int32_t> cosines;
+  trace::Array<std::int16_t> coeffs;
+
+  Mpeg2TraceArrays(trace::Tracer& t, std::size_t pixels)
+      : current(t, pixels),
+        reference(t, pixels),
+        block(t, mpeg2::kBlock * mpeg2::kBlock),
+        cosines(t, mpeg2::kBlock * mpeg2::kBlock),
+        coeffs(t, mpeg2::kBlock * mpeg2::kBlock) {}
+};
+
+void trace_dct8x8(trace::Tracer& t, Mpeg2TraceArrays& arrays,
+                  const trace::Block& mac_block) {
+  // Row and column passes: 2 * 8 * 8 dot products of length 8.
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < mpeg2::kBlock * mpeg2::kBlock; ++i) {
+      t.exec(mac_block, true);
+      (void)arrays.block.get(i);
+      (void)arrays.cosines.get(i % (mpeg2::kBlock * mpeg2::kBlock));
+      arrays.block.set(i, 0);
+    }
+  }
+}
+
+void trace_block_io(trace::Tracer& t, Mpeg2TraceArrays& arrays,
+                    std::size_t width, std::size_t bx, std::size_t by,
+                    const trace::Block& pix_block, bool with_reference) {
+  for (std::size_t y = 0; y < mpeg2::kBlock; ++y) {
+    for (std::size_t x = 0; x < mpeg2::kBlock; ++x) {
+      t.exec(pix_block, x + 1 < mpeg2::kBlock);
+      (void)arrays.current.get((by + y) * width + bx + x);
+      if (with_reference) {
+        (void)arrays.reference.get((by + y) * width + bx + x);
+      }
+      arrays.block.set(y * mpeg2::kBlock + x, 0);
+    }
+  }
+}
+
+void trace_motion_search(trace::Tracer& t, Mpeg2TraceArrays& arrays,
+                         std::size_t width, std::size_t height,
+                         std::size_t mbx, std::size_t mby,
+                         const trace::Block& sad_block) {
+  // Three-step search: ~(1 + 3*8) SAD evaluations of 256 pixels each.
+  const std::size_t evaluations = 1 + 3 * 8;
+  for (std::size_t e = 0; e < evaluations; ++e) {
+    for (std::size_t y = 0; y < mpeg2::kMacroblock; ++y) {
+      t.exec(sad_block, true);
+      for (std::size_t x = 0; x < mpeg2::kMacroblock; x += 2) {
+        const std::size_t cy = std::min(mby + y, height - 1);
+        const std::size_t cx = std::min(mbx + x, width - 1);
+        (void)arrays.current.get(cy * width + cx);
+        (void)arrays.reference.get(cy * width + cx);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_mpeg2_c(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "mpeg2_c";
+  const std::size_t frames = kFrames * std::max<std::size_t>(scale, 1);
+  const auto video = make_video(kWidth, kHeight, frames, seed);
+
+  std::vector<std::vector<std::uint8_t>> local_recon;
+  const mpeg2::Bitstream stream =
+      mpeg2::encode(video, kWidth, kHeight, kQstep, &local_recon);
+
+  trace::Tracer& t = result.tracer;
+  t.reserve(frames * 900000);
+  Mpeg2TraceArrays arrays(t, kWidth * kHeight);
+  const trace::Block prologue = t.block(64);
+  const trace::Block sad_block = t.block(20);
+  const trace::Block pix_block = t.block(8);
+  const trace::Block mac_block = t.block(6);
+  const trace::Block quant_block = t.block(9);
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    t.exec(prologue);
+    const bool intra = (f == 0);
+    for (std::size_t mby = 0; mby < kHeight; mby += mpeg2::kMacroblock) {
+      for (std::size_t mbx = 0; mbx < kWidth; mbx += mpeg2::kMacroblock) {
+        if (!intra) {
+          trace_motion_search(t, arrays, kWidth, kHeight, mbx, mby, sad_block);
+        }
+        for (std::size_t blk = 0; blk < 4; ++blk) {
+          const std::size_t bx = mbx + (blk % 2) * mpeg2::kBlock;
+          const std::size_t by = mby + (blk / 2) * mpeg2::kBlock;
+          trace_block_io(t, arrays, kWidth, bx, by, pix_block, !intra);
+          trace_dct8x8(t, arrays, mac_block);  // forward DCT
+          for (std::size_t i = 0; i < mpeg2::kBlock * mpeg2::kBlock; ++i) {
+            if (i % 4 == 0) {
+              t.exec(quant_block, true);
+            }
+            (void)arrays.block.get(i);
+            arrays.coeffs.set(i, 0);
+          }
+          trace_dct8x8(t, arrays, mac_block);  // IDCT for reconstruction
+          trace_block_io(t, arrays, kWidth, bx, by, pix_block, !intra);
+        }
+      }
+    }
+  }
+
+  // Self-check: decoder matches encoder reconstruction bit-exactly and
+  // quality is sensible.
+  const auto decoded = mpeg2::decode(stream);
+  bool exact = decoded.size() == local_recon.size();
+  double worst_psnr = 1e9;
+  for (std::size_t f = 0; f < decoded.size(); ++f) {
+    exact = exact && decoded[f] == local_recon[f];
+    worst_psnr = std::min(worst_psnr, psnr_db(video[f], decoded[f]));
+  }
+  result.fidelity_db = worst_psnr;
+  result.self_check = exact && worst_psnr > 20.0;
+  return result;
+}
+
+WorkloadResult run_mpeg2_d(std::uint64_t seed, std::size_t scale) {
+  WorkloadResult result;
+  result.name = "mpeg2_d";
+  const std::size_t frames = kFrames * std::max<std::size_t>(scale, 1);
+  const auto video = make_video(kWidth, kHeight, frames, seed);
+  std::vector<std::vector<std::uint8_t>> local_recon;
+  const mpeg2::Bitstream stream =
+      mpeg2::encode(video, kWidth, kHeight, kQstep, &local_recon);
+
+  trace::Tracer& t = result.tracer;
+  t.reserve(frames * 400000);
+  Mpeg2TraceArrays arrays(t, kWidth * kHeight);
+  const trace::Block prologue = t.block(56);
+  const trace::Block parse_block = t.block(10);
+  const trace::Block mac_block = t.block(6);
+  const trace::Block mc_block = t.block(12);
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    t.exec(prologue);
+    const bool intra = (f == 0);
+    for (std::size_t mby = 0; mby < kHeight; mby += mpeg2::kMacroblock) {
+      for (std::size_t mbx = 0; mbx < kWidth; mbx += mpeg2::kMacroblock) {
+        for (std::size_t blk = 0; blk < 4; ++blk) {
+          const std::size_t bx = mbx + (blk % 2) * mpeg2::kBlock;
+          const std::size_t by = mby + (blk / 2) * mpeg2::kBlock;
+          // Parse + dequantize coefficients.
+          for (std::size_t i = 0; i < mpeg2::kBlock * mpeg2::kBlock; ++i) {
+            if (i % 4 == 0) {
+              t.exec(parse_block, true);
+            }
+            (void)arrays.coeffs.get(i);
+            arrays.block.set(i, 0);
+          }
+          trace_dct8x8(t, arrays, mac_block);  // IDCT
+          // Motion compensate + store pixels.
+          for (std::size_t y = 0; y < mpeg2::kBlock; ++y) {
+            for (std::size_t x = 0; x < mpeg2::kBlock; ++x) {
+              t.exec(mc_block, x + 1 < mpeg2::kBlock);
+              if (!intra) {
+                (void)arrays.reference.get((by + y) * kWidth + bx + x);
+              }
+              arrays.current.set((by + y) * kWidth + bx + x, 0);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const auto decoded = mpeg2::decode(stream);
+  bool exact = decoded.size() == local_recon.size();
+  double worst_psnr = 1e9;
+  for (std::size_t f = 0; f < decoded.size(); ++f) {
+    exact = exact && decoded[f] == local_recon[f];
+    worst_psnr = std::min(worst_psnr, psnr_db(video[f], decoded[f]));
+  }
+  result.fidelity_db = worst_psnr;
+  result.self_check = exact && worst_psnr > 20.0;
+  return result;
+}
+
+}  // namespace hvc::wl

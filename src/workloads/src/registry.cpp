@@ -1,0 +1,51 @@
+#include "hvc/workloads/workload.hpp"
+
+#include "hvc/common/error.hpp"
+#include "hvc/workloads/adpcm.hpp"
+#include "hvc/workloads/epic.hpp"
+#include "hvc/workloads/g721.hpp"
+#include "hvc/workloads/gsm.hpp"
+#include "hvc/workloads/mpeg2.hpp"
+
+namespace hvc::wl {
+
+std::string to_string(BenchClass cls) {
+  return cls == BenchClass::kSmall ? "SmallBench" : "BigBench";
+}
+
+const std::vector<WorkloadInfo>& registry() {
+  static const std::vector<WorkloadInfo> workloads = {
+      {"adpcm_c", BenchClass::kSmall, run_adpcm_c},
+      {"adpcm_d", BenchClass::kSmall, run_adpcm_d},
+      {"epic_c", BenchClass::kSmall, run_epic_c},
+      {"epic_d", BenchClass::kSmall, run_epic_d},
+      {"g721_c", BenchClass::kBig, run_g721_c},
+      {"g721_d", BenchClass::kBig, run_g721_d},
+      {"gsm_c", BenchClass::kBig, run_gsm_c},
+      {"gsm_d", BenchClass::kBig, run_gsm_d},
+      {"mpeg2_c", BenchClass::kBig, run_mpeg2_c},
+      {"mpeg2_d", BenchClass::kBig, run_mpeg2_d},
+  };
+  return workloads;
+}
+
+const WorkloadInfo& find_workload(const std::string& name) {
+  for (const auto& info : registry()) {
+    if (info.name == name) {
+      return info;
+    }
+  }
+  throw ConfigError("unknown workload: " + name);
+}
+
+std::vector<std::string> names_of(BenchClass cls) {
+  std::vector<std::string> names;
+  for (const auto& info : registry()) {
+    if (info.bench_class == cls) {
+      names.push_back(info.name);
+    }
+  }
+  return names;
+}
+
+}  // namespace hvc::wl

@@ -1,0 +1,143 @@
+#include "hvc/workloads/signal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::wl {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+[[nodiscard]] std::int16_t clamp16(double x) noexcept {
+  return static_cast<std::int16_t>(std::clamp(x, -32768.0, 32767.0));
+}
+
+[[nodiscard]] std::uint8_t clamp8(double x) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(x, 0.0, 255.0));
+}
+}  // namespace
+
+std::vector<std::int16_t> make_speech(std::size_t samples,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int16_t> out(samples);
+  double f0 = rng.uniform(0.01, 0.03);  // fundamental, cycles/sample
+  double phase1 = 0.0, phase2 = 0.0, phase3 = 0.0;
+  double envelope = 0.3;
+  for (std::size_t i = 0; i < samples; ++i) {
+    // Syllable-like amplitude envelope: random walk with decay bursts.
+    if (i % 400 == 0) {
+      envelope = rng.uniform(0.05, 1.0);
+      f0 += rng.uniform(-0.002, 0.002);
+      f0 = std::clamp(f0, 0.008, 0.05);
+    }
+    phase1 += 2.0 * kPi * f0;
+    phase2 += 2.0 * kPi * f0 * 2.1;
+    phase3 += 2.0 * kPi * f0 * 3.3;
+    const double tone = 0.6 * std::sin(phase1) + 0.25 * std::sin(phase2) +
+                        0.1 * std::sin(phase3);
+    const double noise = rng.normal(0.0, 0.03);
+    out[i] = clamp16(12000.0 * envelope * tone + 800.0 * noise);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> make_image(std::size_t width, std::size_t height,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(width * height);
+  // Random smooth blobs over a gradient background.
+  struct Blob {
+    double cx, cy, radius, amplitude;
+  };
+  std::vector<Blob> blobs;
+  for (int b = 0; b < 6; ++b) {
+    blobs.push_back({rng.uniform(0.0, static_cast<double>(width)),
+                     rng.uniform(0.0, static_cast<double>(height)),
+                     rng.uniform(3.0, static_cast<double>(width) / 3.0),
+                     rng.uniform(-70.0, 70.0)});
+  }
+  const double gx = rng.uniform(-0.5, 0.5);
+  const double gy = rng.uniform(-0.5, 0.5);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      double v = 128.0 + gx * static_cast<double>(x) +
+                 gy * static_cast<double>(y);
+      for (const auto& blob : blobs) {
+        const double dx = static_cast<double>(x) - blob.cx;
+        const double dy = static_cast<double>(y) - blob.cy;
+        v += blob.amplitude *
+             std::exp(-(dx * dx + dy * dy) / (2.0 * blob.radius * blob.radius));
+      }
+      v += rng.normal(0.0, 3.0);
+      out[y * width + x] = clamp8(v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> make_video(std::size_t width,
+                                                  std::size_t height,
+                                                  std::size_t frames,
+                                                  std::uint64_t seed) {
+  expects(frames >= 1, "video needs at least one frame");
+  const auto base = make_image(width + 2 * frames, height + 2 * frames, seed);
+  const std::size_t base_width = width + 2 * frames;
+  Rng rng(seed ^ 0xF00D);
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(frames);
+  for (std::size_t f = 0; f < frames; ++f) {
+    // Content pans diagonally ~1 px/frame: motion search finds it.
+    const std::size_t ox = f;
+    const std::size_t oy = f;
+    std::vector<std::uint8_t> frame(width * height);
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double v =
+            static_cast<double>(base[(y + oy) * base_width + (x + ox)]) +
+            rng.normal(0.0, 1.5);
+        frame[y * width + x] = clamp8(v);
+      }
+    }
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+double snr_db(const std::vector<std::int16_t>& original,
+              const std::vector<std::int16_t>& reconstructed) {
+  expects(original.size() == reconstructed.size() && !original.empty(),
+          "snr_db: size mismatch");
+  double signal = 0.0, noise = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double s = original[i];
+    const double e = s - static_cast<double>(reconstructed[i]);
+    signal += s * s;
+    noise += e * e;
+  }
+  if (noise <= 0.0) {
+    return 120.0;  // lossless
+  }
+  return 10.0 * std::log10(std::max(signal, 1.0) / noise);
+}
+
+double psnr_db(const std::vector<std::uint8_t>& original,
+               const std::vector<std::uint8_t>& reconstructed) {
+  expects(original.size() == reconstructed.size() && !original.empty(),
+          "psnr_db: size mismatch");
+  double noise = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double e =
+        static_cast<double>(original[i]) - static_cast<double>(reconstructed[i]);
+    noise += e * e;
+  }
+  if (noise <= 0.0) {
+    return 120.0;
+  }
+  const double mse = noise / static_cast<double>(original.size());
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace hvc::wl

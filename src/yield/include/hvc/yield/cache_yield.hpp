@@ -1,0 +1,58 @@
+// Word- and cache-level yield: the paper's Equations (1) and (2).
+//
+//   P(word ok) = sum_{i=0..t} C(n+k, i) * Pf^i * (1-Pf)^(n+k-i)     (1)
+//   Y = P(data)^DW * P(tag)^TW                                      (2)
+//
+// where n is the word width (32 data / 26 tag), k the check bits, t the
+// number of hard faults the code may spend corrections on (1 for
+// 8T+SECDED in scenario A; 1 for 8T+DECTED in scenario B because the
+// second correction is reserved for a coincident soft error; 0 without
+// coding or when SECDED is reserved for soft errors as in the scenario B
+// baseline), and DW/TW count data/tag words in the protected array.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hvc::yield {
+
+/// One homogeneous class of protected words in an array.
+struct WordClass {
+  std::string label;             ///< e.g. "data" or "tag"
+  std::size_t count = 0;         ///< DW or TW
+  std::size_t data_bits = 0;     ///< n
+  std::size_t check_bits = 0;    ///< k
+  std::size_t hard_correctable = 0;  ///< t: hard faults repairable per word
+};
+
+/// Equation (1): probability that one word has at most `hard_correctable`
+/// hard-faulty bits.
+[[nodiscard]] double word_ok_probability(double pf, const WordClass& word);
+
+/// Equation (2) over an arbitrary set of word classes.
+[[nodiscard]] double cache_yield(double pf,
+                                 std::span<const WordClass> words);
+
+/// Inverse problem: the largest per-bit Pf delivering at least
+/// `target_yield` for the given word classes (bisection).
+[[nodiscard]] double max_pf_for_yield(double target_yield,
+                                      std::span<const WordClass> words);
+
+/// Convenience: raw-bit yield (no correction) over `bits` bits, i.e. the
+/// paper's "Pf = 1.22e-6 for 99% yield" style calculation.
+[[nodiscard]] double raw_yield(double pf, std::size_t bits);
+[[nodiscard]] double max_pf_for_raw_yield(double target_yield,
+                                          std::size_t bits);
+
+/// Standard word-class layouts for one ULE way of the paper's cache
+/// (32-bit data words, 26-bit tags), given the way's line count and line
+/// size in bytes.
+[[nodiscard]] std::vector<WordClass> ule_way_words(std::size_t lines,
+                                                   std::size_t line_bytes,
+                                                   std::size_t check_bits_data,
+                                                   std::size_t check_bits_tag,
+                                                   std::size_t hard_correctable);
+
+}  // namespace hvc::yield

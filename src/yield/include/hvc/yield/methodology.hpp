@@ -1,0 +1,86 @@
+// The paper's design methodology (Section III-C, Figure 2).
+//
+// Steps reproduced verbatim:
+//  * HP ways: pick the hard faulty-bit rate Pf from the cache size and the
+//    target yield, then size the 6T cells to meet it at high Vcc.
+//  * ULE baseline: size 10T cells at NST Vcc to match the same Pf; compute
+//    the resulting way yield Y10T (with SECDED on top in scenario B).
+//  * Proposal: start 8T cells at minimum size, compute Pf8T (Chen-style
+//    analysis), compute the EDC-protected yield via Eqs. (1)-(2), and grow
+//    the transistors by the smallest step until Y >= Y10T.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hvc/edc/code.hpp"
+#include "hvc/tech/sram_cell.hpp"
+#include "hvc/yield/cache_yield.hpp"
+
+namespace hvc::yield {
+
+/// Geometry of the array being designed (one ULE way by default).
+struct ArrayGeometry {
+  std::size_t lines = 32;       ///< cache lines in the array
+  std::size_t line_bytes = 32;  ///< bytes per line
+};
+
+/// The two baseline-reliability scenarios of Section III-B.
+enum class Scenario {
+  kA,  ///< baseline 6T+10T, no coding -> proposal 6T+8T+SECDED
+  kB,  ///< baseline 6T+SECDED+10T+SECDED -> proposal 6T+SECDED+8T+DECTED
+};
+
+[[nodiscard]] const char* to_string(Scenario scenario);
+
+/// One iteration of the Fig. 2 sizing loop (also used for reporting).
+struct SizingStep {
+  double size = 1.0;
+  double pf = 0.0;
+  double yield = 0.0;
+};
+
+/// Result of sizing one cell design.
+struct SizingResult {
+  tech::CellDesign cell;
+  double pf = 0.0;     ///< analytic per-bit hard fault probability
+  double yield = 0.0;  ///< array yield with this cell (and its coding)
+  std::vector<SizingStep> steps;  ///< the loop trace (Fig. 2)
+};
+
+/// All sized cells for one scenario, ready for the energy evaluation.
+struct CacheCellPlan {
+  Scenario scenario = Scenario::kA;
+  double hp_vcc = 1.0;
+  double ule_vcc = 0.35;
+  double target_pf = 0.0;      ///< HP-way Pf implied by the yield target
+  SizingResult hp_6t;          ///< HP ways at hp_vcc
+  SizingResult baseline_10t;   ///< baseline ULE way at ule_vcc
+  SizingResult proposed_8t;    ///< proposed ULE way at ule_vcc (EDC on)
+};
+
+/// Sizing-loop configuration.
+struct MethodologyConfig {
+  double target_yield = 0.99;  ///< yield goal for the HP-way Pf derivation
+  double size_step = 0.05;     ///< smallest width increment (Fig. 2 step 5a)
+  double max_size = 32.0;      ///< sanity bound on the loop
+  ArrayGeometry geometry;      ///< one ULE way of the 8KB 8-way cache
+  /// Bits whose raw yield defines the HP Pf target (paper quotes
+  /// Pf = 1.22e-6 for 99% yield; that corresponds to ~8.2k bits, i.e. one
+  /// 1KB way including tags — see EXPERIMENTS.md).
+  std::size_t pf_reference_bits = 0;  ///< 0 = derive from geometry
+};
+
+/// Smallest cell size whose analytic Pf at `vcc` is <= `target_pf`.
+[[nodiscard]] SizingResult size_cell_for_pf(tech::CellKind kind, double vcc,
+                                            double target_pf,
+                                            const MethodologyConfig& config);
+
+/// Runs the full Fig. 2 methodology for a scenario at the given operating
+/// voltages, producing every sized cell the evaluation needs.
+[[nodiscard]] CacheCellPlan run_methodology(Scenario scenario,
+                                            double hp_vcc = 1.0,
+                                            double ule_vcc = 0.35,
+                                            const MethodologyConfig& config = {});
+
+}  // namespace hvc::yield

@@ -1,0 +1,50 @@
+// Cell hard-failure probability estimation.
+//
+// Reproduces the method of Chen et al., "Yield-driven near-threshold SRAM
+// design" (ICCAD 2007) — the paper's reference [6]: rare cell failures
+// under Vt mismatch are estimated with mean-shifted importance sampling,
+// because naive Monte-Carlo would need ~1/Pf samples (Pf ~ 1e-6..1e-9).
+//
+// The sampler draws per-transistor Vt shifts from a two-component Gaussian
+// mixture shifted toward the read-failure and write-failure directions
+// (the margin sensitivity vectors), evaluates the cell's worst margin, and
+// re-weights with exact likelihood ratios. hvc::tech::analytic_pfail is the
+// closed-form companion the estimator validates.
+#pragma once
+
+#include <cstddef>
+
+#include "hvc/common/rng.hpp"
+#include "hvc/tech/sram_cell.hpp"
+
+namespace hvc::yield {
+
+/// Monte-Carlo estimate with its statistical quality.
+struct PfEstimate {
+  double pf = 0.0;        ///< estimated failure probability
+  double stderr_pf = 0.0; ///< standard error of the estimate
+  std::size_t trials = 0;
+  std::size_t failures = 0;  ///< raw failing samples (unweighted count)
+
+  /// Relative standard error; large when the estimate is untrustworthy.
+  [[nodiscard]] double relative_error() const noexcept {
+    return pf > 0.0 ? stderr_pf / pf : 1.0;
+  }
+};
+
+/// Plain Monte-Carlo estimator. Only usable when Pf * trials >> 1; kept as
+/// the ground-truth cross-check for the importance sampler in tests.
+[[nodiscard]] PfEstimate naive_mc_pfail(const tech::CellDesign& cell,
+                                        double vcc, Rng& rng,
+                                        std::size_t trials);
+
+/// Mean-shifted mixture importance sampling (Chen-style).
+///
+/// `shift_sigmas` < 0 selects the shift automatically from the analytic
+/// margin z-scores (recommended).
+[[nodiscard]] PfEstimate importance_sample_pfail(const tech::CellDesign& cell,
+                                                 double vcc, Rng& rng,
+                                                 std::size_t trials = 20000,
+                                                 double shift_sigmas = -1.0);
+
+}  // namespace hvc::yield

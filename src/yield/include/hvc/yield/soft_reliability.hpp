@@ -1,0 +1,50 @@
+// Soft-error reliability analysis for EDC-protected arrays.
+//
+// The paper's scenario B exists because soft errors stack on top of hard
+// faults: SECDED spends its single correction on the stuck bit, so the
+// first particle strike in that word is already uncorrectable, while
+// DECTED survives one strike per word. This module quantifies that:
+// given a per-bit soft-error rate (tech::soft_error_rate_per_bit), a word
+// geometry and a scrub interval, it computes the probability of an
+// uncorrectable accumulation and the array MTTF — analytically (Poisson
+// model) and checkably against Monte-Carlo (tests).
+#pragma once
+
+#include <cstddef>
+
+namespace hvc::yield {
+
+/// One protected word population.
+struct SoftWordClass {
+  std::size_t count = 0;          ///< number of words
+  std::size_t bits = 0;           ///< stored bits per word (n + k)
+  /// Soft errors the code can absorb per word on top of any resident hard
+  /// fault (SECDED fault-free word: 1; SECDED word with a hard fault: 0;
+  /// DECTED word with a hard fault: 1).
+  std::size_t soft_budget = 1;
+};
+
+/// Probability that more than `budget` soft errors accumulate in one word
+/// of `bits` bits within `interval_s`, at `rate` errors/bit/s.
+[[nodiscard]] double p_word_overflow(std::size_t bits, double rate_per_bit,
+                                     double interval_s, std::size_t budget);
+
+/// Expected uncorrectable events per second for a scrubbed array: each
+/// scrub interval is an independent accumulation window.
+[[nodiscard]] double uncorrectable_event_rate(const SoftWordClass& words,
+                                              double rate_per_bit,
+                                              double scrub_interval_s);
+
+/// Mean time to the first uncorrectable accumulation (seconds); infinite
+/// inputs give infinity.
+[[nodiscard]] double mttf_seconds(const SoftWordClass& words,
+                                  double rate_per_bit,
+                                  double scrub_interval_s);
+
+/// Scrub interval needed to keep the uncorrectable-event rate below
+/// `max_events_per_s` (bisection; returns 0 when unachievable).
+[[nodiscard]] double required_scrub_interval(const SoftWordClass& words,
+                                             double rate_per_bit,
+                                             double max_events_per_s);
+
+}  // namespace hvc::yield

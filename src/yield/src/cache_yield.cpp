@@ -1,0 +1,88 @@
+#include "hvc/yield/cache_yield.hpp"
+
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::yield {
+
+namespace {
+
+[[nodiscard]] double log_binomial(std::size_t n, std::size_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace
+
+double word_ok_probability(double pf, const WordClass& word) {
+  expects(pf >= 0.0 && pf <= 1.0, "Pf must be a probability");
+  const std::size_t total_bits = word.data_bits + word.check_bits;
+  expects(total_bits > 0, "word must have at least one bit");
+  if (pf == 0.0) {
+    return 1.0;
+  }
+  double ok = 0.0;
+  for (std::size_t i = 0; i <= word.hard_correctable && i <= total_bits; ++i) {
+    const double log_term =
+        log_binomial(total_bits, i) +
+        static_cast<double>(i) * std::log(pf) +
+        static_cast<double>(total_bits - i) * std::log1p(-pf);
+    ok += std::exp(log_term);
+  }
+  return std::min(ok, 1.0);
+}
+
+double cache_yield(double pf, std::span<const WordClass> words) {
+  double log_yield = 0.0;
+  for (const auto& word : words) {
+    const double p = word_ok_probability(pf, word);
+    if (p <= 0.0) {
+      return 0.0;
+    }
+    log_yield += static_cast<double>(word.count) * std::log(p);
+  }
+  return std::exp(log_yield);
+}
+
+double max_pf_for_yield(double target_yield,
+                        std::span<const WordClass> words) {
+  expects(target_yield > 0.0 && target_yield < 1.0,
+          "target yield must be in (0,1)");
+  double lo = 0.0;
+  double hi = 0.5;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (cache_yield(mid, words) >= target_yield) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double raw_yield(double pf, std::size_t bits) {
+  const WordClass raw{"raw", 1, bits, 0, 0};
+  return word_ok_probability(pf, raw);
+}
+
+double max_pf_for_raw_yield(double target_yield, std::size_t bits) {
+  const std::vector<WordClass> words{{"raw", 1, bits, 0, 0}};
+  return max_pf_for_yield(target_yield, words);
+}
+
+std::vector<WordClass> ule_way_words(std::size_t lines, std::size_t line_bytes,
+                                     std::size_t check_bits_data,
+                                     std::size_t check_bits_tag,
+                                     std::size_t hard_correctable) {
+  expects(line_bytes % 4 == 0, "line size must be a whole number of words");
+  const std::size_t data_words = lines * (line_bytes / 4);
+  std::vector<WordClass> words;
+  words.push_back({"data", data_words, 32, check_bits_data, hard_correctable});
+  words.push_back({"tag", lines, 26, check_bits_tag, hard_correctable});
+  return words;
+}
+
+}  // namespace hvc::yield

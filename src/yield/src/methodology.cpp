@@ -1,0 +1,110 @@
+#include "hvc/yield/methodology.hpp"
+
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::yield {
+
+namespace {
+
+using tech::CellDesign;
+using tech::CellKind;
+
+/// Yield of one ULE way built from `cell` at `vcc` with the given coding.
+[[nodiscard]] double way_yield(const CellDesign& cell, double vcc,
+                               const ArrayGeometry& geometry,
+                               edc::Protection protection,
+                               std::size_t hard_correctable) {
+  const double pf = tech::analytic_pfail(cell, vcc);
+  const auto words = ule_way_words(
+      geometry.lines, geometry.line_bytes,
+      edc::check_bits_for(protection), edc::check_bits_for(protection),
+      hard_correctable);
+  return cache_yield(pf, words);
+}
+
+}  // namespace
+
+const char* to_string(Scenario scenario) {
+  return scenario == Scenario::kA ? "A" : "B";
+}
+
+SizingResult size_cell_for_pf(CellKind kind, double vcc, double target_pf,
+                              const MethodologyConfig& config) {
+  expects(target_pf > 0.0 && target_pf < 1.0, "target Pf out of range");
+  SizingResult result;
+  for (double size = 1.0; size <= config.max_size;
+       size += config.size_step) {
+    const CellDesign cell{kind, size};
+    const double pf = tech::analytic_pfail(cell, vcc);
+    result.steps.push_back({size, pf, 0.0});
+    if (pf <= target_pf) {
+      result.cell = cell;
+      result.pf = pf;
+      return result;
+    }
+  }
+  throw ConfigError("size_cell_for_pf: target Pf unreachable within bounds");
+}
+
+CacheCellPlan run_methodology(Scenario scenario, double hp_vcc, double ule_vcc,
+                              const MethodologyConfig& config) {
+  CacheCellPlan plan;
+  plan.scenario = scenario;
+  plan.hp_vcc = hp_vcc;
+  plan.ule_vcc = ule_vcc;
+
+  // --- Step 1: HP-way Pf target from cache size and yield goal. ---
+  std::size_t reference_bits = config.pf_reference_bits;
+  if (reference_bits == 0) {
+    // Data bits of one way (1KB = 8192 bits): reproduces the paper's
+    // "Pf = 1.22e-6 for 99% yield" example exactly.
+    reference_bits = config.geometry.lines * config.geometry.line_bytes * 8;
+  }
+  plan.target_pf = max_pf_for_raw_yield(config.target_yield, reference_bits);
+
+  // --- Step 2: size 6T at HP Vcc for that Pf. ---
+  plan.hp_6t = size_cell_for_pf(CellKind::k6T, hp_vcc, plan.target_pf, config);
+
+  // --- Step 3: size 10T at ULE Vcc to match the same Pf (Fig. 2, top). ---
+  plan.baseline_10t =
+      size_cell_for_pf(CellKind::k10T, ule_vcc, plan.target_pf, config);
+  // Baseline way yield: raw in scenario A; SECDED present in scenario B but
+  // reserved for soft errors, so hard faults get no correction budget
+  // (the check bits still have to be fault-free).
+  const edc::Protection baseline_protection = scenario == Scenario::kA
+                                                  ? edc::Protection::kNone
+                                                  : edc::Protection::kSecded;
+  plan.baseline_10t.yield =
+      way_yield(plan.baseline_10t.cell, ule_vcc, config.geometry,
+                baseline_protection, 0);
+
+  // --- Steps 1-6 of the Fig. 2 loop: grow 8T until Y >= Y10T. ---
+  const edc::Protection proposed_protection = scenario == Scenario::kA
+                                                  ? edc::Protection::kSecded
+                                                  : edc::Protection::kDected;
+  const double required_yield = plan.baseline_10t.yield;
+  SizingResult proposal;
+  bool found = false;
+  for (double size = 1.0; size <= config.max_size;
+       size += config.size_step) {
+    const CellDesign cell{CellKind::k8T, size};
+    const double pf = tech::analytic_pfail(cell, ule_vcc);
+    const double yield = way_yield(cell, ule_vcc, config.geometry,
+                                   proposed_protection, 1);
+    proposal.steps.push_back({size, pf, yield});
+    if (yield >= required_yield) {
+      proposal.cell = cell;
+      proposal.pf = pf;
+      proposal.yield = yield;
+      found = true;
+      break;
+    }
+  }
+  ensure(found, "8T+EDC sizing loop failed to reach the 10T yield");
+  plan.proposed_8t = proposal;
+  return plan;
+}
+
+}  // namespace hvc::yield

@@ -1,0 +1,147 @@
+#include "hvc/yield/pfail.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hvc/common/error.hpp"
+#include "hvc/common/stats.hpp"
+
+namespace hvc::yield {
+
+namespace {
+
+[[nodiscard]] double inverse_q(double p) noexcept {
+  // Rough inverse of the Gaussian tail via bisection on erfc; only used to
+  // pick a shift magnitude, so moderate accuracy suffices.
+  double lo = 0.0;
+  double hi = 40.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double q = 0.5 * std::erfc(mid / std::sqrt(2.0));
+    if (q > p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+PfEstimate naive_mc_pfail(const tech::CellDesign& cell, double vcc, Rng& rng,
+                          std::size_t trials) {
+  expects(trials > 0, "naive_mc_pfail needs at least one trial");
+  const auto& traits = tech::cell_traits(cell.kind);
+  const double sigma = tech::cell_vt_sigma(cell);
+
+  std::vector<double> shifts(traits.transistors, 0.0);
+  std::size_t failures = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (auto& s : shifts) {
+      s = rng.normal(0.0, sigma);
+    }
+    if (tech::worst_margin(cell, vcc, shifts) < 0.0) {
+      ++failures;
+    }
+  }
+  PfEstimate est;
+  est.trials = trials;
+  est.failures = failures;
+  est.pf = static_cast<double>(failures) / static_cast<double>(trials);
+  est.stderr_pf =
+      std::sqrt(std::max(est.pf * (1.0 - est.pf), 0.0) /
+                static_cast<double>(trials));
+  return est;
+}
+
+PfEstimate importance_sample_pfail(const tech::CellDesign& cell, double vcc,
+                                   Rng& rng, std::size_t trials,
+                                   double shift_sigmas) {
+  expects(trials > 0, "importance_sample_pfail needs at least one trial");
+  const auto& traits = tech::cell_traits(cell.kind);
+  const double sigma = tech::cell_vt_sigma(cell);
+  const std::size_t dim = traits.transistors;
+
+  // Failure directions: unit vectors along the read and write sensitivity
+  // gradients (increasing Vt shift along +sensitivity reduces the margin).
+  const auto unit_direction = [&](const tech::MarginModel& margin) {
+    std::vector<double> dir(margin.sensitivities.begin(),
+                            margin.sensitivities.end());
+    const double norm = margin.sensitivity_norm();
+    for (auto& d : dir) {
+      d /= norm;
+    }
+    return dir;
+  };
+  const std::vector<double> dir_read = unit_direction(traits.read);
+  const std::vector<double> dir_write = unit_direction(traits.write);
+
+  // Shift magnitude: land the mixture means on the failure boundary.
+  const auto z_of = [&](const tech::MarginModel& margin) {
+    return margin.mean(vcc) / (margin.sensitivity_norm() * sigma);
+  };
+  double z_read = std::max(z_of(traits.read), 0.5);
+  double z_write = std::max(z_of(traits.write), 0.5);
+  if (shift_sigmas > 0.0) {
+    z_read = shift_sigmas;
+    z_write = shift_sigmas;
+  }
+
+  std::vector<std::vector<double>> means(2, std::vector<double>(dim, 0.0));
+  for (std::size_t i = 0; i < dim; ++i) {
+    means[0][i] = z_read * sigma * dir_read[i];
+    means[1][i] = z_write * sigma * dir_write[i];
+  }
+
+  // log N(x; mu, sigma^2 I) up to the common normalisation constant.
+  const auto log_density_shape = [&](const std::vector<double>& x,
+                                     const std::vector<double>& mu) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = x[i] - mu[i];
+      acc += d * d;
+    }
+    return -acc / (2.0 * sigma * sigma);
+  };
+  const std::vector<double> zero_mean(dim, 0.0);
+
+  RunningStat weights;
+  std::size_t failures = 0;
+  std::vector<double> sample(dim, 0.0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t component = t % 2;
+    for (std::size_t i = 0; i < dim; ++i) {
+      sample[i] = rng.normal(means[component][i], sigma);
+    }
+    double weighted = 0.0;
+    if (tech::worst_margin(cell, vcc, sample) < 0.0) {
+      ++failures;
+      const double log_p0 = log_density_shape(sample, zero_mean);
+      const double log_q0 = log_density_shape(sample, means[0]);
+      const double log_q1 = log_density_shape(sample, means[1]);
+      // Mixture proposal q = 0.5 q0 + 0.5 q1; compute in log space.
+      const double m = std::max(log_q0, log_q1);
+      const double log_q =
+          m + std::log(0.5 * std::exp(log_q0 - m) +
+                       0.5 * std::exp(log_q1 - m));
+      weighted = std::exp(log_p0 - log_q);
+    }
+    weights.add(weighted);
+  }
+
+  PfEstimate est;
+  est.trials = trials;
+  est.failures = failures;
+  est.pf = weights.mean();
+  est.stderr_pf = weights.stderr_mean();
+  return est;
+}
+
+namespace detail {
+// Exposed for tests that want the shift heuristic.
+[[nodiscard]] double inverse_q_for_tests(double p) { return inverse_q(p); }
+}  // namespace detail
+
+}  // namespace hvc::yield

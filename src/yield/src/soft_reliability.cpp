@@ -1,0 +1,86 @@
+#include "hvc/yield/soft_reliability.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::yield {
+
+double p_word_overflow(std::size_t bits, double rate_per_bit,
+                       double interval_s, std::size_t budget) {
+  expects(bits > 0, "word must have bits");
+  expects(rate_per_bit >= 0.0 && interval_s >= 0.0,
+          "rates and intervals must be non-negative");
+  const double mean = rate_per_bit * static_cast<double>(bits) * interval_s;
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  if (mean < 1e-6) {
+    // 1 - CDF underflows in double precision for tiny means; use the
+    // leading tail term P(N > b) ~= m^(b+1) / (b+1)!  (relative error ~m).
+    double term = 1.0;
+    for (std::size_t i = 1; i <= budget + 1; ++i) {
+      term *= mean / static_cast<double>(i);
+    }
+    return term;
+  }
+  // P(N > budget) = 1 - sum_{i=0..budget} e^-m m^i / i!
+  double term = std::exp(-mean);  // i = 0
+  double cdf = term;
+  for (std::size_t i = 1; i <= budget; ++i) {
+    term *= mean / static_cast<double>(i);
+    cdf += term;
+  }
+  return std::max(0.0, 1.0 - cdf);
+}
+
+double uncorrectable_event_rate(const SoftWordClass& words,
+                                double rate_per_bit,
+                                double scrub_interval_s) {
+  expects(scrub_interval_s > 0.0, "scrub interval must be positive");
+  const double p =
+      p_word_overflow(words.bits, rate_per_bit, scrub_interval_s,
+                      words.soft_budget);
+  // Union over words and over independent scrub windows per second.
+  return static_cast<double>(words.count) * p / scrub_interval_s;
+}
+
+double mttf_seconds(const SoftWordClass& words, double rate_per_bit,
+                    double scrub_interval_s) {
+  const double rate =
+      uncorrectable_event_rate(words, rate_per_bit, scrub_interval_s);
+  if (rate <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / rate;
+}
+
+double required_scrub_interval(const SoftWordClass& words,
+                               double rate_per_bit,
+                               double max_events_per_s) {
+  expects(max_events_per_s > 0.0, "target rate must be positive");
+  // Event rate decreases monotonically as the interval shrinks (for
+  // budget >= 1); bisect on log-interval.
+  double lo = 1e-6;
+  double hi = 1e9;
+  if (uncorrectable_event_rate(words, rate_per_bit, lo) > max_events_per_s) {
+    return 0.0;  // even continuous scrubbing is not enough
+  }
+  if (uncorrectable_event_rate(words, rate_per_bit, hi) <=
+      max_events_per_s) {
+    return hi;  // no scrubbing needed within any practical mission
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    if (uncorrectable_event_rate(words, rate_per_bit, mid) <=
+        max_events_per_s) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace hvc::yield

@@ -1,0 +1,167 @@
+// Unit tests for BitVec.
+#include <gtest/gtest.h>
+
+#include "hvc/common/bitvec.hpp"
+#include "hvc/common/error.hpp"
+#include "hvc/common/rng.hpp"
+
+namespace hvc {
+namespace {
+
+TEST(BitVec, ConstructZeroed) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, ConstructFilled) {
+  BitVec v(70, true);
+  EXPECT_EQ(v.popcount(), 70u);
+  EXPECT_TRUE(v.get(69));
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(100);
+  v.set(63);
+  v.set(64);
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_FALSE(v.get(65));
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  v.set(63, false);
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(10);
+  EXPECT_THROW((void)v.get(10), PreconditionError);
+  EXPECT_THROW(v.set(10), PreconditionError);
+  EXPECT_THROW(v.flip(10), PreconditionError);
+}
+
+TEST(BitVec, FromWordRoundTrip) {
+  const BitVec v = BitVec::from_word(0xDEADBEEF, 32);
+  EXPECT_EQ(v.to_word(), 0xDEADBEEFu);
+  EXPECT_EQ(v.size(), 32u);
+}
+
+TEST(BitVec, FromWordMasksHighBits) {
+  const BitVec v = BitVec::from_word(0xFF, 4);
+  EXPECT_EQ(v.to_word(), 0xFu);
+}
+
+TEST(BitVec, StringRoundTrip) {
+  const std::string s = "1011001110001111";
+  const BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_TRUE(v.get(0));   // LSB = last char
+  EXPECT_TRUE(v.get(15));  // MSB = first char
+}
+
+TEST(BitVec, XorAndOr) {
+  const BitVec a = BitVec::from_word(0b1100, 4);
+  const BitVec b = BitVec::from_word(0b1010, 4);
+  EXPECT_EQ((a ^ b).to_word(), 0b0110u);
+  EXPECT_EQ((a & b).to_word(), 0b1000u);
+  EXPECT_EQ((a | b).to_word(), 0b1110u);
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(8), b(9);
+  EXPECT_THROW(a ^= b, PreconditionError);
+}
+
+TEST(BitVec, Parity) {
+  EXPECT_FALSE(BitVec::from_word(0b0, 4).parity());
+  EXPECT_TRUE(BitVec::from_word(0b1, 4).parity());
+  EXPECT_FALSE(BitVec::from_word(0b11, 4).parity());
+  BitVec wide(200);
+  wide.set(0);
+  wide.set(199);
+  EXPECT_FALSE(wide.parity());
+  wide.set(100);
+  EXPECT_TRUE(wide.parity());
+}
+
+TEST(BitVec, Dot) {
+  const BitVec a = BitVec::from_word(0b1101, 4);
+  const BitVec b = BitVec::from_word(0b1011, 4);
+  // overlap = 0b1001 -> popcount 2 -> parity 0
+  EXPECT_FALSE(a.dot(b));
+  const BitVec c = BitVec::from_word(0b0001, 4);
+  EXPECT_TRUE(a.dot(c));
+}
+
+TEST(BitVec, SliceAndConcat) {
+  const BitVec v = BitVec::from_word(0b11010110, 8);
+  const BitVec lo = v.slice(0, 4);
+  const BitVec hi = v.slice(4, 4);
+  EXPECT_EQ(lo.to_word(), 0b0110u);
+  EXPECT_EQ(hi.to_word(), 0b1101u);
+  EXPECT_EQ(lo.concat(hi), v);
+}
+
+TEST(BitVec, SliceOutOfRangeThrows) {
+  const BitVec v(8);
+  EXPECT_THROW((void)v.slice(5, 4), PreconditionError);
+}
+
+TEST(BitVec, SetBits) {
+  BitVec v(130);
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  const auto bits = v.set_bits();
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_EQ(bits[0], 0u);
+  EXPECT_EQ(bits[1], 64u);
+  EXPECT_EQ(bits[2], 129u);
+}
+
+TEST(BitVec, ResizeGrowZero) {
+  BitVec v(4, true);
+  v.resize(8);
+  EXPECT_EQ(v.popcount(), 4u);
+  EXPECT_FALSE(v.get(7));
+}
+
+TEST(BitVec, ResizeGrowOnes) {
+  BitVec v(4);
+  v.resize(70, true);
+  EXPECT_EQ(v.popcount(), 66u);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_TRUE(v.get(69));
+}
+
+TEST(BitVec, EqualityAndClear) {
+  BitVec a = BitVec::from_word(0xAB, 8);
+  BitVec b = BitVec::from_word(0xAB, 8);
+  EXPECT_EQ(a, b);
+  b.flip(3);
+  EXPECT_NE(a, b);
+  a.clear();
+  EXPECT_TRUE(a.none());
+  EXPECT_EQ(a.size(), 8u);
+}
+
+TEST(BitVec, PopcountRandomized) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVec v(257);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (rng.bernoulli(0.3)) {
+        if (!v.get(i)) {
+          ++expected;
+        }
+        v.set(i);
+      }
+    }
+    EXPECT_EQ(v.popcount(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace hvc

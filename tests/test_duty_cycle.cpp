@@ -1,0 +1,126 @@
+// Duty-cycle simulation tests: dynamic mode switching on one System and
+// the paper's deployment-model claims.
+#include <gtest/gtest.h>
+
+#include "hvc/sim/duty_cycle.hpp"
+#include "hvc/sim/system.hpp"
+
+namespace hvc::sim {
+namespace {
+
+[[nodiscard]] DutyCycleConfig small_duty(bool proposed) {
+  DutyCycleConfig config;
+  config.design = {yield::Scenario::kA, proposed};
+  config.ule_phases = {{"adpcm_c", 1, 1}};
+  config.hp_phase = {"epic_c", 2, 1};  // keep the HP burst cheap for tests
+  config.cycles = 2;
+  config.idle_fraction = 0.9;
+  return config;
+}
+
+TEST(SystemModeSwitch, TogglesAndCounts) {
+  SystemConfig config;
+  config.design = {yield::Scenario::kA, true};
+  config.mode = power::Mode::kHp;
+  System system(config, cell_plan_for(yield::Scenario::kA));
+  EXPECT_EQ(system.mode(), power::Mode::kHp);
+  system.set_mode(power::Mode::kUle);
+  EXPECT_EQ(system.mode(), power::Mode::kUle);
+  system.set_mode(power::Mode::kUle);  // no-op
+  EXPECT_EQ(system.mode_switches(), 1u);
+  system.set_mode(power::Mode::kHp);
+  EXPECT_EQ(system.mode_switches(), 2u);
+}
+
+TEST(SystemModeSwitch, WorkloadsRunCorrectlyAfterSwitches) {
+  SystemConfig config;
+  config.design = {yield::Scenario::kA, true};
+  config.mode = power::Mode::kUle;
+  System system(config, cell_plan_for(yield::Scenario::kA));
+  const auto first = system.run_workload("adpcm_c", 1);
+  system.set_mode(power::Mode::kHp);
+  const auto burst = system.run_workload("epic_c", 2);
+  system.set_mode(power::Mode::kUle);
+  const auto second = system.run_workload("adpcm_c", 1);
+  EXPECT_GT(first.instructions, 0u);
+  EXPECT_GT(burst.instructions, 0u);
+  // Identical workload at the same mode: identical timing either side of
+  // the HP excursion (caches may differ in warmth, but ULE ways retain
+  // content and the trace is deterministic).
+  EXPECT_EQ(first.instructions, second.instructions);
+}
+
+TEST(SystemModeSwitch, SwitchEnergyAccumulates) {
+  SystemConfig config;
+  config.design = {yield::Scenario::kA, true};
+  config.mode = power::Mode::kHp;
+  System system(config, cell_plan_for(yield::Scenario::kA));
+  // Dirty some lines at HP so the switch has writeback work to do.
+  (void)system.run_workload("epic_c", 1);
+  const double before = system.mode_switch_energy_j();
+  system.set_mode(power::Mode::kUle);
+  EXPECT_GT(system.mode_switch_energy_j(), before);
+}
+
+TEST(SystemModeSwitch, LeakageFollowsMode) {
+  SystemConfig config;
+  config.design = {yield::Scenario::kA, true};
+  config.mode = power::Mode::kHp;
+  System system(config, cell_plan_for(yield::Scenario::kA));
+  const double hp_leak = system.chip_leakage_w();
+  system.set_mode(power::Mode::kUle);
+  EXPECT_LT(system.chip_leakage_w(), hp_leak / 3.0);
+}
+
+TEST(DutyCycle, RunsAndAccountsEverything) {
+  const DutyCycleResult result = run_duty_cycle(small_duty(true));
+  EXPECT_GT(result.ule_active_energy_j, 0.0);
+  EXPECT_GT(result.hp_active_energy_j, 0.0);
+  EXPECT_GT(result.idle_energy_j, 0.0);
+  EXPECT_GT(result.switch_energy_j, 0.0);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_GE(result.mode_switches, 4u);  // 2 cycles x (ULE+HP) + final ULE
+  EXPECT_GT(result.instructions, 0u);
+  EXPECT_NEAR(result.total_energy_j(),
+              result.ule_active_energy_j + result.hp_active_energy_j +
+                  result.idle_energy_j + result.switch_energy_j,
+              1e-18);
+}
+
+TEST(DutyCycle, UleDominatesWallClock) {
+  // The paper's premise: ULE mode covers ~99%+ of the time.
+  const DutyCycleResult result = run_duty_cycle(small_duty(true));
+  EXPECT_GT(result.ule_time_fraction(), 0.95);
+}
+
+TEST(DutyCycle, ProposedBeatsBaseline) {
+  const DutyCycleResult base = run_duty_cycle(small_duty(false));
+  const DutyCycleResult prop = run_duty_cycle(small_duty(true));
+  EXPECT_LT(prop.total_energy_j(), base.total_energy_j());
+  EXPECT_GT(prop.battery_seconds(2430.0), base.battery_seconds(2430.0));
+}
+
+TEST(DutyCycle, MoreIdleMoreLeakageShare) {
+  DutyCycleConfig lazy = small_duty(true);
+  lazy.idle_fraction = 0.99;
+  DutyCycleConfig busy = small_duty(true);
+  busy.idle_fraction = 0.5;
+  const DutyCycleResult r_lazy = run_duty_cycle(lazy);
+  const DutyCycleResult r_busy = run_duty_cycle(busy);
+  EXPECT_GT(r_lazy.idle_energy_j / r_lazy.total_energy_j(),
+            r_busy.idle_energy_j / r_busy.total_energy_j());
+  // And the average power drops as the node idles more.
+  EXPECT_LT(r_lazy.average_power_w(), r_busy.average_power_w());
+}
+
+TEST(DutyCycle, InvalidConfigThrows) {
+  DutyCycleConfig config = small_duty(true);
+  config.cycles = 0;
+  EXPECT_THROW((void)run_duty_cycle(config), PreconditionError);
+  config = small_duty(true);
+  config.idle_fraction = 1.0;
+  EXPECT_THROW((void)run_duty_cycle(config), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hvc::sim

@@ -1,0 +1,210 @@
+// DEC-TED (shortened BCH t=2 + parity) tests, including exhaustive single
+// and double error sweeps and triple-error detection.
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+
+#include "hvc/common/rng.hpp"
+#include "hvc/edc/bch.hpp"
+#include "hvc/edc/checker.hpp"
+#include "hvc/edc/poly2.hpp"
+
+namespace hvc::edc {
+namespace {
+
+TEST(Poly2, Arithmetic) {
+  const Poly2 a(0b1011);        // x^3 + x + 1
+  const Poly2 b(0b110);         // x^2 + x
+  EXPECT_EQ((a + a), Poly2::zero());
+  EXPECT_EQ((a + b), Poly2(0b1101));
+  const Poly2 product = a * b;  // (x^3+x+1)(x^2+x)
+  // = x^5 + x^4 + x^3 + x^2 + x^3 + x^2... compute: x^5+x^4 + x^3+x^2 + x^2+x
+  // = x^5 + x^4 + x^3 + x
+  EXPECT_EQ(product, Poly2(0b111010));
+}
+
+TEST(Poly2, DivMod) {
+  const Poly2 dividend(0b111010);
+  const Poly2 divisor(0b1011);
+  const auto dm = dividend.divmod(divisor);
+  EXPECT_EQ(dm.quotient * divisor + dm.remainder, dividend);
+  EXPECT_LT(dm.remainder.degree(), divisor.degree());
+  EXPECT_EQ(dividend.mod(divisor), dm.remainder);
+}
+
+TEST(Poly2, DivisionByZeroThrows) {
+  EXPECT_THROW((void)Poly2(0b1).divmod(Poly2::zero()), PreconditionError);
+}
+
+TEST(Poly2, ToString) {
+  EXPECT_EQ(Poly2(0b1000011).to_string(), "x^6 + x + 1");
+  EXPECT_EQ(Poly2::zero().to_string(), "0");
+  EXPECT_EQ(Poly2::one().to_string(), "1");
+}
+
+TEST(BchDected, MinimalPolynomials) {
+  const GF2m field(6);
+  const Poly2 m1 = BchDected::minimal_polynomial(field, 1);
+  EXPECT_EQ(m1, Poly2(0b1000011));  // the primitive polynomial itself
+  const Poly2 m3 = BchDected::minimal_polynomial(field, 3);
+  EXPECT_EQ(m3.degree(), 6);
+  // m3 must divide x^63 + 1.
+  Poly2 x63(std::vector<std::uint8_t>(64, 0));
+  {
+    std::vector<std::uint8_t> coeffs(64, 0);
+    coeffs[0] = 1;
+    coeffs[63] = 1;
+    x63 = Poly2(coeffs);
+  }
+  EXPECT_TRUE(x63.mod(m3).is_zero());
+  EXPECT_TRUE(x63.mod(m1).is_zero());
+}
+
+TEST(BchDected, PaperWidths) {
+  const BchDected data(32);
+  EXPECT_EQ(data.check_bits(), 13u);  // 12 BCH + 1 parity (paper: 13)
+  EXPECT_EQ(data.codeword_bits(), 45u);
+  EXPECT_EQ(data.name(), "DECTED(45,32)");
+
+  const BchDected tag(26);
+  EXPECT_EQ(tag.check_bits(), 13u);
+  EXPECT_EQ(tag.codeword_bits(), 39u);
+}
+
+TEST(BchDected, GeneratorDegree12) {
+  const BchDected codec(32);
+  EXPECT_EQ(codec.generator().degree(), 12);
+}
+
+TEST(BchDected, TooWideForForcedFieldThrows) {
+  EXPECT_THROW(BchDected(52, 6), PreconditionError);  // 52+12 > 63
+}
+
+TEST(BchDected, FieldDegreeAutoSelection) {
+  EXPECT_EQ(BchDected::min_field_degree(32), 6u);
+  EXPECT_EQ(BchDected::min_field_degree(51), 6u);
+  EXPECT_EQ(BchDected::min_field_degree(52), 7u);
+  EXPECT_EQ(BchDected::min_field_degree(113), 7u);
+  EXPECT_EQ(BchDected::min_field_degree(128), 8u);
+  EXPECT_EQ(BchDected::min_field_degree(256), 9u);
+}
+
+TEST(BchDected, LineGranularityCode) {
+  // Whole 256-bit cache line: GF(2^9), 18 BCH check bits + parity = 19.
+  const BchDected codec(256);
+  EXPECT_EQ(codec.check_bits(), 19u);
+  EXPECT_EQ(codec.codeword_bits(), 275u);
+  EXPECT_EQ(codec.generator().degree(), 18);
+}
+
+class BchWideWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BchWideWidths, SingleAndDoubleErrorsCorrected) {
+  const BchDected codec(GetParam());
+  Rng rng(21);
+  const CheckReport singles = check_all_single_errors(codec, rng, 2);
+  EXPECT_EQ(singles.correct_decodes, singles.trials);
+  const CheckReport doubles = check_all_double_errors(codec, rng, 1);
+  EXPECT_EQ(doubles.correct_decodes, doubles.trials);
+  EXPECT_TRUE(doubles.perfect());
+}
+
+TEST_P(BchWideWidths, TripleErrorsDetected) {
+  const BchDected codec(GetParam());
+  Rng rng(22);
+  const CheckReport report = check_random_errors(codec, rng, 3, 800);
+  EXPECT_EQ(report.detected, report.trials);
+}
+
+INSTANTIATE_TEST_SUITE_P(WideWidths, BchWideWidths,
+                         ::testing::Values(64, 128, 256));
+
+TEST(BchDected, CleanRoundTrip) {
+  const BchDected codec(32);
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec data(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+      data.set(i, rng.bernoulli(0.5));
+    }
+    const DecodeResult result = codec.decode(codec.encode(data));
+    EXPECT_EQ(result.status, DecodeStatus::kClean);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+class BchWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BchWidths, AllSingleErrorsCorrected) {
+  const BchDected codec(GetParam());
+  Rng rng(2);
+  const CheckReport report = check_all_single_errors(codec, rng, 6);
+  EXPECT_EQ(report.correct_decodes, report.trials);
+  EXPECT_TRUE(report.perfect());
+}
+
+TEST_P(BchWidths, AllDoubleErrorsCorrected) {
+  const BchDected codec(GetParam());
+  Rng rng(3);
+  const CheckReport report = check_all_double_errors(codec, rng, 2);
+  EXPECT_EQ(report.correct_decodes, report.trials);
+  EXPECT_TRUE(report.perfect());
+}
+
+TEST_P(BchWidths, RandomTripleErrorsDetectedOrHarmless) {
+  const BchDected codec(GetParam());
+  Rng rng(4);
+  const CheckReport report = check_random_errors(codec, rng, 3, 4000);
+  // d >= 6 guarantees every weight-3 error is flagged, never miscorrected.
+  EXPECT_EQ(report.detected, report.trials);
+  EXPECT_EQ(report.miscorrections, 0u);
+  EXPECT_EQ(report.missed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BchWidths, ::testing::Values(26, 32, 40));
+
+TEST(BchDected, ParityBitOnlyError) {
+  const BchDected codec(32);
+  const BitVec data = BitVec::from_word(0xA5A5A5A5, 32);
+  BitVec codeword = codec.encode(data);
+  codeword.flip(codeword.size() - 1);
+  const DecodeResult result = codec.decode(codeword);
+  EXPECT_EQ(result.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(result.data, data);
+}
+
+TEST(BchDected, DataPlusParityError) {
+  const BchDected codec(32);
+  const BitVec data = BitVec::from_word(0x0F0F0F0F, 32);
+  BitVec codeword = codec.encode(data);
+  codeword.flip(5);
+  codeword.flip(codeword.size() - 1);
+  const DecodeResult result = codec.decode(codeword);
+  EXPECT_EQ(result.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(result.data, data);
+}
+
+TEST(BchDected, MinimumDistanceAtLeastSix) {
+  const BchDected codec(32);
+  Rng rng(5);
+  EXPECT_GE(sampled_min_distance(codec, rng, 2000), 6u);
+}
+
+TEST(BchDected, SystematicLayout) {
+  const BchDected codec(32);
+  const BitVec data = BitVec::from_word(0x13572468, 32);
+  EXPECT_EQ(codec.encode(data).slice(0, 32), data);
+}
+
+TEST(BchDected, FourErrorsNeverSilentlyAccepted) {
+  // Beyond guaranteed capability: 4-bit errors may be miscorrected (that
+  // is information-theoretically unavoidable for d=6), but must never be
+  // reported as kClean with wrong data.
+  const BchDected codec(32);
+  Rng rng(6);
+  const CheckReport report = check_random_errors(codec, rng, 4, 3000);
+  EXPECT_EQ(report.missed, 0u);
+}
+
+}  // namespace
+}  // namespace hvc::edc

@@ -1,0 +1,96 @@
+// Tests for the code property checkers themselves (and the codec factory).
+#include <gtest/gtest.h>
+
+#include "hvc/common/rng.hpp"
+#include "hvc/edc/checker.hpp"
+#include "hvc/edc/code.hpp"
+
+namespace hvc::edc {
+namespace {
+
+TEST(Factory, PaperCheckBitCounts) {
+  EXPECT_EQ(check_bits_for(Protection::kNone), 0u);
+  EXPECT_EQ(check_bits_for(Protection::kSecded), 7u);
+  EXPECT_EQ(check_bits_for(Protection::kDected), 13u);
+}
+
+TEST(Factory, BuildsPaperCodecs) {
+  const auto data_secded = make_codec(Protection::kSecded, 32);
+  EXPECT_EQ(data_secded->codeword_bits(), 39u);
+  const auto tag_secded = make_codec(Protection::kSecded, 26);
+  EXPECT_EQ(tag_secded->codeword_bits(), 33u);  // 7 check bits per paper
+  const auto data_dected = make_codec(Protection::kDected, 32);
+  EXPECT_EQ(data_dected->codeword_bits(), 45u);
+  const auto none = make_codec(Protection::kNone, 32);
+  EXPECT_EQ(none->codeword_bits(), 32u);
+}
+
+TEST(Factory, ToStringNames) {
+  EXPECT_EQ(to_string(Protection::kNone), "none");
+  EXPECT_EQ(to_string(Protection::kSecded), "SECDED");
+  EXPECT_EQ(to_string(Protection::kDected), "DECTED");
+  EXPECT_EQ(to_string(DecodeStatus::kClean), "clean");
+  EXPECT_EQ(to_string(DecodeStatus::kCorrected), "corrected");
+  EXPECT_EQ(to_string(DecodeStatus::kDetected), "detected");
+}
+
+TEST(NullCodeTest, PassThrough) {
+  const NullCode codec(16);
+  const BitVec data = BitVec::from_word(0xBEEF, 16);
+  EXPECT_EQ(codec.encode(data), data);
+  const DecodeResult result = codec.decode(data);
+  EXPECT_EQ(result.status, DecodeStatus::kClean);
+  EXPECT_EQ(result.data, data);
+}
+
+TEST(NullCodeTest, MissesEverything) {
+  // NullCode cannot detect anything: the checker must classify corrupted
+  // words as missed.
+  const NullCode codec(16);
+  Rng rng(1);
+  const CheckReport report = check_all_single_errors(codec, rng, 2);
+  EXPECT_EQ(report.missed, report.trials);
+  EXPECT_FALSE(report.perfect());
+}
+
+TEST(Checker, ZeroErrorTrialsAreClean) {
+  const auto codec = make_codec(Protection::kSecded, 32);
+  Rng rng(2);
+  const CheckReport report = check_random_errors(*codec, rng, 0, 100);
+  EXPECT_EQ(report.correct_decodes, report.trials);
+}
+
+TEST(Checker, TrialCountsAdd) {
+  const auto codec = make_codec(Protection::kSecded, 32);
+  Rng rng(3);
+  const CheckReport report = check_all_single_errors(*codec, rng, 4);
+  EXPECT_EQ(report.trials, 4u * codec->codeword_bits());
+  EXPECT_EQ(report.correct_decodes + report.detected + report.miscorrections +
+                report.missed,
+            report.trials);
+}
+
+TEST(Checker, SecdedTripleErrorsNeverSilent) {
+  // Weight-3 errors exceed SECDED capability: they may be miscorrected
+  // (d=4), but never accepted as clean.
+  const auto codec = make_codec(Protection::kSecded, 32);
+  Rng rng(4);
+  const CheckReport report = check_random_errors(*codec, rng, 3, 3000);
+  EXPECT_EQ(report.missed, 0u);
+  // And a nonzero miscorrection rate is expected: this is exactly why the
+  // paper moves to DECTED when soft errors stack on hard faults.
+  EXPECT_GT(report.miscorrections, 0u);
+}
+
+TEST(Checker, SampledDistanceSane) {
+  const auto secded = make_codec(Protection::kSecded, 32);
+  const auto dected = make_codec(Protection::kDected, 32);
+  Rng rng(5);
+  const std::size_t d_secded = sampled_min_distance(*secded, rng, 1500);
+  const std::size_t d_dected = sampled_min_distance(*dected, rng, 1500);
+  EXPECT_GE(d_secded, 4u);
+  EXPECT_GE(d_dected, 6u);
+}
+
+}  // namespace
+}  // namespace hvc::edc

@@ -1,0 +1,87 @@
+// EDC circuit cost model tests (the paper's HSPICE-derived encoder/decoder
+// energy substitution).
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+
+#include "hvc/edc/bch.hpp"
+#include "hvc/edc/code.hpp"
+#include "hvc/edc/cost.hpp"
+#include "hvc/edc/hsiao.hpp"
+
+namespace hvc::edc {
+namespace {
+
+TEST(EdcCost, NullCodeIsFree) {
+  const NullCode codec(32);
+  EXPECT_EQ(encoder_shape(codec).xor2_gates, 0u);
+  EXPECT_EQ(decoder_shape(codec).xor2_gates, 0u);
+  EXPECT_EQ(decoder_shape(codec).depth, 0u);
+}
+
+TEST(EdcCost, SecdedEncoderShape) {
+  const HsiaoSecded codec(32, 7);
+  const CircuitShape enc = encoder_shape(codec);
+  // 7 XOR trees over weight-3+ columns: dozens of gates, shallow depth.
+  EXPECT_GT(enc.xor2_gates, 50u);
+  EXPECT_LT(enc.xor2_gates, 300u);
+  EXPECT_GE(enc.depth, 3u);
+  EXPECT_LE(enc.depth, 6u);
+}
+
+TEST(EdcCost, DecoderBiggerThanEncoder) {
+  const HsiaoSecded secded(32, 7);
+  EXPECT_GT(decoder_shape(secded).xor2_gates +
+                decoder_shape(secded).other_gates,
+            encoder_shape(secded).xor2_gates);
+  const BchDected dected(32);
+  EXPECT_GT(decoder_shape(dected).xor2_gates + decoder_shape(dected).other_gates,
+            encoder_shape(dected).xor2_gates);
+}
+
+TEST(EdcCost, DectedCostsMoreThanSecded) {
+  // The paper's premise: DECTED is a strictly heavier code (13 vs 7 check
+  // bits), so its circuits must cost more in gates and depth.
+  const HsiaoSecded secded(32, 7);
+  const BchDected dected(32);
+  const CircuitShape enc_s = encoder_shape(secded);
+  const CircuitShape enc_d = encoder_shape(dected);
+  EXPECT_GT(enc_d.xor2_gates, enc_s.xor2_gates);
+  const CircuitShape dec_s = decoder_shape(secded);
+  const CircuitShape dec_d = decoder_shape(dected);
+  EXPECT_GT(dec_d.xor2_gates + dec_d.other_gates,
+            dec_s.xor2_gates + dec_s.other_gates);
+  EXPECT_GE(dec_d.depth, dec_s.depth);
+}
+
+TEST(EdcCost, CircuitCostScalesWithGates) {
+  const GateFigures gate{1e-15, 1e-9, 50e-12};
+  const CircuitShape small{100, 0, 4};
+  const CircuitShape large{200, 0, 4};
+  const CircuitCost cs = circuit_cost(small, gate);
+  const CircuitCost cl = circuit_cost(large, gate);
+  EXPECT_DOUBLE_EQ(cl.energy_j, 2.0 * cs.energy_j);
+  EXPECT_DOUBLE_EQ(cl.leakage_w, 2.0 * cs.leakage_w);
+  EXPECT_DOUBLE_EQ(cl.delay_s, cs.delay_s);
+}
+
+TEST(EdcCost, ActivityScaling) {
+  const GateFigures gate{1e-15, 1e-9, 50e-12};
+  const CircuitShape shape{100, 50, 6};
+  const CircuitCost half = circuit_cost(shape, gate, 0.5);
+  const CircuitCost full = circuit_cost(shape, gate, 1.0);
+  EXPECT_DOUBLE_EQ(full.energy_j, 2.0 * half.energy_j);
+  EXPECT_DOUBLE_EQ(full.leakage_w, half.leakage_w);  // leakage is static
+  EXPECT_THROW((void)circuit_cost(shape, gate, 1.5), PreconditionError);
+}
+
+TEST(EdcCost, DelayFollowsDepth) {
+  const GateFigures gate{1e-15, 1e-9, 50e-12};
+  const CircuitShape shallow{100, 0, 3};
+  const CircuitShape deep{100, 0, 9};
+  EXPECT_DOUBLE_EQ(circuit_cost(deep, gate).delay_s,
+                   3.0 * circuit_cost(shallow, gate).delay_s);
+}
+
+}  // namespace
+}  // namespace hvc::edc

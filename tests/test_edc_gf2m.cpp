@@ -1,0 +1,131 @@
+// GF(2^m) field arithmetic tests.
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+#include "hvc/common/rng.hpp"
+#include "hvc/edc/gf2m.hpp"
+
+namespace hvc::edc {
+namespace {
+
+TEST(GF2m, FieldSizes) {
+  const GF2m f(6);
+  EXPECT_EQ(f.size(), 64u);
+  EXPECT_EQ(f.order(), 63u);
+  EXPECT_THROW(GF2m(1), PreconditionError);
+  EXPECT_THROW(GF2m(17), PreconditionError);
+}
+
+TEST(GF2m, AlphaPowersCycle) {
+  const GF2m f(6);
+  EXPECT_EQ(f.alpha_pow(0), 1u);
+  EXPECT_EQ(f.alpha_pow(63), 1u);   // order wraps
+  EXPECT_EQ(f.alpha_pow(-63), 1u);
+  EXPECT_EQ(f.alpha_pow(1), f.alpha_pow(64));
+  EXPECT_EQ(f.alpha_pow(-1), f.alpha_pow(62));
+}
+
+TEST(GF2m, LogExpInverse) {
+  const GF2m f(6);
+  for (std::uint32_t x = 1; x < f.size(); ++x) {
+    EXPECT_EQ(f.alpha_pow(f.log(x)), x);
+  }
+  EXPECT_THROW((void)f.log(0), PreconditionError);
+}
+
+TEST(GF2m, MultiplicationProperties) {
+  const GF2m f(6);
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = static_cast<std::uint32_t>(rng.below(64));
+    const auto b = static_cast<std::uint32_t>(rng.below(64));
+    const auto c = static_cast<std::uint32_t>(rng.below(64));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+    // Distributivity over XOR (field addition).
+    EXPECT_EQ(f.mul(a, b ^ c),
+              static_cast<std::uint32_t>(f.mul(a, b) ^ f.mul(a, c)));
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.mul(a, 0), 0u);
+  }
+}
+
+TEST(GF2m, InverseAndDivision) {
+  const GF2m f(6);
+  for (std::uint32_t x = 1; x < f.size(); ++x) {
+    EXPECT_EQ(f.mul(x, f.inv(x)), 1u);
+    EXPECT_EQ(f.div(x, x), 1u);
+  }
+  EXPECT_THROW((void)f.inv(0), PreconditionError);
+  EXPECT_THROW((void)f.div(1, 0), PreconditionError);
+}
+
+TEST(GF2m, PowMatchesRepeatedMul) {
+  const GF2m f(6);
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = static_cast<std::uint32_t>(1 + rng.below(63));
+    std::uint32_t expect = 1;
+    for (int e = 0; e < 10; ++e) {
+      EXPECT_EQ(f.pow(a, e), expect) << "a=" << a << " e=" << e;
+      expect = f.mul(expect, a);
+    }
+    EXPECT_EQ(f.mul(f.pow(a, -3), f.pow(a, 3)), 1u);
+  }
+}
+
+TEST(GF2m, SqrtIsFrobeniusInverse) {
+  const GF2m f(6);
+  for (std::uint32_t x = 0; x < f.size(); ++x) {
+    const std::uint32_t r = f.sqrt(x);
+    EXPECT_EQ(f.mul(r, r), x);
+  }
+}
+
+TEST(GF2m, TraceIsGF2Valued) {
+  const GF2m f(6);
+  std::size_t zeros = 0;
+  for (std::uint32_t x = 0; x < f.size(); ++x) {
+    const std::uint32_t t = f.trace(x);
+    EXPECT_LE(t, 1u);
+    zeros += (t == 0) ? 1 : 0;
+  }
+  // Trace is a balanced linear form: exactly half the elements map to 0.
+  EXPECT_EQ(zeros, f.size() / 2);
+}
+
+TEST(GF2m, QuadraticSolver) {
+  const GF2m f(6);
+  for (std::uint32_t c = 0; c < f.size(); ++c) {
+    const auto root = f.solve_x2_plus_x(c);
+    if (f.trace(c) == 0) {
+      ASSERT_TRUE(root.found) << "c=" << c;
+      const std::uint32_t x = root.root;
+      EXPECT_EQ(static_cast<std::uint32_t>(f.mul(x, x) ^ x), c);
+      // The second root is x+1.
+      const std::uint32_t y = x ^ 1U;
+      EXPECT_EQ(static_cast<std::uint32_t>(f.mul(y, y) ^ y), c);
+    } else {
+      EXPECT_FALSE(root.found) << "c=" << c;
+    }
+  }
+}
+
+class GF2mDegrees : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GF2mDegrees, PrimitiveElementHasFullOrder) {
+  const GF2m f(GetParam());
+  // alpha^k != 1 for all 0 < k < order (checked implicitly by table
+  // construction); spot-check group closure and Fermat.
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = static_cast<std::uint32_t>(1 + rng.below(f.order()));
+    EXPECT_EQ(f.pow(a, static_cast<std::int64_t>(f.order())), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, GF2mDegrees,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10));
+
+}  // namespace
+}  // namespace hvc::edc

@@ -1,0 +1,148 @@
+// Hsiao SEC-DED code tests: construction properties, exhaustive single-
+// and double-error behaviour on the paper's word widths (32-bit data,
+// 26-bit tag, both with 7 check bits).
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+
+#include <set>
+
+#include "hvc/common/rng.hpp"
+#include "hvc/edc/checker.hpp"
+#include "hvc/edc/hsiao.hpp"
+
+namespace hvc::edc {
+namespace {
+
+TEST(Hsiao, PaperWidths) {
+  const HsiaoSecded data(32, 7);
+  EXPECT_EQ(data.data_bits(), 32u);
+  EXPECT_EQ(data.check_bits(), 7u);
+  EXPECT_EQ(data.codeword_bits(), 39u);
+  EXPECT_EQ(data.name(), "SECDED(39,32)");
+
+  const HsiaoSecded tag(26, 7);
+  EXPECT_EQ(tag.codeword_bits(), 33u);
+  EXPECT_EQ(tag.name(), "SECDED(33,26)");
+}
+
+TEST(Hsiao, MinCheckBits) {
+  EXPECT_EQ(HsiaoSecded::min_check_bits(32), 7u);
+  EXPECT_EQ(HsiaoSecded::min_check_bits(26), 6u);  // 26 odd non-unit columns
+  EXPECT_EQ(HsiaoSecded::min_check_bits(64), 8u);
+  EXPECT_EQ(HsiaoSecded::min_check_bits(8), 5u);
+  EXPECT_EQ(HsiaoSecded::min_check_bits(4), 4u);
+}
+
+TEST(Hsiao, TooFewCheckBitsThrows) {
+  EXPECT_THROW(HsiaoSecded(32, 6), PreconditionError);
+}
+
+TEST(Hsiao, ColumnsAreOddWeightAndDistinct) {
+  const HsiaoSecded codec(32, 7);
+  // Reconstruct column syndromes from the parity rows.
+  std::set<std::uint64_t> seen;
+  for (std::size_t col = 0; col < codec.codeword_bits(); ++col) {
+    std::uint64_t syndrome = 0;
+    for (std::size_t row = 0; row < codec.check_bits(); ++row) {
+      if (codec.parity_row(row).get(col)) {
+        syndrome |= 1ULL << row;
+      }
+    }
+    EXPECT_NE(syndrome, 0u) << "zero column at " << col;
+    EXPECT_EQ(__builtin_popcountll(syndrome) % 2, 1)
+        << "even-weight column at " << col;
+    EXPECT_TRUE(seen.insert(syndrome).second)
+        << "duplicate column at " << col;
+  }
+}
+
+TEST(Hsiao, RowBalance) {
+  // Hsiao's construction keeps row weights balanced; the widest XOR tree
+  // must not exceed the average by more than a couple of inputs.
+  const HsiaoSecded codec(32, 7);
+  const double avg =
+      static_cast<double>(codec.total_ones()) /
+      static_cast<double>(codec.check_bits());
+  EXPECT_LE(static_cast<double>(codec.max_row_weight()), avg + 2.5);
+}
+
+TEST(Hsiao, EncodeDecodeClean) {
+  const HsiaoSecded codec(32, 7);
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec data(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+      data.set(i, rng.bernoulli(0.5));
+    }
+    const BitVec codeword = codec.encode(data);
+    const DecodeResult result = codec.decode(codeword);
+    EXPECT_EQ(result.status, DecodeStatus::kClean);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+TEST(Hsiao, SystematicLayout) {
+  const HsiaoSecded codec(32, 7);
+  const BitVec data = BitVec::from_word(0x12345678, 32);
+  const BitVec codeword = codec.encode(data);
+  EXPECT_EQ(codeword.slice(0, 32), data);
+}
+
+class HsiaoWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HsiaoWidths, AllSingleErrorsCorrected) {
+  const HsiaoSecded codec(GetParam());
+  Rng rng(2);
+  const CheckReport report = check_all_single_errors(codec, rng, 8);
+  EXPECT_EQ(report.correct_decodes, report.trials);
+  EXPECT_EQ(report.miscorrections, 0u);
+  EXPECT_EQ(report.missed, 0u);
+}
+
+TEST_P(HsiaoWidths, AllDoubleErrorsDetected) {
+  const HsiaoSecded codec(GetParam());
+  Rng rng(3);
+  const CheckReport report = check_all_double_errors(codec, rng, 2);
+  EXPECT_EQ(report.detected, report.trials);
+  EXPECT_EQ(report.miscorrections, 0u);
+  EXPECT_EQ(report.missed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HsiaoWidths,
+                         ::testing::Values(8, 16, 26, 32, 48));
+
+TEST(Hsiao, PaperTagWidthWithSevenCheckBits) {
+  const HsiaoSecded codec(26, 7);
+  Rng rng(4);
+  const CheckReport singles = check_all_single_errors(codec, rng, 8);
+  EXPECT_TRUE(singles.perfect());
+  EXPECT_EQ(singles.correct_decodes, singles.trials);
+  const CheckReport doubles = check_all_double_errors(codec, rng, 2);
+  EXPECT_EQ(doubles.detected, doubles.trials);
+}
+
+TEST(Hsiao, MinimumDistanceAtLeastFour) {
+  const HsiaoSecded codec(32, 7);
+  Rng rng(5);
+  EXPECT_GE(sampled_min_distance(codec, rng, 3000), 4u);
+}
+
+TEST(Hsiao, CheckBitErrorKeepsDataIntact) {
+  const HsiaoSecded codec(32, 7);
+  const BitVec data = BitVec::from_word(0xCAFEBABE, 32);
+  BitVec codeword = codec.encode(data);
+  codeword.flip(35);  // a check bit
+  const DecodeResult result = codec.decode(codeword);
+  EXPECT_EQ(result.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(result.data, data);
+}
+
+TEST(Hsiao, WrongWidthThrows) {
+  const HsiaoSecded codec(32, 7);
+  EXPECT_THROW((void)codec.encode(BitVec(31)), PreconditionError);
+  EXPECT_THROW((void)codec.decode(BitVec(38)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hvc::edc

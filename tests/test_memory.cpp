@@ -1,0 +1,58 @@
+// MainMemory backing-store tests.
+#include <gtest/gtest.h>
+
+#include "hvc/cache/memory.hpp"
+
+namespace hvc::cache {
+namespace {
+
+TEST(MainMemory, UninitializedReadsZero) {
+  const MainMemory memory;
+  EXPECT_EQ(memory.read_word(0), 0u);
+  EXPECT_EQ(memory.read_word(0x12345678), 0u);
+}
+
+TEST(MainMemory, WordRoundTrip) {
+  MainMemory memory;
+  memory.write_word(0x1000, 0xDEADBEEF);
+  EXPECT_EQ(memory.read_word(0x1000), 0xDEADBEEFu);
+}
+
+TEST(MainMemory, UnalignedAddressHitsSameWord) {
+  MainMemory memory;
+  memory.write_word(0x1000, 42);
+  EXPECT_EQ(memory.read_word(0x1001), 42u);
+  EXPECT_EQ(memory.read_word(0x1003), 42u);
+  EXPECT_EQ(memory.read_word(0x1004), 0u);
+}
+
+TEST(MainMemory, BlockRoundTrip) {
+  MainMemory memory;
+  const std::vector<std::uint32_t> data{1, 2, 3, 4, 5, 6, 7, 8};
+  memory.write_block(0x2000, data);
+  EXPECT_EQ(memory.read_block(0x2000, 8), data);
+}
+
+TEST(MainMemory, BlockAcrossPages) {
+  MainMemory memory;
+  std::vector<std::uint32_t> data(16);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint32_t>(i + 100);
+  }
+  // Straddle a 4KB page boundary.
+  memory.write_block(4096 - 32, data);
+  EXPECT_EQ(memory.read_block(4096 - 32, 16), data);
+  EXPECT_GE(memory.touched_pages(), 2u);
+}
+
+TEST(MainMemory, SparsePages) {
+  MainMemory memory;
+  memory.write_word(0, 1);
+  memory.write_word(1ULL << 40, 2);
+  EXPECT_EQ(memory.touched_pages(), 2u);
+  EXPECT_EQ(memory.read_word(0), 1u);
+  EXPECT_EQ(memory.read_word(1ULL << 40), 2u);
+}
+
+}  // namespace
+}  // namespace hvc::cache

@@ -1,0 +1,92 @@
+// CACTI-like subarray model tests.
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+
+#include "hvc/power/array.hpp"
+
+namespace hvc::power {
+namespace {
+
+const tech::CellDesign k8t{tech::CellKind::k8T, 2.0};
+const tech::CellDesign k10t{tech::CellKind::k10T, 5.0};
+const tech::CellDesign k6t{tech::CellKind::k6T, 2.0};
+
+TEST(ArrayModel, FiguresArePositive) {
+  const ArrayModel array({32, 256, 32}, k8t, 1.0);
+  EXPECT_GT(array.read_energy(), 0.0);
+  EXPECT_GT(array.write_energy(), 0.0);
+  EXPECT_GT(array.leakage_power(), 0.0);
+  EXPECT_GT(array.access_delay(), 0.0);
+  EXPECT_GT(array.area_um2(), 0.0);
+}
+
+TEST(ArrayModel, DynamicEnergyScalesWithVcc) {
+  const ArrayModel hp({32, 256, 32}, k8t, 1.0);
+  const ArrayModel ule({32, 256, 32}, k8t, 0.35);
+  // CV^2-ish: at least ~4x lower dynamic energy at 350 mV... but ULE reads
+  // are full-swing, so the ratio is below the pure (1/0.35)^2 = 8.2.
+  EXPECT_GT(hp.read_energy() / ule.read_energy(), 1.5);
+  EXPECT_GT(hp.write_energy() / ule.write_energy(), 4.0);
+}
+
+TEST(ArrayModel, LeakageDropsAtLowVcc) {
+  const ArrayModel hp({32, 256, 32}, k8t, 1.0);
+  const ArrayModel ule({32, 256, 32}, k8t, 0.35);
+  EXPECT_LT(ule.leakage_power(), hp.leakage_power());
+}
+
+TEST(ArrayModel, DelayExplodesAtLowVcc) {
+  const ArrayModel hp({32, 256, 32}, k8t, 1.0);
+  const ArrayModel ule({32, 256, 32}, k8t, 0.35);
+  // Near-threshold access is orders of magnitude slower (5 MHz vs 1 GHz).
+  EXPECT_GT(ule.access_delay() / hp.access_delay(), 20.0);
+  // And both still fit their mode's cycle time.
+  EXPECT_LT(hp.access_delay(), 1.0 / 1e9 * 2.0);
+  EXPECT_LT(ule.access_delay(), 1.0 / 5e6 * 2.0);
+}
+
+TEST(ArrayModel, BiggerCellsCostMore) {
+  const tech::CellDesign small{tech::CellKind::k10T, 2.0};
+  const tech::CellDesign big{tech::CellKind::k10T, 6.0};
+  const ArrayModel a_small({32, 256, 32}, small, 0.35);
+  const ArrayModel a_big({32, 256, 32}, big, 0.35);
+  EXPECT_GT(a_big.read_energy(), a_small.read_energy());
+  EXPECT_GT(a_big.leakage_power(), a_small.leakage_power());
+  EXPECT_GT(a_big.area_um2(), a_small.area_um2());
+}
+
+TEST(ArrayModel, TenTWayCostlierThanEightT) {
+  // The paper's core energy claim at the array level: a 10T array sized
+  // for NST fault-freedom consumes more than the smaller 8T+EDC array,
+  // even with 22% more columns for check bits.
+  const ArrayModel a10({32, 256, 32}, k10t, 0.35);
+  const ArrayModel a8({32, 312, 39}, {tech::CellKind::k8T, 2.6}, 0.35);
+  EXPECT_GT(a10.read_energy(), a8.read_energy());
+  EXPECT_GT(a10.leakage_power(), a8.leakage_power());
+  EXPECT_GT(a10.area_um2(), a8.area_um2());
+}
+
+TEST(ArrayModel, MoreRowsMoreBitlineEnergy) {
+  const ArrayModel short_bl({16, 256, 32}, k8t, 1.0);
+  const ArrayModel long_bl({64, 256, 32}, k8t, 1.0);
+  EXPECT_GT(long_bl.read_energy(), short_bl.read_energy());
+  EXPECT_GT(long_bl.leakage_power(), short_bl.leakage_power());
+}
+
+TEST(ArrayModel, EightTSingleEndedReadCheaper) {
+  // Same geometry/size: the 8T single-ended read port discharges one
+  // bitline per column vs two for the differential 6T.
+  const ArrayModel a8({32, 256, 32}, {tech::CellKind::k8T, 2.0}, 1.0);
+  const ArrayModel a6({32, 256, 32}, {tech::CellKind::k6T, 2.0}, 1.0);
+  EXPECT_LT(a8.read_energy() / a6.read_energy(), 1.0);
+}
+
+TEST(ArrayModel, InvalidGeometryThrows) {
+  EXPECT_THROW(ArrayModel({0, 256, 32}, k8t, 1.0), hvc::PreconditionError);
+  EXPECT_THROW(ArrayModel({32, 256, 300}, k8t, 1.0), hvc::PreconditionError);
+  EXPECT_THROW(ArrayModel({32, 256, 32}, k8t, 0.0), hvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hvc::power

@@ -1,0 +1,160 @@
+// Cache-level energy model tests: way gating, per-mode EDC, hybrid ways.
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+
+#include "hvc/power/cache_power.hpp"
+
+namespace hvc::power {
+namespace {
+
+[[nodiscard]] std::vector<WayPlan> hybrid_plan(bool proposed, bool scenario_b) {
+  std::vector<WayPlan> ways(8);
+  const auto hp_prot =
+      scenario_b ? edc::Protection::kSecded : edc::Protection::kNone;
+  for (std::size_t w = 0; w < 7; ++w) {
+    ways[w].cell = {tech::CellKind::k6T, 2.0};
+    ways[w].hp_protection = hp_prot;
+    ways[w].ule_protection = hp_prot;
+  }
+  ways[7].ule_way = true;
+  if (proposed) {
+    ways[7].cell = {tech::CellKind::k8T, 2.6};
+    ways[7].hp_protection = hp_prot;
+    ways[7].ule_protection =
+        scenario_b ? edc::Protection::kDected : edc::Protection::kSecded;
+  } else {
+    ways[7].cell = {tech::CellKind::k10T, 5.0};
+    ways[7].hp_protection = hp_prot;
+    ways[7].ule_protection = hp_prot;
+  }
+  return ways;
+}
+
+const CacheOrg kOrg{};  // 8KB, 8-way, 32B lines
+
+TEST(CacheOrgTest, DerivedGeometry) {
+  EXPECT_EQ(kOrg.lines(), 256u);
+  EXPECT_EQ(kOrg.sets(), 32u);
+  EXPECT_EQ(kOrg.lines_per_way(), 32u);
+  EXPECT_EQ(kOrg.words_per_line(), 8u);
+}
+
+TEST(WayPlanTest, StoredProtectionIsStrongest) {
+  WayPlan way;
+  way.hp_protection = edc::Protection::kNone;
+  way.ule_protection = edc::Protection::kSecded;
+  EXPECT_EQ(way.stored_protection(), edc::Protection::kSecded);
+  way.hp_protection = edc::Protection::kSecded;
+  way.ule_protection = edc::Protection::kDected;
+  EXPECT_EQ(way.stored_protection(), edc::Protection::kDected);
+}
+
+TEST(CacheEnergyModel, AllWaysActiveAtHp) {
+  const CacheEnergyModel model(kOrg, hybrid_plan(true, false),
+                               {Mode::kHp, 1.0, 1e9});
+  for (std::size_t w = 0; w < 8; ++w) {
+    EXPECT_TRUE(model.way_active(w));
+  }
+}
+
+TEST(CacheEnergyModel, OnlyUleWaysActiveAtUle) {
+  const CacheEnergyModel model(kOrg, hybrid_plan(true, false),
+                               {Mode::kUle, 0.35, 5e6});
+  for (std::size_t w = 0; w < 7; ++w) {
+    EXPECT_FALSE(model.way_active(w));
+  }
+  EXPECT_TRUE(model.way_active(7));
+}
+
+TEST(CacheEnergyModel, UleLookupMuchCheaperThanHp) {
+  // At ULE only one way is read instead of eight.
+  const auto ways = hybrid_plan(true, false);
+  const CacheEnergyModel hp(kOrg, ways, {Mode::kHp, 1.0, 1e9});
+  const CacheEnergyModel ule(kOrg, ways, {Mode::kUle, 0.35, 5e6});
+  EXPECT_LT(ule.lookup_energy(), hp.lookup_energy() / 4.0);
+}
+
+TEST(CacheEnergyModel, GatingCutsLeakage) {
+  const auto ways = hybrid_plan(false, false);
+  const CacheEnergyModel hp(kOrg, ways, {Mode::kHp, 1.0, 1e9});
+  const CacheEnergyModel ule(kOrg, ways, {Mode::kUle, 0.35, 5e6});
+  // ULE leakage: one way at 350mV + residuals; far below 8 ways at 1V.
+  EXPECT_LT(ule.leakage_power(), hp.leakage_power() / 5.0);
+}
+
+TEST(CacheEnergyModel, EdcOnlyActiveAtUleInScenarioA) {
+  const auto ways = hybrid_plan(true, false);
+  const CacheEnergyModel hp(kOrg, ways, {Mode::kHp, 1.0, 1e9});
+  const CacheEnergyModel ule(kOrg, ways, {Mode::kUle, 0.35, 5e6});
+  EXPECT_FALSE(hp.edc_active());
+  EXPECT_TRUE(ule.edc_active());
+  EXPECT_EQ(hp.edc_decode_energy(7), 0.0);
+  EXPECT_GT(ule.edc_decode_energy(7), 0.0);
+  EXPECT_GT(ule.edc_encode_energy(7), 0.0);
+}
+
+TEST(CacheEnergyModel, ScenarioBEdcActiveInBothModes) {
+  const auto ways = hybrid_plan(true, true);
+  const CacheEnergyModel hp(kOrg, ways, {Mode::kHp, 1.0, 1e9});
+  const CacheEnergyModel ule(kOrg, ways, {Mode::kUle, 0.35, 5e6});
+  EXPECT_TRUE(hp.edc_active());   // SECDED everywhere at HP
+  EXPECT_TRUE(ule.edc_active());  // DECTED on the ULE way
+  // DECTED decode costs more than SECDED decode.
+  EXPECT_GT(ule.edc_decode_energy(7) / ule.edc_encode_energy(7), 1.0);
+}
+
+TEST(CacheEnergyModel, ProposedCheaperThanBaselineAtHp) {
+  // Scenario A at HP: proposed = 6T+8T (SECDED off) vs baseline 6T+10T.
+  const CacheEnergyModel base(kOrg, hybrid_plan(false, false),
+                              {Mode::kHp, 1.0, 1e9});
+  const CacheEnergyModel prop(kOrg, hybrid_plan(true, false),
+                              {Mode::kHp, 1.0, 1e9});
+  EXPECT_LT(prop.lookup_energy(), base.lookup_energy());
+  EXPECT_LT(prop.leakage_power(), base.leakage_power());
+  EXPECT_LT(prop.total_area_um2(), base.total_area_um2());
+}
+
+TEST(CacheEnergyModel, ProposedCheaperThanBaselineAtUle) {
+  const CacheEnergyModel base(kOrg, hybrid_plan(false, false),
+                              {Mode::kUle, 0.35, 5e6});
+  const CacheEnergyModel prop(kOrg, hybrid_plan(true, false),
+                              {Mode::kUle, 0.35, 5e6});
+  EXPECT_LT(prop.lookup_energy() + prop.edc_decode_energy(7),
+            base.lookup_energy());
+  EXPECT_LT(prop.leakage_power(), base.leakage_power());
+}
+
+TEST(CacheEnergyModel, LineOperationsScaleWithWords) {
+  const CacheEnergyModel model(kOrg, hybrid_plan(true, false),
+                               {Mode::kUle, 0.35, 5e6});
+  // A line fill writes 8 words + 1 tag: more than 8 word writes, less
+  // than 10 (the tag array is smaller than the data array).
+  EXPECT_GT(model.line_fill_energy(7), 8.0 * model.word_write_energy(7));
+  EXPECT_LT(model.line_fill_energy(7), 10.0 * model.word_write_energy(7));
+  // A line read (8 data words) costs less than 8 full lookups (which also
+  // read the tag) of the single active way.
+  EXPECT_GT(model.line_read_energy(7), 0.0);
+  EXPECT_LT(model.line_read_energy(7), 8.0 * model.lookup_energy());
+}
+
+TEST(CacheEnergyModel, EdcLatencyWithinCycle) {
+  // Paper IV-A3 charges one extra cycle for encode/decode: the circuit
+  // delay must fit a cycle in each mode.
+  const auto ways = hybrid_plan(true, true);
+  const CacheEnergyModel hp(kOrg, ways, {Mode::kHp, 1.0, 1e9});
+  const CacheEnergyModel ule(kOrg, ways, {Mode::kUle, 0.35, 5e6});
+  EXPECT_LT(hp.edc_delay(), 1.0 / 1e9);
+  EXPECT_LT(ule.edc_delay(), 1.0 / 5e6);
+}
+
+TEST(CacheEnergyModel, ConfigValidation) {
+  auto ways = hybrid_plan(true, false);
+  ways.pop_back();
+  EXPECT_THROW(
+      CacheEnergyModel(kOrg, ways, OperatingPoint{Mode::kHp, 1.0, 1e9}),
+      hvc::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hvc::power

@@ -1,0 +1,165 @@
+// Unit tests for the deterministic RNG (hvc::Rng).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hvc/common/rng.hpp"
+
+namespace hvc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng a(7);
+  Rng a2(7);
+  Rng child1 = a.fork(1);
+  Rng child1_again = a2.fork(1);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child1.next(), child1_again.next());
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(12);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    hits += rng.bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(16);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.normal(3.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(18);
+  for (const double mean : {0.5, 4.0, 100.0}) {
+    double sum = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / kN, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(19);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(20);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.exponential(2.0);
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, SplitMix64KnownGood) {
+  // First outputs of splitmix64 from seed 0 (reference values).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace hvc

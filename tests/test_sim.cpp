@@ -1,0 +1,171 @@
+// Integration tests: full systems built from the design methodology,
+// running real workloads — the paper's headline result shapes.
+#include <gtest/gtest.h>
+
+#include "hvc/sim/report.hpp"
+#include "hvc/sim/system.hpp"
+
+namespace hvc::sim {
+namespace {
+
+[[nodiscard]] SystemConfig make_config(yield::Scenario scenario, bool proposed,
+                                       power::Mode mode) {
+  SystemConfig config;
+  config.design.scenario = scenario;
+  config.design.proposed = proposed;
+  config.mode = mode;
+  return config;
+}
+
+TEST(BuildCachePlan, SevenPlusOneScenarioA) {
+  const auto& cells = cell_plan_for(yield::Scenario::kA);
+  const CachePlan plan = build_cache_plan({yield::Scenario::kA, true}, cells,
+                                          8, 1, true);
+  ASSERT_EQ(plan.ways.size(), 8u);
+  for (std::size_t w = 0; w < 7; ++w) {
+    EXPECT_EQ(plan.ways[w].cell.kind, tech::CellKind::k6T);
+    EXPECT_FALSE(plan.ways[w].ule_way);
+    EXPECT_EQ(plan.way_hard_pf[w], 0.0);
+  }
+  EXPECT_EQ(plan.ways[7].cell.kind, tech::CellKind::k8T);
+  EXPECT_TRUE(plan.ways[7].ule_way);
+  EXPECT_EQ(plan.ways[7].ule_protection, edc::Protection::kSecded);
+  EXPECT_EQ(plan.ways[7].hp_protection, edc::Protection::kNone);
+  EXPECT_GT(plan.way_hard_pf[7], 0.0);
+}
+
+TEST(BuildCachePlan, ScenarioBProtections) {
+  const auto& cells = cell_plan_for(yield::Scenario::kB);
+  const CachePlan plan = build_cache_plan({yield::Scenario::kB, true}, cells,
+                                          8, 1, true);
+  for (std::size_t w = 0; w < 7; ++w) {
+    EXPECT_EQ(plan.ways[w].hp_protection, edc::Protection::kSecded);
+  }
+  EXPECT_EQ(plan.ways[7].hp_protection, edc::Protection::kSecded);
+  EXPECT_EQ(plan.ways[7].ule_protection, edc::Protection::kDected);
+}
+
+TEST(BuildCachePlan, BaselineUsesTenT) {
+  const auto& cells = cell_plan_for(yield::Scenario::kA);
+  const CachePlan plan = build_cache_plan({yield::Scenario::kA, false}, cells,
+                                          8, 1, true);
+  EXPECT_EQ(plan.ways[7].cell.kind, tech::CellKind::k10T);
+  EXPECT_EQ(plan.ways[7].ule_protection, edc::Protection::kNone);
+}
+
+TEST(SystemTest, RunsSmallWorkloadAtUle) {
+  SystemConfig config = make_config(yield::Scenario::kA, true,
+                                    power::Mode::kUle);
+  System system(config, cell_plan_for(yield::Scenario::kA));
+  const cpu::RunResult result = system.run_workload("adpcm_c", 1, 1);
+  EXPECT_GT(result.instructions, 10000u);
+  EXPECT_GT(result.epi(), 0.0);
+  // SmallBench at ULE must be cache-resident: high hit rates (streaming
+  // input misses keep DL1 slightly below IL1).
+  EXPECT_GT(result.dl1.hit_rate(), 0.85);
+  EXPECT_GT(result.il1.hit_rate(), 0.95);
+}
+
+TEST(SystemTest, BigBenchNeedsFullCache) {
+  SystemConfig hp = make_config(yield::Scenario::kA, true, power::Mode::kHp);
+  System sys_hp(hp, cell_plan_for(yield::Scenario::kA));
+  const cpu::RunResult at_hp = sys_hp.run_workload("g721_c", 1, 1);
+
+  SystemConfig ule = make_config(yield::Scenario::kA, true, power::Mode::kUle);
+  System sys_ule(ule, cell_plan_for(yield::Scenario::kA));
+  const cpu::RunResult at_ule = sys_ule.run_workload("g721_c", 1, 1);
+
+  // With only the 1KB ULE way, the big workload misses much more.
+  EXPECT_GT(at_ule.dl1.misses, at_hp.dl1.misses);
+}
+
+TEST(SystemTest, HeadlineShapeHpScenarioA) {
+  // Fig. 3 shape: proposed saves EPI at HP mode with zero slowdown.
+  const auto base = run_one(
+      make_config(yield::Scenario::kA, false, power::Mode::kHp), "gsm_c");
+  const auto prop = run_one(
+      make_config(yield::Scenario::kA, true, power::Mode::kHp), "gsm_c");
+  EXPECT_LT(prop.epi(), base.epi());
+  EXPECT_EQ(prop.cycles, base.cycles);  // no latency change at HP
+}
+
+TEST(SystemTest, HeadlineShapeUleScenarioA) {
+  // Fig. 4 shape: large EPI savings at ULE, small slowdown (~3%).
+  const auto base = run_one(
+      make_config(yield::Scenario::kA, false, power::Mode::kUle), "adpcm_c");
+  const auto prop = run_one(
+      make_config(yield::Scenario::kA, true, power::Mode::kUle), "adpcm_c");
+  EXPECT_LT(prop.epi(), base.epi() * 0.85);  // substantial savings
+  const double slowdown = static_cast<double>(prop.cycles) /
+                          static_cast<double>(base.cycles);
+  EXPECT_GT(slowdown, 1.0);
+  EXPECT_LT(slowdown, 1.08);
+}
+
+TEST(SystemTest, UleSavingsLargerThanHpSavings) {
+  const auto base_hp = run_one(
+      make_config(yield::Scenario::kA, false, power::Mode::kHp), "gsm_d");
+  const auto prop_hp = run_one(
+      make_config(yield::Scenario::kA, true, power::Mode::kHp), "gsm_d");
+  const auto base_ule = run_one(
+      make_config(yield::Scenario::kA, false, power::Mode::kUle), "adpcm_d");
+  const auto prop_ule = run_one(
+      make_config(yield::Scenario::kA, true, power::Mode::kUle), "adpcm_d");
+  const double hp_saving = 1.0 - prop_hp.epi() / base_hp.epi();
+  const double ule_saving = 1.0 - prop_ule.epi() / base_ule.epi();
+  EXPECT_GT(ule_saving, hp_saving);
+}
+
+TEST(SystemTest, ProposedAreaSmaller) {
+  SystemConfig base_cfg = make_config(yield::Scenario::kA, false,
+                                      power::Mode::kHp);
+  SystemConfig prop_cfg = make_config(yield::Scenario::kA, true,
+                                      power::Mode::kHp);
+  System base(base_cfg, cell_plan_for(yield::Scenario::kA));
+  System prop(prop_cfg, cell_plan_for(yield::Scenario::kA));
+  EXPECT_LT(prop.l1_area_um2(), base.l1_area_um2());
+}
+
+TEST(SystemTest, FunctionalWithInjectedFaults) {
+  // End-to-end predictability argument: with the methodology-sized cells
+  // and EDC, a full workload runs functionally exactly even with the
+  // hard-fault map active at ULE.
+  SystemConfig config = make_config(yield::Scenario::kA, true,
+                                    power::Mode::kUle);
+  config.seed = 987;
+  System system(config, cell_plan_for(yield::Scenario::kA));
+  const cpu::RunResult result = system.run_workload("epic_d", 3, 1);
+  EXPECT_GT(result.instructions, 0u);
+  EXPECT_EQ(system.dl1().stats().edc_detected, 0u);
+}
+
+TEST(ReportTest, BreakdownMapsCategories) {
+  const auto result = run_one(
+      make_config(yield::Scenario::kA, true, power::Mode::kUle), "adpcm_c");
+  const EpiBreakdown breakdown = epi_breakdown(result);
+  EXPECT_GT(breakdown.l1_dynamic, 0.0);
+  EXPECT_GT(breakdown.l1_leakage, 0.0);
+  EXPECT_GT(breakdown.l1_edc, 0.0);
+  EXPECT_GT(breakdown.core_other, 0.0);
+  EXPECT_NEAR(breakdown.total(), result.epi(), result.epi() * 1e-9);
+}
+
+TEST(ReportTest, RowNormalization) {
+  const auto base = run_one(
+      make_config(yield::Scenario::kA, false, power::Mode::kUle), "adpcm_c");
+  const auto prop = run_one(
+      make_config(yield::Scenario::kA, true, power::Mode::kUle), "adpcm_c");
+  const EpiRow row = make_epi_row("proposed", prop, base.epi());
+  EXPECT_LT(row.normalized, 1.0);
+  EXPECT_GT(row.normalized, 0.2);
+}
+
+TEST(DesignChoiceTest, Labels) {
+  EXPECT_EQ((DesignChoice{yield::Scenario::kA, false}).label(),
+            "scenarioA/baseline");
+  EXPECT_EQ((DesignChoice{yield::Scenario::kB, true}).label(),
+            "scenarioB/proposed");
+}
+
+}  // namespace
+}  // namespace hvc::sim

@@ -1,0 +1,118 @@
+// Soft-error reliability analysis tests: Poisson accumulation model vs
+// Monte-Carlo, and the SECDED-vs-DECTED scenario-B contrast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+#include "hvc/common/rng.hpp"
+#include "hvc/yield/soft_reliability.hpp"
+
+namespace hvc::yield {
+namespace {
+
+TEST(SoftReliability, ZeroRateNeverOverflows) {
+  EXPECT_EQ(p_word_overflow(39, 0.0, 1e9, 1), 0.0);
+}
+
+TEST(SoftReliability, BudgetZeroIsPoissonTail) {
+  const double rate = 1e-6;
+  const double t = 100.0;
+  const double mean = rate * 39 * t;
+  EXPECT_NEAR(p_word_overflow(39, rate, t, 0), 1.0 - std::exp(-mean), 1e-12);
+}
+
+TEST(SoftReliability, BudgetOneMatchesClosedForm) {
+  const double rate = 1e-5;
+  const double t = 1000.0;
+  const double mean = rate * 45 * t;
+  const double expect = 1.0 - std::exp(-mean) * (1.0 + mean);
+  EXPECT_NEAR(p_word_overflow(45, rate, t, 1), expect, 1e-12);
+}
+
+TEST(SoftReliability, MonotonicInTimeAndRate) {
+  double prev = 0.0;
+  for (const double t : {1.0, 10.0, 100.0, 1000.0}) {
+    const double p = p_word_overflow(39, 1e-6, t, 1);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_LT(p_word_overflow(39, 1e-7, 100.0, 1),
+            p_word_overflow(39, 1e-5, 100.0, 1));
+}
+
+TEST(SoftReliability, BiggerBudgetSafer) {
+  EXPECT_GT(p_word_overflow(45, 1e-4, 100.0, 0),
+            p_word_overflow(45, 1e-4, 100.0, 1));
+  EXPECT_GT(p_word_overflow(45, 1e-4, 100.0, 1),
+            p_word_overflow(45, 1e-4, 100.0, 2));
+}
+
+TEST(SoftReliability, MonteCarloAgreement) {
+  // Directly simulate Poisson arrivals into one word and count overflows.
+  const std::size_t bits = 39;
+  const double rate = 2e-4;
+  const double interval = 50.0;
+  const std::size_t budget = 1;
+  const double analytic = p_word_overflow(bits, rate, interval, budget);
+
+  Rng rng(42);
+  int overflows = 0;
+  constexpr int kTrials = 200000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto hits = rng.poisson(rate * bits * interval);
+    overflows += hits > budget ? 1 : 0;
+  }
+  const double mc = static_cast<double>(overflows) / kTrials;
+  EXPECT_NEAR(mc, analytic, 5e-4 + 0.05 * analytic);
+}
+
+TEST(SoftReliability, ScrubbingExtendsMttf) {
+  const SoftWordClass words{256, 39, 1};
+  const double rate = 1e-9;
+  const double mttf_slow = mttf_seconds(words, rate, 1e6);
+  const double mttf_fast = mttf_seconds(words, rate, 1e3);
+  EXPECT_GT(mttf_fast, mttf_slow * 100.0);  // ~linear in 1/interval
+}
+
+TEST(SoftReliability, ScenarioBContrast) {
+  // A word holding a hard fault: SECDED has soft budget 0, DECTED 1.
+  const SoftWordClass secded_faulty{1, 39, 0};
+  const SoftWordClass dected_faulty{1, 45, 1};
+  const double rate = 1e-9;
+  const double interval = 3600.0;  // hourly scrub
+  const double r_secded =
+      uncorrectable_event_rate(secded_faulty, rate, interval);
+  const double r_dected =
+      uncorrectable_event_rate(dected_faulty, rate, interval);
+  // DECTED is orders of magnitude safer on hard-faulty words — the whole
+  // reason scenario B upgrades the code.
+  EXPECT_GT(r_secded / r_dected, 1e3);
+}
+
+TEST(SoftReliability, RequiredScrubIntervalInverts) {
+  const SoftWordClass words{256, 39, 1};
+  const double rate = 1e-8;
+  const double target = 1e-9;  // events/s
+  const double interval = required_scrub_interval(words, rate, target);
+  ASSERT_GT(interval, 0.0);
+  EXPECT_LE(uncorrectable_event_rate(words, rate, interval), target * 1.01);
+  // Slightly longer interval must violate the target (tight bound),
+  // unless the returned interval hit the search bound.
+  if (interval < 1e8) {
+    EXPECT_GT(uncorrectable_event_rate(words, rate, interval * 1.2), target);
+  }
+}
+
+TEST(SoftReliability, InputValidation) {
+  EXPECT_THROW((void)p_word_overflow(0, 1e-9, 1.0, 1), PreconditionError);
+  EXPECT_THROW((void)p_word_overflow(39, -1.0, 1.0, 1), PreconditionError);
+  const SoftWordClass words{1, 39, 1};
+  EXPECT_THROW((void)uncorrectable_event_rate(words, 1e-9, 0.0),
+               PreconditionError);
+  EXPECT_THROW((void)required_scrub_interval(words, 1e-9, 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hvc::yield

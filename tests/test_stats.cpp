@@ -1,0 +1,142 @@
+// Unit tests for RunningStat, Histogram and Breakdown.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hvc/common/error.hpp"
+#include "hvc/common/rng.hpp"
+#include "hvc/common/stats.hpp"
+
+namespace hvc {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, StderrShrinks) {
+  Rng rng(2);
+  RunningStat small, large;
+  for (int i = 0; i < 100; ++i) {
+    small.add(rng.normal());
+  }
+  for (int i = 0; i < 10000; ++i) {
+    large.add(rng.normal());
+  }
+  EXPECT_GT(small.stderr_mean(), large.stderr_mean());
+}
+
+TEST(Histogram, Basics) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.add(static_cast<double>(i) + 0.5);
+  }
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.bin_count(b), 1u);
+  }
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, QuantileMedian) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) {
+    h.add(static_cast<double>(i % 100));
+  }
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 10), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(Breakdown, AddAndTotal) {
+  Breakdown b;
+  b.add("x", 1.5);
+  b.add("y", 2.5);
+  b.add("x", 1.0);
+  EXPECT_DOUBLE_EQ(b.get("x"), 2.5);
+  EXPECT_DOUBLE_EQ(b.get("y"), 2.5);
+  EXPECT_DOUBLE_EQ(b.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(b.total(), 5.0);
+}
+
+TEST(Breakdown, MergeAndScale) {
+  Breakdown a, b;
+  a.add("x", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+  a.scale(0.5);
+  EXPECT_DOUBLE_EQ(a.get("x"), 1.5);
+  EXPECT_DOUBLE_EQ(a.get("y"), 2.0);
+}
+
+TEST(Breakdown, NormalizedBy) {
+  Breakdown b;
+  b.add("x", 10.0);
+  const Breakdown n = b.normalized_by(5.0);
+  EXPECT_DOUBLE_EQ(n.get("x"), 2.0);
+  EXPECT_DOUBLE_EQ(b.get("x"), 10.0);  // original untouched
+  const Breakdown z = b.normalized_by(0.0);
+  EXPECT_DOUBLE_EQ(z.get("x"), 10.0);  // divide-by-zero guarded
+}
+
+}  // namespace
+}  // namespace hvc

@@ -1,0 +1,198 @@
+// Technology model tests: transistor trends and SRAM cell properties that
+// the paper's argument rests on.
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+
+#include "hvc/tech/node.hpp"
+#include "hvc/tech/sram_cell.hpp"
+#include "hvc/tech/transistor.hpp"
+
+namespace hvc::tech {
+namespace {
+
+TEST(Transistor, IonMonotonicInVcc) {
+  const TransistorModel model(node32());
+  const Device dev{1.0};
+  double prev = 0.0;
+  for (double vcc = 0.2; vcc <= 1.0; vcc += 0.05) {
+    const double current = model.ion(dev, vcc);
+    EXPECT_GT(current, prev) << "vcc=" << vcc;
+    prev = current;
+  }
+}
+
+TEST(Transistor, SubthresholdIsExponential) {
+  const TransistorModel model(node32());
+  const Device dev{1.0};
+  // 60*n mV per decade: at n=1.5, ~100x current per 0.2V below Vth.
+  const double i1 = model.ion(dev, 0.25);
+  const double i2 = model.ion(dev, 0.45);
+  EXPECT_GT(i2 / i1, 30.0);
+  EXPECT_LT(i2 / i1, 1000.0);
+}
+
+TEST(Transistor, IonScalesWithWidth) {
+  const TransistorModel model(node32());
+  const double i1 = model.ion(Device{1.0}, 1.0);
+  const double i2 = model.ion(Device{2.0}, 1.0);
+  EXPECT_NEAR(i2 / i1, 2.0, 0.05);
+}
+
+TEST(Transistor, LeakageSuperlinearInWidth) {
+  // The reverse narrow-channel effect makes wide devices leak more than
+  // proportionally — the paper's oversized-10T leakage penalty.
+  const TransistorModel model(node32());
+  const double i1 = model.ioff(Device{1.0}, 1.0);
+  const double i4 = model.ioff(Device{4.0}, 1.0);
+  EXPECT_GT(i4 / i1, 4.0);
+}
+
+TEST(Transistor, LeakageDropsWithVcc) {
+  const TransistorModel model(node32());
+  const Device dev{1.0};
+  EXPECT_LT(model.ioff(dev, 0.35), model.ioff(dev, 1.0));
+}
+
+TEST(Transistor, VtSigmaPelgrom) {
+  const TransistorModel model(node32());
+  const double s1 = model.vth_sigma(Device{1.0});
+  const double s4 = model.vth_sigma(Device{4.0});
+  EXPECT_NEAR(s1 / s4, 2.0, 1e-9);
+}
+
+TEST(Transistor, GateDelayExplodesNearThreshold) {
+  const TransistorModel model(node32());
+  const Device dev{1.0};
+  const double cload = model.cgate(dev) * 4.0;
+  const double d_hp = model.gate_delay(dev, cload, 1.0);
+  const double d_ule = model.gate_delay(dev, cload, 0.35);
+  // Orders of magnitude slower near threshold: why ULE runs at 5 MHz.
+  EXPECT_GT(d_ule / d_hp, 50.0);
+}
+
+TEST(XorGate, FiguresScaleWithVcc) {
+  const LogicFigures hp = xor_gate_figures(node32(), 1.0);
+  const LogicFigures ule = xor_gate_figures(node32(), 0.35);
+  EXPECT_GT(hp.switch_energy_j, ule.switch_energy_j);  // CV^2
+  EXPECT_GT(ule.delay_s, hp.delay_s);
+  EXPECT_GT(hp.switch_energy_j / ule.switch_energy_j, 5.0);  // ~ (1/.35)^2
+}
+
+TEST(SramCell, TraitsExist) {
+  EXPECT_EQ(cell_traits(CellKind::k6T).transistors, 6u);
+  EXPECT_EQ(cell_traits(CellKind::k8T).transistors, 8u);
+  EXPECT_EQ(cell_traits(CellKind::k10T).transistors, 10u);
+  EXPECT_EQ(to_string(CellKind::k6T), "6T");
+  EXPECT_EQ(to_string(CellKind::k8T), "8T");
+  EXPECT_EQ(to_string(CellKind::k10T), "10T");
+}
+
+TEST(SramCell, SensitivityVectorSizesMatch) {
+  for (const auto kind : {CellKind::k6T, CellKind::k8T, CellKind::k10T}) {
+    const CellTraits& traits = cell_traits(kind);
+    EXPECT_EQ(traits.read.sensitivities.size(), traits.transistors);
+    EXPECT_EQ(traits.write.sensitivities.size(), traits.transistors);
+    EXPECT_GT(traits.read.sensitivity_norm(), 0.5);
+    EXPECT_LT(traits.read.sensitivity_norm(), 2.5);
+  }
+}
+
+TEST(SramCell, SixTFailsAtNst) {
+  // Paper: "HP ways would experience many faults at NST Vcc".
+  const CellDesign cell{CellKind::k6T, 2.0};
+  EXPECT_GT(analytic_pfail(cell, 0.35), 0.05);
+}
+
+TEST(SramCell, TenTMostRobustAtNst) {
+  // At equal minimum size: 10T < 8T < 6T failure probability at 350 mV.
+  const double p6 = analytic_pfail({CellKind::k6T, 1.0}, 0.35);
+  const double p8 = analytic_pfail({CellKind::k8T, 1.0}, 0.35);
+  const double p10 = analytic_pfail({CellKind::k10T, 1.0}, 0.35);
+  EXPECT_LT(p10, p8);
+  EXPECT_LT(p8, p6);
+}
+
+TEST(SramCell, EightTAsReliableAsSixTAtHighVcc) {
+  // Paper III-B: "both 8T and 10T cells are more reliable (by some orders
+  // of magnitude) than 6T ones at high voltage".
+  const double p6 = analytic_pfail({CellKind::k6T, 1.0}, 1.0);
+  const double p8 = analytic_pfail({CellKind::k8T, 1.0}, 1.0);
+  const double p10 = analytic_pfail({CellKind::k10T, 1.0}, 1.0);
+  EXPECT_LT(p8, p6 * 1e-2);
+  EXPECT_LT(p10, p6 * 1e-2);
+}
+
+TEST(SramCell, UpsizingReducesPfail) {
+  double prev = 1.0;
+  for (double size = 1.0; size <= 8.0; size += 0.5) {
+    const double pf = analytic_pfail({CellKind::k8T, size}, 0.35);
+    EXPECT_LT(pf, prev) << "size=" << size;
+    prev = pf;
+  }
+}
+
+TEST(SramCell, WorstMarginMatchesAnalyticSign) {
+  // Zero mismatch -> margins are the nominal means, positive at sane
+  // operating points.
+  const CellDesign cell{CellKind::k10T, 2.0};
+  const std::vector<double> no_shift(10, 0.0);
+  EXPECT_GT(worst_margin(cell, 0.35, no_shift), 0.0);
+  EXPECT_GT(worst_margin(cell, 1.0, no_shift), 0.0);
+}
+
+TEST(SramCell, WorstMarginShiftDirection) {
+  const CellDesign cell{CellKind::k6T, 1.0};
+  const std::vector<double> no_shift(6, 0.0);
+  const double nominal = worst_margin(cell, 1.0, no_shift);
+  // Push along the read sensitivities: margin must shrink.
+  const auto& traits = cell_traits(CellKind::k6T);
+  std::vector<double> adversarial(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    adversarial[i] = 0.05 * traits.read.sensitivities[i];
+  }
+  EXPECT_LT(worst_margin(cell, 1.0, adversarial), nominal);
+}
+
+TEST(SramCell, AreaOrdering) {
+  // Iso-size: 6T < 8T < 10T; and area grows with the width multiplier.
+  const double a6 = cell_area_f2({CellKind::k6T, 1.0});
+  const double a8 = cell_area_f2({CellKind::k8T, 1.0});
+  const double a10 = cell_area_f2({CellKind::k10T, 1.0});
+  EXPECT_LT(a6, a8);
+  EXPECT_LT(a8, a10);
+  EXPECT_GT(cell_area_f2({CellKind::k8T, 3.0}),
+            cell_area_f2({CellKind::k8T, 1.0}));
+}
+
+TEST(SramCell, ElectricalTrends) {
+  const CellElectrical small = cell_electrical({CellKind::k8T, 1.0}, 0.35);
+  const CellElectrical big = cell_electrical({CellKind::k8T, 4.0}, 0.35);
+  EXPECT_GT(big.bitline_cap_f, small.bitline_cap_f);
+  EXPECT_GT(big.leakage_a, small.leakage_a);
+  EXPECT_GT(big.read_current_a, small.read_current_a);
+
+  // 10T has more switched cap and leakage than 8T at the same size.
+  const CellElectrical e8 = cell_electrical({CellKind::k8T, 2.0}, 0.35);
+  const CellElectrical e10 = cell_electrical({CellKind::k10T, 2.0}, 0.35);
+  EXPECT_GT(e10.internal_cap_f, e8.internal_cap_f);
+  EXPECT_GT(e10.leakage_a, e8.leakage_a);
+}
+
+TEST(SramCell, SoftErrorRateTrends) {
+  // Lower Vcc and smaller cells -> higher SER.
+  const double ser_hp = soft_error_rate_per_bit({CellKind::k8T, 2.0}, 1.0);
+  const double ser_ule = soft_error_rate_per_bit({CellKind::k8T, 2.0}, 0.35);
+  EXPECT_GT(ser_ule, ser_hp);
+  const double ser_big = soft_error_rate_per_bit({CellKind::k8T, 6.0}, 0.35);
+  EXPECT_GT(ser_ule, ser_big);
+}
+
+TEST(SramCell, VtSigmaShrinksWithSize) {
+  EXPECT_GT(cell_vt_sigma({CellKind::k8T, 1.0}),
+            cell_vt_sigma({CellKind::k8T, 4.0}));
+  EXPECT_THROW((void)cell_vt_sigma({CellKind::k8T, 0.5}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hvc::tech

@@ -1,0 +1,47 @@
+// Unit tests for the SI formatting helpers.
+#include <gtest/gtest.h>
+
+#include "hvc/common/units.hpp"
+
+namespace hvc {
+namespace {
+
+TEST(Units, SiFormatPico) {
+  EXPECT_EQ(si_format(1.3e-12, "J"), "1.300 pJ");
+}
+
+TEST(Units, SiFormatUnity) {
+  EXPECT_EQ(si_format(2.5, "W"), "2.500 W");
+}
+
+TEST(Units, SiFormatKilo) {
+  EXPECT_EQ(si_format(1500.0, "Hz", 1), "1.5 kHz");
+}
+
+TEST(Units, SiFormatZero) {
+  EXPECT_EQ(si_format(0.0, "J"), "0.000 J");
+}
+
+TEST(Units, SiFormatNegative) {
+  EXPECT_EQ(si_format(-3.0e-3, "V"), "-3.000 mV");
+}
+
+TEST(Units, PercentDelta) {
+  EXPECT_EQ(percent_delta(0.86, 1.0), "-14.0%");
+  EXPECT_EQ(percent_delta(1.03, 1.0), "+3.0%");
+  EXPECT_EQ(percent_delta(1.0, 0.0), "n/a");
+}
+
+TEST(Units, Percent) {
+  EXPECT_EQ(percent(0.423), "42.3%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Units, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace hvc

@@ -1,0 +1,127 @@
+// Paper Equations (1) and (2): analytic word/cache yield, cross-checked
+// against direct Monte-Carlo fault sampling.
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+
+#include <cmath>
+
+#include "hvc/common/rng.hpp"
+#include "hvc/yield/cache_yield.hpp"
+
+namespace hvc::yield {
+namespace {
+
+TEST(Eq1, NoFaultsIsCertain) {
+  const WordClass word{"data", 1, 32, 7, 1};
+  EXPECT_DOUBLE_EQ(word_ok_probability(0.0, word), 1.0);
+}
+
+TEST(Eq1, NoCorrectionMatchesBinomialZero) {
+  const WordClass word{"data", 1, 32, 0, 0};
+  const double pf = 1e-3;
+  EXPECT_NEAR(word_ok_probability(pf, word), std::pow(1.0 - pf, 32), 1e-12);
+}
+
+TEST(Eq1, OneCorrectionAddsLinearTerm) {
+  const WordClass word{"data", 1, 32, 7, 1};
+  const double pf = 1e-3;
+  const double expect = std::pow(1.0 - pf, 39) +
+                        39.0 * pf * std::pow(1.0 - pf, 38);
+  EXPECT_NEAR(word_ok_probability(pf, word), expect, 1e-12);
+}
+
+TEST(Eq1, MoreCorrectionHigherYield) {
+  const double pf = 1e-3;
+  const WordClass none{"w", 1, 32, 0, 0};
+  const WordClass secded{"w", 1, 32, 7, 1};
+  const WordClass dected{"w", 1, 32, 13, 2};
+  EXPECT_LT(word_ok_probability(pf, none), word_ok_probability(pf, secded));
+  EXPECT_LT(word_ok_probability(pf, secded), word_ok_probability(pf, dected));
+}
+
+TEST(Eq1, CheckBitsAlsoFail) {
+  // More stored bits -> lower yield at equal correction budget.
+  const double pf = 1e-3;
+  const WordClass narrow{"w", 1, 32, 7, 1};
+  const WordClass wide{"w", 1, 32, 13, 1};
+  EXPECT_GT(word_ok_probability(pf, narrow), word_ok_probability(pf, wide));
+}
+
+TEST(Eq2, ProductOverWords) {
+  const double pf = 1e-4;
+  const std::vector<WordClass> words{{"data", 256, 32, 7, 1},
+                                     {"tag", 32, 26, 7, 1}};
+  const double expect =
+      std::pow(word_ok_probability(pf, words[0]), 256) *
+      std::pow(word_ok_probability(pf, words[1]), 32);
+  EXPECT_NEAR(cache_yield(pf, words), expect, 1e-12);
+}
+
+TEST(Eq2, PaperPfExample) {
+  // Paper III-C: "to have a 99% yield for an 8KB cache, faulty bit rate Pf
+  // must be 1.22e-6". That Pf corresponds to exactly 8192 unprotected
+  // bits (the 1KB ULE way's data); verify the inverse calculation.
+  const double pf = max_pf_for_raw_yield(0.99, 8 * 1024);
+  EXPECT_NEAR(pf, 1.22e-6, 0.02e-6);
+}
+
+TEST(Eq2, MaxPfInvertsYield) {
+  const std::vector<WordClass> words{{"data", 256, 32, 7, 1},
+                                     {"tag", 32, 26, 7, 1}};
+  const double pf = max_pf_for_yield(0.99, words);
+  EXPECT_NEAR(cache_yield(pf, words), 0.99, 1e-6);
+}
+
+TEST(Eq2, MonteCarloAgreement) {
+  // Direct simulation of Eq. (1)-(2): sample bit faults, count words with
+  // more than one fault.
+  const double pf = 2e-4;
+  const std::vector<WordClass> words{{"data", 256, 32, 7, 1},
+                                     {"tag", 32, 26, 7, 1}};
+  const double analytic = cache_yield(pf, words);
+
+  Rng rng(11);
+  int ok_chips = 0;
+  constexpr int kChips = 4000;
+  for (int chip = 0; chip < kChips; ++chip) {
+    bool chip_ok = true;
+    for (const auto& word : words) {
+      for (std::size_t w = 0; chip_ok && w < word.count; ++w) {
+        std::size_t faults = 0;
+        for (std::size_t b = 0; b < word.data_bits + word.check_bits; ++b) {
+          faults += rng.bernoulli(pf) ? 1 : 0;
+        }
+        chip_ok = faults <= word.hard_correctable;
+      }
+      if (!chip_ok) {
+        break;
+      }
+    }
+    ok_chips += chip_ok ? 1 : 0;
+  }
+  const double mc_yield = static_cast<double>(ok_chips) / kChips;
+  EXPECT_NEAR(mc_yield, analytic, 0.02);
+}
+
+TEST(Eq2, UleWayWordLayout) {
+  const auto words = ule_way_words(32, 32, 7, 7, 1);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0].count, 256u);  // 32 lines x 8 words
+  EXPECT_EQ(words[0].data_bits, 32u);
+  EXPECT_EQ(words[0].check_bits, 7u);
+  EXPECT_EQ(words[1].count, 32u);
+  EXPECT_EQ(words[1].data_bits, 26u);
+}
+
+TEST(Eq2, InvalidInputsThrow) {
+  const WordClass word{"w", 1, 32, 0, 0};
+  EXPECT_THROW((void)word_ok_probability(-0.1, word), PreconditionError);
+  EXPECT_THROW((void)word_ok_probability(1.1, word), PreconditionError);
+  const std::vector<WordClass> words{word};
+  EXPECT_THROW((void)max_pf_for_yield(0.0, words), PreconditionError);
+  EXPECT_THROW((void)max_pf_for_yield(1.0, words), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hvc::yield

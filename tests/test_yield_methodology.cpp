@@ -1,0 +1,124 @@
+// The Fig. 2 design methodology: sizing targets, loop behaviour and the
+// paper's headline structural claims (8T+EDC reaches 10T yield at a
+// smaller cell).
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+
+#include "hvc/tech/sram_cell.hpp"
+#include "hvc/yield/methodology.hpp"
+
+namespace hvc::yield {
+namespace {
+
+TEST(Methodology, SizeForPfReachesTarget) {
+  MethodologyConfig config;
+  const double target = 1e-6;
+  const SizingResult result =
+      size_cell_for_pf(tech::CellKind::k6T, 1.0, target, config);
+  EXPECT_LE(result.pf, target);
+  EXPECT_GE(result.cell.size, 1.0);
+  EXPECT_FALSE(result.steps.empty());
+  // The step before the accepted size must have been above target (or the
+  // loop accepted the first size).
+  if (result.steps.size() > 1) {
+    EXPECT_GT(result.steps[result.steps.size() - 2].pf, target);
+  }
+}
+
+TEST(Methodology, UnreachableTargetThrows) {
+  MethodologyConfig config;
+  config.max_size = 1.2;
+  EXPECT_THROW(
+      (void)size_cell_for_pf(tech::CellKind::k6T, 0.35, 1e-9, config),
+      ConfigError);
+}
+
+TEST(Methodology, ScenarioAPlanShape) {
+  const CacheCellPlan plan = run_methodology(Scenario::kA);
+  // Pf target close to the paper's quoted number.
+  EXPECT_NEAR(plan.target_pf, 1.22e-6, 0.15e-6);
+  // Cells are of the right kinds.
+  EXPECT_EQ(plan.hp_6t.cell.kind, tech::CellKind::k6T);
+  EXPECT_EQ(plan.baseline_10t.cell.kind, tech::CellKind::k10T);
+  EXPECT_EQ(plan.proposed_8t.cell.kind, tech::CellKind::k8T);
+  // 10T matches the 6T Pf at its own voltage.
+  EXPECT_LE(plan.baseline_10t.pf, plan.target_pf);
+  // Proposal yield reaches the baseline yield (Fig. 2 exit condition).
+  EXPECT_GE(plan.proposed_8t.yield, plan.baseline_10t.yield);
+}
+
+TEST(Methodology, EightTCellSmallerThanTenT) {
+  // The paper's whole point: with EDC, the 8T cell ends up much smaller
+  // (area) than the fault-free-sized 10T cell.
+  const CacheCellPlan plan = run_methodology(Scenario::kA);
+  const double area_10t = tech::cell_area_f2(plan.baseline_10t.cell);
+  const double area_8t = tech::cell_area_f2(plan.proposed_8t.cell);
+  EXPECT_LT(area_8t, area_10t);
+  // Even after paying for check bits (39/32), the array is smaller.
+  EXPECT_LT(area_8t * 39.0 / 32.0, area_10t);
+}
+
+TEST(Methodology, EightTPfLooserThanTenT) {
+  // SECDED lets the proposal tolerate a much higher per-bit Pf.
+  const CacheCellPlan plan = run_methodology(Scenario::kA);
+  EXPECT_GT(plan.proposed_8t.pf, plan.baseline_10t.pf * 10.0);
+}
+
+TEST(Methodology, ScenarioBPlan) {
+  const CacheCellPlan plan = run_methodology(Scenario::kB);
+  EXPECT_EQ(plan.scenario, Scenario::kB);
+  EXPECT_GE(plan.proposed_8t.yield, plan.baseline_10t.yield);
+  const double area_10t = tech::cell_area_f2(plan.baseline_10t.cell);
+  const double area_8t = tech::cell_area_f2(plan.proposed_8t.cell);
+  EXPECT_LT(area_8t, area_10t);
+}
+
+TEST(Methodology, ScenarioBNeedsBiggerOrEqualCellsThanA) {
+  // DECTED has more check bits that must also be fault-free and the
+  // scenario B baseline carries SECDED bits; the proposal cell sizing
+  // should be in the same ballpark across scenarios (within the loop
+  // step), never wildly divergent.
+  const CacheCellPlan a = run_methodology(Scenario::kA);
+  const CacheCellPlan b = run_methodology(Scenario::kB);
+  EXPECT_NEAR(a.proposed_8t.cell.size, b.proposed_8t.cell.size, 1.0);
+}
+
+TEST(Methodology, LoopStepsAreMonotonic) {
+  const CacheCellPlan plan = run_methodology(Scenario::kA);
+  const auto& steps = plan.proposed_8t.steps;
+  ASSERT_GE(steps.size(), 2u);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_GT(steps[i].size, steps[i - 1].size);
+    EXPECT_LE(steps[i].pf, steps[i - 1].pf + 1e-12);
+    EXPECT_GE(steps[i].yield, steps[i - 1].yield - 1e-12);
+  }
+}
+
+TEST(Methodology, HigherYieldTargetNeedsBiggerCells) {
+  MethodologyConfig lax;
+  lax.target_yield = 0.90;
+  MethodologyConfig strict;
+  strict.target_yield = 0.999;
+  const CacheCellPlan plan_lax = run_methodology(Scenario::kA, 1.0, 0.35, lax);
+  const CacheCellPlan plan_strict =
+      run_methodology(Scenario::kA, 1.0, 0.35, strict);
+  EXPECT_LE(plan_lax.baseline_10t.cell.size,
+            plan_strict.baseline_10t.cell.size);
+  EXPECT_LE(plan_lax.hp_6t.cell.size, plan_strict.hp_6t.cell.size);
+}
+
+TEST(Methodology, LowerUleVccNeedsBiggerCells) {
+  const CacheCellPlan v350 = run_methodology(Scenario::kA, 1.0, 0.35);
+  const CacheCellPlan v450 = run_methodology(Scenario::kA, 1.0, 0.45);
+  EXPECT_LT(v450.baseline_10t.cell.size, v350.baseline_10t.cell.size);
+  EXPECT_LE(v450.proposed_8t.cell.size, v350.proposed_8t.cell.size);
+}
+
+TEST(Methodology, ScenarioToString) {
+  EXPECT_STREQ(to_string(Scenario::kA), "A");
+  EXPECT_STREQ(to_string(Scenario::kB), "B");
+}
+
+}  // namespace
+}  // namespace hvc::yield

@@ -1,0 +1,88 @@
+// Importance-sampling Pf estimator tests: agreement with naive Monte-Carlo
+// in the measurable regime and with the analytic model in the rare-event
+// regime (Chen et al. substitution).
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+
+#include <cmath>
+
+#include "hvc/common/rng.hpp"
+#include "hvc/yield/pfail.hpp"
+
+namespace hvc::yield {
+namespace {
+
+TEST(NaiveMc, MatchesAnalyticWhenPfLarge) {
+  // 6T at 0.55V has a large Pf: naive MC is usable there.
+  const tech::CellDesign cell{tech::CellKind::k6T, 1.0};
+  const double vcc = 0.55;
+  Rng rng(1);
+  const PfEstimate estimate = naive_mc_pfail(cell, vcc, rng, 200000);
+  const double analytic = tech::analytic_pfail(cell, vcc);
+  EXPECT_NEAR(estimate.pf, analytic, 5.0 * estimate.stderr_pf + 0.2 * analytic);
+}
+
+TEST(ImportanceSampling, MatchesNaiveInMeasurableRegime) {
+  const tech::CellDesign cell{tech::CellKind::k8T, 1.0};
+  const double vcc = 0.35;  // Pf ~ 1e-2 at minimum size
+  Rng rng1(2), rng2(3);
+  const PfEstimate naive = naive_mc_pfail(cell, vcc, rng1, 300000);
+  const PfEstimate is = importance_sample_pfail(cell, vcc, rng2, 40000);
+  ASSERT_GT(naive.pf, 0.0);
+  EXPECT_NEAR(is.pf / naive.pf, 1.0, 0.30);
+}
+
+TEST(ImportanceSampling, TracksAnalyticInRareRegime) {
+  // Sized-up 8T at 350 mV: Pf ~ 1e-5..1e-7, far beyond naive MC reach at
+  // this trial count, but cheap for the importance sampler.
+  for (const double size : {3.0, 4.0}) {
+    const tech::CellDesign cell{tech::CellKind::k8T, size};
+    Rng rng(4);
+    const PfEstimate is = importance_sample_pfail(cell, 0.35, rng, 60000);
+    const double analytic = tech::analytic_pfail(cell, 0.35);
+    ASSERT_GT(is.pf, 0.0) << "size=" << size;
+    // Union-bound analytic vs sampled truth: agree within a factor ~2.
+    EXPECT_LT(std::fabs(std::log(is.pf / analytic)), std::log(2.5))
+        << "size=" << size << " is=" << is.pf << " analytic=" << analytic;
+  }
+}
+
+TEST(ImportanceSampling, RelativeErrorSmall) {
+  const tech::CellDesign cell{tech::CellKind::k10T, 3.0};
+  Rng rng(5);
+  const PfEstimate is = importance_sample_pfail(cell, 0.35, rng, 60000);
+  EXPECT_GT(is.failures, 100u);          // the shift actually hits failures
+  EXPECT_LT(is.relative_error(), 0.25);  // and the estimate is tight
+}
+
+TEST(ImportanceSampling, DeterministicGivenSeed) {
+  const tech::CellDesign cell{tech::CellKind::k8T, 2.0};
+  Rng a(7), b(7);
+  const PfEstimate e1 = importance_sample_pfail(cell, 0.35, a, 5000);
+  const PfEstimate e2 = importance_sample_pfail(cell, 0.35, b, 5000);
+  EXPECT_DOUBLE_EQ(e1.pf, e2.pf);
+}
+
+TEST(ImportanceSampling, PfDecreasesWithSize) {
+  Rng rng(8);
+  double prev = 1.0;
+  for (const double size : {1.0, 2.0, 3.0, 5.0}) {
+    Rng fork = rng.fork(static_cast<std::uint64_t>(size * 10));
+    const PfEstimate is =
+        importance_sample_pfail({tech::CellKind::k10T, size}, 0.35, fork,
+                                30000);
+    EXPECT_LT(is.pf, prev) << "size=" << size;
+    prev = is.pf;
+  }
+}
+
+TEST(ImportanceSampling, ZeroTrialsRejected) {
+  Rng rng(9);
+  EXPECT_THROW(
+      (void)importance_sample_pfail({tech::CellKind::k8T, 1.0}, 0.35, rng, 0),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace hvc::yield
