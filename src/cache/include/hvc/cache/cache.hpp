@@ -160,12 +160,16 @@ class Cache {
     bool valid = false;
     bool dirty = false;
     std::uint64_t line_addr = 0;  ///< addr / line_bytes
-    BitVec tag_codeword;
-    std::vector<BitVec> data_codewords;  ///< one per 32-bit word
   };
 
   struct Way {
     std::vector<Line> lines;  ///< indexed by set
+    /// Packed cache-line storage: each stored codeword (data word + check
+    /// bits, strongest-protection layout) occupies one 64-bit word of a
+    /// contiguous per-way array — no per-line heap objects, no bit-by-bit
+    /// copies on the access path.
+    std::vector<std::uint64_t> data_words;  ///< sets * words_per_line
+    std::vector<std::uint64_t> tag_words;   ///< one per set
     std::unique_ptr<edc::Codec> data_codec_hp;
     std::unique_ptr<edc::Codec> data_codec_ule;
     std::unique_ptr<edc::Codec> tag_codec_hp;
@@ -193,6 +197,12 @@ class Cache {
   void write_data_word(std::size_t w, std::size_t set, std::size_t word,
                        std::uint32_t value);
   void write_tag(std::size_t w, std::size_t set, std::uint64_t tag);
+
+  /// Index of (set, word) inside a way's packed data-word array.
+  [[nodiscard]] std::size_t data_word_index(std::size_t set,
+                                            std::size_t word) const noexcept {
+    return set * config_.org.words_per_line() + word;
+  }
 
   /// Bit offset of (set, word) inside a way's data fault map.
   [[nodiscard]] std::size_t data_bit_base(std::size_t w, std::size_t set,

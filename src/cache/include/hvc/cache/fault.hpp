@@ -39,6 +39,12 @@ class FaultMap {
   /// from positions [base, base+count) of the array.
   void apply(BitVec& word, std::size_t base) const;
 
+  /// Word-level fast path of apply(): returns the low `count` bits of
+  /// `word` as read through positions [base, base+count) of the array,
+  /// with stuck bits forced to their stuck values. Requires count <= 64.
+  [[nodiscard]] std::uint64_t apply_word(std::uint64_t word, std::size_t base,
+                                         std::size_t count) const;
+
   /// True when any of [base, base+count) is stuck.
   [[nodiscard]] bool any_stuck(std::size_t base, std::size_t count) const;
 

@@ -63,12 +63,12 @@ Cache::Cache(CacheConfig config, MainMemory& memory, Rng& rng)
         edc::check_bits_for(plan.stored_protection());
     stored_data_cw_bits_[w] = config_.org.word_bits + stored_check;
     stored_tag_cw_bits_[w] = config_.org.tag_bits + stored_check;
+    expects(stored_data_cw_bits_[w] <= 64 && stored_tag_cw_bits_[w] <= 64,
+            "packed line storage requires codewords of <= 64 bits");
 
     way.lines.resize(sets);
-    for (auto& line : way.lines) {
-      line.tag_codeword = BitVec(stored_tag_cw_bits_[w]);
-      line.data_codewords.assign(wpl, BitVec(stored_data_cw_bits_[w]));
-    }
+    way.data_words.assign(sets * wpl, 0);
+    way.tag_words.assign(sets, 0);
 
     const double pf =
         config_.way_hard_pf.empty() ? 0.0 : config_.way_hard_pf[w];
@@ -152,16 +152,18 @@ std::optional<std::uint64_t> Cache::read_tag(std::size_t w, std::size_t set,
   const edc::Codec* codec = tag_codec(w);
   const std::size_t active_bits =
       codec ? codec->codeword_bits() : config_.org.tag_bits;
-  BitVec raw = line.tag_codeword.slice(0, active_bits);
+  std::uint64_t raw = ways_[w].tag_words[set];
   // Hard faults manifest at near-threshold voltage only (HP-way cells are
   // sized for negligible Pf at high Vcc).
   if (mode_ == power::Mode::kUle) {
-    ways_[w].tag_faults->apply(raw, tag_bit_base(w, set));
+    raw = ways_[w].tag_faults->apply_word(raw, tag_bit_base(w, set),
+                                          stored_tag_cw_bits_[w]);
   }
+  raw &= low_mask(active_bits);
   if (codec == nullptr) {
-    return raw.to_word();
+    return raw;
   }
-  const edc::DecodeResult decoded = codec->decode(raw);
+  const edc::WordDecodeResult decoded = codec->decode_word(raw);
   if (decoded.status == edc::DecodeStatus::kDetected) {
     ++stats_.edc_detected;
     result.detected_uncorrectable = true;
@@ -171,25 +173,26 @@ std::optional<std::uint64_t> Cache::read_tag(std::size_t w, std::size_t set,
     stats_.edc_corrections += decoded.corrected_bits;
     result.corrected_bits += decoded.corrected_bits;
   }
-  return decoded.data.to_word();
+  return decoded.data;
 }
 
 std::optional<std::uint32_t> Cache::read_data_word(std::size_t w,
                                                    std::size_t set,
                                                    std::size_t word,
                                                    AccessResult& result) {
-  const Line& line = ways_[w].lines[set];
   const edc::Codec* codec = data_codec(w);
   const std::size_t active_bits =
       codec ? codec->codeword_bits() : config_.org.word_bits;
-  BitVec raw = line.data_codewords[word].slice(0, active_bits);
+  std::uint64_t raw = ways_[w].data_words[data_word_index(set, word)];
   if (mode_ == power::Mode::kUle) {
-    ways_[w].data_faults->apply(raw, data_bit_base(w, set, word));
+    raw = ways_[w].data_faults->apply_word(raw, data_bit_base(w, set, word),
+                                           stored_data_cw_bits_[w]);
   }
+  raw &= low_mask(active_bits);
   if (codec == nullptr) {
-    return static_cast<std::uint32_t>(raw.to_word());
+    return static_cast<std::uint32_t>(raw);
   }
-  const edc::DecodeResult decoded = codec->decode(raw);
+  const edc::WordDecodeResult decoded = codec->decode_word(raw);
   if (decoded.status == edc::DecodeStatus::kDetected) {
     ++stats_.edc_detected;
     result.detected_uncorrectable = true;
@@ -199,28 +202,21 @@ std::optional<std::uint32_t> Cache::read_data_word(std::size_t w,
     stats_.edc_corrections += decoded.corrected_bits;
     result.corrected_bits += decoded.corrected_bits;
   }
-  return static_cast<std::uint32_t>(decoded.data.to_word());
+  return static_cast<std::uint32_t>(decoded.data);
 }
 
 void Cache::write_data_word(std::size_t w, std::size_t set, std::size_t word,
                             std::uint32_t value) {
-  Line& line = ways_[w].lines[set];
   const edc::Codec* codec = data_codec(w);
-  const BitVec data = BitVec::from_word(value, config_.org.word_bits);
-  const BitVec encoded = codec ? codec->encode(data) : data;
-  for (std::size_t i = 0; i < encoded.size(); ++i) {
-    line.data_codewords[word].set(i, encoded.get(i));
-  }
+  const std::uint64_t data = value & low_mask(config_.org.word_bits);
+  ways_[w].data_words[data_word_index(set, word)] =
+      codec ? codec->encode_word(data) : data;
 }
 
 void Cache::write_tag(std::size_t w, std::size_t set, std::uint64_t tag) {
-  Line& line = ways_[w].lines[set];
   const edc::Codec* codec = tag_codec(w);
-  const BitVec data = BitVec::from_word(tag, config_.org.tag_bits);
-  const BitVec encoded = codec ? codec->encode(data) : data;
-  for (std::size_t i = 0; i < encoded.size(); ++i) {
-    line.tag_codeword.set(i, encoded.get(i));
-  }
+  const std::uint64_t data = tag & low_mask(config_.org.tag_bits);
+  ways_[w].tag_words[set] = codec ? codec->encode_word(data) : data;
 }
 
 void Cache::writeback_line(std::size_t w, std::size_t set) {
@@ -478,10 +474,8 @@ void Cache::advance_time(double seconds) {
       const std::size_t cw = stored_data_cw_bits_[w];
       const std::size_t word_index = flip / cw;
       const std::size_t bit = flip % cw;
-      const std::size_t set = word_index / config_.org.words_per_line();
-      const std::size_t word = word_index % config_.org.words_per_line();
-      if (set < config_.org.sets()) {
-        ways_[w].lines[set].data_codewords[word].flip(bit);
+      if (word_index < ways_[w].data_words.size()) {
+        ways_[w].data_words[word_index] ^= 1ULL << bit;
         ++stats_.soft_errors_injected;
       }
     }
@@ -496,7 +490,7 @@ void Cache::inject_bit_flip(std::size_t way, std::size_t set,
   const std::size_t word = bit_in_line / cw;
   const std::size_t bit = bit_in_line % cw;
   expects(word < config_.org.words_per_line(), "bit_in_line out of range");
-  ways_[way].lines[set].data_codewords[word].flip(bit);
+  ways_[way].data_words[data_word_index(set, word)] ^= 1ULL << bit;
   ++stats_.soft_errors_injected;
 }
 

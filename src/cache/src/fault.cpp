@@ -14,15 +14,10 @@ FaultMap::FaultMap(std::size_t bits, double pf, Rng& rng)
   }
   // Skip-sampling: draw the gap to the next faulty bit geometrically
   // instead of testing every bit (Pf is typically 1e-6..1e-3).
-  const double log1mp = std::log1p(-pf);
   std::size_t position = 0;
   for (;;) {
-    double u = 0.0;
-    do {
-      u = rng.uniform();
-    } while (u <= 1e-300);
-    const double skip = std::floor(std::log(u) / log1mp);
-    if (skip >= static_cast<double>(bits - position)) {
+    const std::uint64_t skip = rng.geometric(pf);
+    if (skip >= bits - position) {
       break;
     }
     position += static_cast<std::size_t>(skip);
@@ -39,17 +34,26 @@ void FaultMap::apply(BitVec& word, std::size_t base) const {
   expects(base + word.size() <= stuck_mask_.size(),
           "FaultMap::apply out of range");
   for (std::size_t i = 0; i < word.size(); ++i) {
-    if (stuck_mask_.get(base + i)) {
-      word.set(i, stuck_values_.get(base + i));
+    if (stuck_mask_.get_unchecked(base + i)) {
+      word.set_unchecked(i, stuck_values_.get_unchecked(base + i));
     }
   }
+}
+
+std::uint64_t FaultMap::apply_word(std::uint64_t word, std::size_t base,
+                                   std::size_t count) const {
+  const std::uint64_t stuck = stuck_mask_.extract_word(base, count);
+  if (stuck == 0) {
+    return word;  // the common case: no faulty cell under this codeword
+  }
+  return (word & ~stuck) | (stuck_values_.extract_word(base, count) & stuck);
 }
 
 bool FaultMap::any_stuck(std::size_t base, std::size_t count) const {
   expects(base + count <= stuck_mask_.size(),
           "FaultMap::any_stuck out of range");
   for (std::size_t i = 0; i < count; ++i) {
-    if (stuck_mask_.get(base + i)) {
+    if (stuck_mask_.get_unchecked(base + i)) {
       return true;
     }
   }

@@ -12,6 +12,11 @@
 
 namespace hvc {
 
+/// Mask of the low `bits` bits of a 64-bit word (all-ones for bits >= 64).
+[[nodiscard]] constexpr std::uint64_t low_mask(std::size_t bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
 /// Dynamically sized bit vector backed by 64-bit words.
 class BitVec {
  public:
@@ -31,6 +36,21 @@ class BitVec {
   void flip(std::size_t i);
   void clear() noexcept;
   void resize(std::size_t bits, bool value = false);
+
+  /// Unchecked accessors for inner loops whose indices are guaranteed in
+  /// range by construction: identical to get/set without the per-call
+  /// bounds precondition.
+  [[nodiscard]] bool get_unchecked(std::size_t i) const noexcept {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+  }
+  void set_unchecked(std::size_t i, bool value) noexcept {
+    const std::uint64_t mask = 1ULL << (i % kWordBits);
+    if (value) {
+      words_[i / kWordBits] |= mask;
+    } else {
+      words_[i / kWordBits] &= ~mask;
+    }
+  }
 
   /// Number of set bits.
   [[nodiscard]] std::size_t popcount() const noexcept;
@@ -66,6 +86,10 @@ class BitVec {
 
   /// Low 64 bits packed into a word (bit 0 = LSB). Requires size() <= 64.
   [[nodiscard]] std::uint64_t to_word() const;
+  /// Bits [pos, pos+count) packed into a word (bit 0 = bit `pos`).
+  /// Requires count <= 64 and pos + count <= size().
+  [[nodiscard]] std::uint64_t extract_word(std::size_t pos,
+                                           std::size_t count) const;
   /// '0'/'1' string, MSB first.
   [[nodiscard]] std::string to_string() const;
 
@@ -78,6 +102,8 @@ class BitVec {
   [[nodiscard]] std::vector<std::size_t> set_bits() const;
 
  private:
+  static constexpr std::size_t kWordBits = 64;
+
   void check_index(std::size_t i) const;
   void mask_tail() noexcept;
 

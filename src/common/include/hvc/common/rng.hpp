@@ -54,6 +54,16 @@ class Rng {
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   [[nodiscard]] bool bernoulli(double p) noexcept;
 
+  /// Geometric variate: the number of failures before the first success of
+  /// i.i.d. Bernoulli(p) trials, i.e. the gap to the next faulty bit when
+  /// skip-sampling a fault map. Support {0, 1, 2, ...}; mean (1-p)/p.
+  /// Returns a huge sentinel (UINT64_MAX) when p <= 0.
+  [[nodiscard]] std::uint64_t geometric(double p) noexcept;
+
+  /// Binomial variate: successes in n Bernoulli(p) trials, sampled with
+  /// geometric skips in O(n * min(p, 1-p)) expected draws instead of n.
+  [[nodiscard]] std::uint64_t binomial(std::uint64_t n, double p) noexcept;
+
   /// Standard normal variate (Box-Muller with cached spare).
   [[nodiscard]] double normal() noexcept;
 
@@ -70,6 +80,10 @@ class Rng {
  private:
   std::array<std::uint64_t, 4> state_{};
   std::optional<double> spare_normal_{};
+  /// Memo for geometric(): callers draw many gaps at the same p (fault
+  /// maps, yield sampling), so cache log1p(-p) across calls.
+  double geometric_p_ = -1.0;
+  double geometric_log1mp_ = 0.0;
 };
 
 /// SplitMix64 step: used for seeding and quick hash mixing.

@@ -1,5 +1,6 @@
 #include "hvc/common/bitvec.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "hvc/common/error.hpp"
@@ -138,10 +139,25 @@ std::uint64_t BitVec::to_word() const {
   return words_.empty() ? 0 : words_[0];
 }
 
+std::uint64_t BitVec::extract_word(std::size_t pos, std::size_t count) const {
+  expects(count <= kWordBits && pos + count <= bits_,
+          "extract_word out of range");
+  if (count == 0) {
+    return 0;
+  }
+  const std::size_t word = pos / kWordBits;
+  const std::size_t shift = pos % kWordBits;
+  std::uint64_t out = words_[word] >> shift;
+  if (shift != 0 && word + 1 < words_.size()) {
+    out |= words_[word + 1] << (kWordBits - shift);
+  }
+  return out & low_mask(count);
+}
+
 std::string BitVec::to_string() const {
   std::string out(bits_, '0');
   for (std::size_t i = 0; i < bits_; ++i) {
-    if (get(i)) {
+    if (get_unchecked(i)) {
       out[bits_ - 1 - i] = '1';
     }
   }
@@ -151,8 +167,10 @@ std::string BitVec::to_string() const {
 BitVec BitVec::slice(std::size_t pos, std::size_t count) const {
   expects(pos + count <= bits_, "BitVec slice out of range");
   BitVec out(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.set(i, get(pos + i));
+  // Copy in 64-bit chunks rather than bit by bit.
+  for (std::size_t done = 0; done < count; done += kWordBits) {
+    const std::size_t chunk = std::min(kWordBits, count - done);
+    out.words_[done / kWordBits] = extract_word(pos + done, chunk);
   }
   return out;
 }
@@ -160,10 +178,10 @@ BitVec BitVec::slice(std::size_t pos, std::size_t count) const {
 BitVec BitVec::concat(const BitVec& other) const {
   BitVec out(bits_ + other.bits_);
   for (std::size_t i = 0; i < bits_; ++i) {
-    out.set(i, get(i));
+    out.set_unchecked(i, get_unchecked(i));
   }
   for (std::size_t i = 0; i < other.bits_; ++i) {
-    out.set(bits_ + i, other.get(i));
+    out.set_unchecked(bits_ + i, other.get_unchecked(i));
   }
   return out;
 }

@@ -85,6 +85,57 @@ bool Rng::bernoulli(double p) noexcept {
   return uniform() < p;
 }
 
+std::uint64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) {
+    return 0;
+  }
+  if (p <= 0.0) {
+    return ~std::uint64_t{0};
+  }
+  // Inversion: floor(log(U) / log(1-p)) is geometric on {0, 1, 2, ...}.
+  if (p != geometric_p_) {
+    geometric_p_ = p;
+    geometric_log1mp_ = std::log1p(-p);
+  }
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 1e-300);
+  const double skip = std::floor(std::log(u) / geometric_log1mp_);
+  if (skip >= 1.8e19) {  // beyond uint64: clamp to the sentinel
+    return ~std::uint64_t{0};
+  }
+  return static_cast<std::uint64_t>(skip);
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) {
+    return 0;
+  }
+  if (p >= 1.0) {
+    return n;
+  }
+  if (p > 0.5) {
+    // Sample the rarer outcome and mirror.
+    return n - binomial(n, 1.0 - p);
+  }
+  // Count successes by geometrically skipping over runs of failures.
+  std::uint64_t count = 0;
+  std::uint64_t position = 0;
+  for (;;) {
+    const std::uint64_t skip = geometric(p);
+    if (skip >= n - position) {
+      break;
+    }
+    position += skip + 1;  // land on the success, move past it
+    ++count;
+    if (position >= n) {
+      break;
+    }
+  }
+  return count;
+}
+
 double Rng::normal() noexcept {
   if (spare_normal_) {
     const double value = *spare_normal_;

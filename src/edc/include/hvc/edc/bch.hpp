@@ -52,6 +52,14 @@ class BchDected final : public Codec {
   [[nodiscard]] BitVec encode(const BitVec& data) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
 
+  /// Word-level fast path (available when the codeword fits 64 bits, i.e.
+  /// all paper configs): encode XORs one precomputed per-data-bit codeword
+  /// mask per set bit; decode computes S1/S3 from packed syndrome-row
+  /// masks and shares the Peterson locator with the reference path.
+  [[nodiscard]] std::uint64_t encode_word(std::uint64_t data) const override;
+  [[nodiscard]] WordDecodeResult decode_word(
+      std::uint64_t received) const override;
+
   /// The BCH generator polynomial g(x) = m1(x) * m3(x), degree 12.
   [[nodiscard]] const Poly2& generator() const noexcept { return generator_; }
 
@@ -73,6 +81,12 @@ class BchDected final : public Codec {
   ///   last bit                          -> extended overall parity
   [[nodiscard]] std::optional<std::vector<std::size_t>> bch_locate_errors(
       const BitVec& stored_no_parity) const;
+  /// Peterson t=2 locator shared by the BitVec and word decode paths:
+  /// returns the stored-bit positions in error, nullopt when uncorrectable.
+  /// `count` is set to the number of valid entries in `positions`.
+  [[nodiscard]] bool locate_from_syndromes(std::uint32_t s1, std::uint32_t s3,
+                                           std::size_t positions[2],
+                                           std::size_t& count) const;
   [[nodiscard]] std::uint32_t syndrome(const BitVec& stored_no_parity,
                                        std::uint32_t power) const;
   /// Maps a code-polynomial coefficient index to a stored-bit index, or
@@ -87,6 +101,15 @@ class BchDected final : public Codec {
   /// Precomputed parity row masks (over stored bits, without the extended
   /// parity) for the cost model and fast syndrome computation.
   std::vector<BitVec> syndrome_rows_;
+
+  // --- word-level fast path (populated only when codeword_bits() <= 64) ---
+  /// Full codeword of the unit data word e_i: encode_word XORs one of
+  /// these per set data bit (encoding is linear over GF(2)).
+  std::vector<std::uint64_t> unit_codewords_;
+  /// syndrome_rows_ packed into words: bit b of S1 is the parity of
+  /// (stored & s1_row_masks_[b]); likewise S3.
+  std::vector<std::uint64_t> s1_row_masks_;
+  std::vector<std::uint64_t> s3_row_masks_;
 };
 
 }  // namespace hvc::edc

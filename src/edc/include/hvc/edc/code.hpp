@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -31,6 +32,16 @@ struct DecodeResult {
   BitVec data;
   /// Number of bit positions the decoder flipped (0 when clean/detected).
   std::size_t corrected_bits = 0;
+};
+
+/// Result of Codec::decode_word (word-level fast path).
+struct WordDecodeResult {
+  DecodeStatus status = DecodeStatus::kClean;
+  /// Recovered data word in the low data_bits() bits. Valid unless
+  /// status == kDetected.
+  std::uint64_t data = 0;
+  /// Number of bit positions the decoder flipped (0 when clean/detected).
+  std::uint32_t corrected_bits = 0;
 };
 
 /// Abstract systematic block code over GF(2).
@@ -60,6 +71,24 @@ class Codec {
 
   /// Decodes an n-bit received word.
   [[nodiscard]] virtual DecodeResult decode(const BitVec& received) const = 0;
+
+  /// True when the codeword fits in 64 bits, i.e. the word-level fast path
+  /// below is usable. All paper configs — (39,32)/(33,26) SECDED and
+  /// (45,32)/(39,26) BCH-DECTED — qualify.
+  [[nodiscard]] bool has_word_path() const noexcept {
+    return codeword_bits() <= 64;
+  }
+
+  /// Word-level fast path: encodes the low data_bits() bits of `data` into
+  /// an n-bit codeword packed into a 64-bit word (bit 0 = LSB, same layout
+  /// as BitVec::to_word). Bit-for-bit identical to encode(); requires
+  /// has_word_path(). The base implementation bridges through the BitVec
+  /// reference path; codecs override it with mask/popcount arithmetic.
+  [[nodiscard]] virtual std::uint64_t encode_word(std::uint64_t data) const;
+
+  /// Word-level fast path of decode(); same contract as encode_word.
+  [[nodiscard]] virtual WordDecodeResult decode_word(
+      std::uint64_t received) const;
 };
 
 /// Degenerate "no protection" code: codeword == data, nothing detected.
@@ -76,6 +105,9 @@ class NullCode final : public Codec {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] BitVec encode(const BitVec& data) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
+  [[nodiscard]] std::uint64_t encode_word(std::uint64_t data) const override;
+  [[nodiscard]] WordDecodeResult decode_word(
+      std::uint64_t received) const override;
 
  private:
   std::size_t data_bits_;

@@ -24,6 +24,13 @@ class GF2m {
 
   /// alpha^i for i in [0, q-2]; alpha is the primitive element x.
   [[nodiscard]] std::uint32_t alpha_pow(std::int64_t i) const noexcept;
+  /// alpha^i for an exponent already reduced to [0, 2(q-1)): a direct
+  /// lookup in the doubled antilog table with no modulo or branch. This is
+  /// the hot path for syndrome arithmetic, where exponents are sums or
+  /// differences of two discrete logs and therefore always in range.
+  [[nodiscard]] std::uint32_t alpha_pow_reduced(std::uint32_t i) const noexcept {
+    return exp_[i];
+  }
   /// Discrete log base alpha; requires x != 0.
   [[nodiscard]] std::uint32_t log(std::uint32_t x) const;
 

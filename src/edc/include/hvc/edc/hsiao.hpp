@@ -45,6 +45,13 @@ class HsiaoSecded final : public Codec {
   [[nodiscard]] BitVec encode(const BitVec& data) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
 
+  /// Word-level fast path (available when the codeword fits 64 bits, i.e.
+  /// all paper configs): encode is check_bits() AND+popcount steps over
+  /// precomputed row masks; decode is table-driven syndrome lookup.
+  [[nodiscard]] std::uint64_t encode_word(std::uint64_t data) const override;
+  [[nodiscard]] WordDecodeResult decode_word(
+      std::uint64_t received) const override;
+
   /// Parity-check row `r` as an n-bit mask over (data || check) positions.
   [[nodiscard]] const BitVec& parity_row(std::size_t r) const;
 
@@ -66,6 +73,16 @@ class HsiaoSecded final : public Codec {
   /// Column syndrome value for each data position (bit r set if row r has
   /// a one in that column).
   std::vector<std::uint64_t> column_syndromes_;
+
+  // --- word-level fast path (populated only when codeword_bits() <= 64) ---
+  /// Data part of each H row packed into a word: check bit r is the parity
+  /// of (data & row_data_masks_[r]).
+  std::vector<std::uint64_t> row_data_masks_;
+  /// Full H rows (data part + identity check column) packed into words.
+  std::vector<std::uint64_t> row_masks_;
+  /// Syndrome value -> data column to flip, -1 when no column matches
+  /// (size 2^check_bits).
+  std::vector<std::int32_t> syndrome_to_position_;
 };
 
 }  // namespace hvc::edc

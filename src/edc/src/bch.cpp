@@ -1,6 +1,7 @@
 #include "hvc/edc/bch.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <set>
 
 #include "hvc/common/error.hpp"
@@ -90,6 +91,23 @@ BchDected::BchDected(std::size_t data_bits, std::size_t field_degree)
       }
     }
   }
+
+  // Word-level fast path: per-data-bit codeword masks (encoding is linear,
+  // so encode_word is one XOR per set data bit) and packed syndrome rows.
+  if (codeword_bits() <= 64) {
+    unit_codewords_.resize(data_bits_);
+    for (std::size_t i = 0; i < data_bits_; ++i) {
+      BitVec unit(data_bits_);
+      unit.set(i);
+      unit_codewords_[i] = encode(unit).to_word();
+    }
+    s1_row_masks_.resize(degree);
+    s3_row_masks_.resize(degree);
+    for (std::size_t b = 0; b < degree; ++b) {
+      s1_row_masks_[b] = syndrome_rows_[b].to_word();
+      s3_row_masks_[b] = syndrome_rows_[degree + b].to_word();
+    }
+  }
 }
 
 std::string BchDected::name() const {
@@ -115,16 +133,16 @@ BitVec BchDected::encode(const BitVec& data) const {
   // message(x) = x^12 * d(x); check bits = message mod g.
   std::vector<std::uint8_t> message(bch_check_bits_ + data_bits_, 0);
   for (std::size_t i = 0; i < data_bits_; ++i) {
-    message[bch_check_bits_ + i] = data.get(i) ? 1 : 0;
+    message[bch_check_bits_ + i] = data.get_unchecked(i) ? 1 : 0;
   }
   const Poly2 remainder = Poly2(std::move(message)).mod(generator_);
 
   BitVec codeword(codeword_bits());
   for (std::size_t i = 0; i < data_bits_; ++i) {
-    codeword.set(i, data.get(i));
+    codeword.set_unchecked(i, data.get_unchecked(i));
   }
   for (std::size_t j = 0; j < bch_check_bits_; ++j) {
-    codeword.set(data_bits_ + j, remainder.coeff(j));
+    codeword.set_unchecked(data_bits_ + j, remainder.coeff(j));
   }
   // Extended parity: make the total parity of the codeword even.
   const BitVec without_parity = codeword.slice(0, codeword_bits() - 1);
@@ -136,7 +154,7 @@ std::uint32_t BchDected::syndrome(const BitVec& stored_no_parity,
                                   std::uint32_t power) const {
   std::uint32_t acc = 0;
   for (std::size_t s = 0; s < stored_no_parity.size(); ++s) {
-    if (!stored_no_parity.get(s)) {
+    if (!stored_no_parity.get_unchecked(s)) {
       continue;
     }
     const std::size_t j = s < data_bits_ ? bch_check_bits_ + s
@@ -147,17 +165,16 @@ std::uint32_t BchDected::syndrome(const BitVec& stored_no_parity,
   return acc;
 }
 
-std::optional<std::vector<std::size_t>> BchDected::bch_locate_errors(
-    const BitVec& stored_no_parity) const {
-  const std::uint32_t s1 = syndrome(stored_no_parity, 1);
-  const std::uint32_t s3 = syndrome(stored_no_parity, 3);
-
+bool BchDected::locate_from_syndromes(std::uint32_t s1, std::uint32_t s3,
+                                      std::size_t positions[2],
+                                      std::size_t& count) const {
+  count = 0;
   if (s1 == 0 && s3 == 0) {
-    return std::vector<std::size_t>{};
+    return true;
   }
   if (s1 == 0) {
     // Two or more errors with X1 = X2 impossible: uncorrectable.
-    return std::nullopt;
+    return false;
   }
 
   const std::uint32_t s1_cubed = field_.mul(field_.mul(s1, s1), s1);
@@ -166,9 +183,10 @@ std::optional<std::vector<std::size_t>> BchDected::bch_locate_errors(
     const std::size_t j = field_.log(s1);
     const auto stored = coeff_to_stored(j);
     if (!stored) {
-      return std::nullopt;  // error "located" in the shortened region
+      return false;  // error "located" in the shortened region
     }
-    return std::vector<std::size_t>{*stored};
+    positions[count++] = *stored;
+    return true;
   }
 
   // Two errors: locator sigma(x) = x^2 + S1 x + (S3 + S1^3)/S1.
@@ -177,22 +195,36 @@ std::optional<std::vector<std::size_t>> BchDected::bch_locate_errors(
       field_.div(static_cast<std::uint32_t>(s3 ^ s1_cubed), s1_cubed);
   const auto quad = field_.solve_x2_plus_x(c);
   if (!quad.found) {
-    return std::nullopt;  // three or more errors
+    return false;  // three or more errors
   }
   const std::uint32_t y1 = quad.root;
   const std::uint32_t y2 = y1 ^ 1U;
   if (y1 == 0 || y2 == 0) {
     // One root at zero would mean an error locator of zero: invalid.
-    return std::nullopt;
+    return false;
   }
   const std::uint32_t x1 = field_.mul(s1, y1);
   const std::uint32_t x2 = field_.mul(s1, y2);
   const auto p1 = coeff_to_stored(field_.log(x1));
   const auto p2 = coeff_to_stored(field_.log(x2));
   if (!p1 || !p2) {
+    return false;
+  }
+  positions[count++] = *p1;
+  positions[count++] = *p2;
+  return true;
+}
+
+std::optional<std::vector<std::size_t>> BchDected::bch_locate_errors(
+    const BitVec& stored_no_parity) const {
+  const std::uint32_t s1 = syndrome(stored_no_parity, 1);
+  const std::uint32_t s3 = syndrome(stored_no_parity, 3);
+  std::size_t positions[2];
+  std::size_t count = 0;
+  if (!locate_from_syndromes(s1, s3, positions, count)) {
     return std::nullopt;
   }
-  return std::vector<std::size_t>{*p1, *p2};
+  return std::vector<std::size_t>(positions, positions + count);
 }
 
 DecodeResult BchDected::decode(const BitVec& received) const {
@@ -240,6 +272,88 @@ DecodeResult BchDected::decode(const BitVec& received) const {
   }
   if (located->size() == 1) {
     corrected_data(*located, 0);
+    return result;
+  }
+  // BCH claims two errors plus parity mismatch: three errors -> detect.
+  result.status = DecodeStatus::kDetected;
+  return result;
+}
+
+std::uint64_t BchDected::encode_word(std::uint64_t data) const {
+  if (unit_codewords_.empty()) {
+    return Codec::encode_word(data);  // wide code: base enforces the word-path precondition
+  }
+  data &= low_mask(data_bits_);
+  std::uint64_t codeword = 0;
+  std::uint64_t bits = data;
+  while (bits != 0) {
+    codeword ^= unit_codewords_[std::countr_zero(bits)];
+    bits &= bits - 1;
+  }
+  return codeword;
+}
+
+WordDecodeResult BchDected::decode_word(std::uint64_t received) const {
+  if (unit_codewords_.empty()) {
+    return Codec::decode_word(received);  // wide code: base enforces the word-path precondition
+  }
+  const std::size_t n = codeword_bits();
+  received &= low_mask(n);
+  const bool parity_odd = (std::popcount(received) & 1) != 0;
+  const std::uint64_t stored = received & low_mask(n - 1);
+
+  const std::size_t degree = field_.m();
+  std::uint32_t s1 = 0;
+  std::uint32_t s3 = 0;
+  for (std::size_t b = 0; b < degree; ++b) {
+    s1 |= (static_cast<std::uint32_t>(
+               std::popcount(stored & s1_row_masks_[b])) &
+           1U)
+          << b;
+    s3 |= (static_cast<std::uint32_t>(
+               std::popcount(stored & s3_row_masks_[b])) &
+           1U)
+          << b;
+  }
+
+  const std::uint64_t data_mask = low_mask(data_bits_);
+  WordDecodeResult result;
+  std::size_t positions[2];
+  std::size_t count = 0;
+  if (!locate_from_syndromes(s1, s3, positions, count)) {
+    result.status = DecodeStatus::kDetected;
+    return result;
+  }
+
+  // Same parity/BCH classification as decode() (see the header comment).
+  auto corrected = [&](std::uint32_t extra) {
+    std::uint64_t fixed = stored;
+    for (std::size_t i = 0; i < count; ++i) {
+      fixed ^= 1ULL << positions[i];
+    }
+    result.data = fixed & data_mask;
+    result.corrected_bits = static_cast<std::uint32_t>(count) + extra;
+    result.status = (count == 0 && extra == 0) ? DecodeStatus::kClean
+                                               : DecodeStatus::kCorrected;
+  };
+
+  if (!parity_odd) {
+    if (count == 0) {
+      corrected(0);  // clean
+    } else if (count == 2) {
+      corrected(0);  // classic double error
+    } else {
+      // One BCH error with even overall parity: the parity bit flipped too.
+      corrected(1);
+    }
+    return result;
+  }
+  if (count == 0) {
+    corrected(1);  // only the parity bit flipped; data is intact
+    return result;
+  }
+  if (count == 1) {
+    corrected(0);
     return result;
   }
   // BCH claims two errors plus parity mismatch: three errors -> detect.

@@ -26,6 +26,24 @@ std::string to_string(Protection protection) {
   return "?";
 }
 
+std::uint64_t Codec::encode_word(std::uint64_t data) const {
+  expects(has_word_path(), "encode_word requires codewords of <= 64 bits");
+  return encode(BitVec::from_word(data, data_bits())).to_word();
+}
+
+WordDecodeResult Codec::decode_word(std::uint64_t received) const {
+  expects(has_word_path(), "decode_word requires codewords of <= 64 bits");
+  const DecodeResult decoded =
+      decode(BitVec::from_word(received, codeword_bits()));
+  WordDecodeResult result;
+  result.status = decoded.status;
+  result.corrected_bits = static_cast<std::uint32_t>(decoded.corrected_bits);
+  if (decoded.status != DecodeStatus::kDetected) {
+    result.data = decoded.data.to_word();
+  }
+  return result;
+}
+
 std::size_t check_bits_for(Protection protection) {
   switch (protection) {
     case Protection::kNone: return 0;
@@ -53,6 +71,18 @@ DecodeResult NullCode::decode(const BitVec& received) const {
   DecodeResult result;
   result.status = DecodeStatus::kClean;
   result.data = received;
+  return result;
+}
+
+std::uint64_t NullCode::encode_word(std::uint64_t data) const {
+  expects(has_word_path(), "encode_word requires codewords of <= 64 bits");
+  return data & low_mask(data_bits_);
+}
+
+WordDecodeResult NullCode::decode_word(std::uint64_t received) const {
+  expects(has_word_path(), "decode_word requires codewords of <= 64 bits");
+  WordDecodeResult result;
+  result.data = received & low_mask(data_bits_);
   return result;
 }
 

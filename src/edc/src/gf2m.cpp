@@ -73,7 +73,9 @@ std::uint32_t GF2m::mul(std::uint32_t a, std::uint32_t b) const noexcept {
   if (a == 0 || b == 0) {
     return 0;
   }
-  return exp_[log_[a] + log_[b]];
+  // log_[a] + log_[b] <= 2(q-2) < 2(q-1): the doubled table absorbs the
+  // wraparound without a modulo.
+  return alpha_pow_reduced(log_[a] + log_[b]);
 }
 
 std::uint32_t GF2m::div(std::uint32_t a, std::uint32_t b) const {
@@ -81,12 +83,13 @@ std::uint32_t GF2m::div(std::uint32_t a, std::uint32_t b) const {
   if (a == 0) {
     return 0;
   }
-  return exp_[log_[a] + order() - log_[b]];
+  // log_[a] - log_[b] + (q-1) lands in [1, 2(q-1)): in table range.
+  return alpha_pow_reduced(log_[a] + order() - log_[b]);
 }
 
 std::uint32_t GF2m::inv(std::uint32_t a) const {
   expects(a != 0, "GF2m inverse of zero");
-  return exp_[order() - log_[a]];
+  return alpha_pow_reduced(order() - log_[a]);
 }
 
 std::uint32_t GF2m::pow(std::uint32_t a, std::int64_t e) const {

@@ -108,6 +108,23 @@ HsiaoSecded::HsiaoSecded(std::size_t data_bits, std::size_t check_bits)
   for (std::size_t row = 0; row < r; ++row) {
     rows_[row].set(data_bits_ + row);
   }
+
+  // Word-level fast path: pack the H rows into 64-bit masks and invert the
+  // column-syndrome map into a direct lookup table. Only possible when the
+  // whole codeword fits one machine word (all paper configs do).
+  if (n <= 64) {
+    row_data_masks_.resize(r);
+    row_masks_.resize(r);
+    for (std::size_t row = 0; row < r; ++row) {
+      row_masks_[row] = rows_[row].to_word();
+      row_data_masks_[row] = row_masks_[row] & low_mask(data_bits_);
+    }
+    syndrome_to_position_.assign(std::size_t{1} << r, -1);
+    for (std::size_t col = 0; col < data_bits_; ++col) {
+      syndrome_to_position_[column_syndromes_[col]] =
+          static_cast<std::int32_t>(col);
+    }
+  }
 }
 
 std::string HsiaoSecded::name() const {
@@ -119,17 +136,17 @@ BitVec HsiaoSecded::encode(const BitVec& data) const {
   expects(data.size() == data_bits_, "encode: wrong data width");
   BitVec codeword(codeword_bits());
   for (std::size_t i = 0; i < data_bits_; ++i) {
-    codeword.set(i, data.get(i));
+    codeword.set_unchecked(i, data.get_unchecked(i));
   }
   for (std::size_t row = 0; row < check_bits_; ++row) {
     // Check bit = parity of data positions selected by row `row`.
     bool parity = false;
     for (std::size_t i = 0; i < data_bits_; ++i) {
-      if (rows_[row].get(i) && data.get(i)) {
+      if (rows_[row].get_unchecked(i) && data.get_unchecked(i)) {
         parity = !parity;
       }
     }
-    codeword.set(data_bits_ + row, parity);
+    codeword.set_unchecked(data_bits_ + row, parity);
   }
   return codeword;
 }
@@ -178,6 +195,64 @@ DecodeResult HsiaoSecded::decode(const BitVec& received) const {
   result.corrected_bits = 1;
   result.data = received.slice(0, data_bits_);
   result.data.flip(position);
+  return result;
+}
+
+std::uint64_t HsiaoSecded::encode_word(std::uint64_t data) const {
+  if (row_data_masks_.empty()) {
+    return Codec::encode_word(data);  // wide code: base enforces the word-path precondition
+  }
+  data &= low_mask(data_bits_);
+  std::uint64_t codeword = data;
+  for (std::size_t row = 0; row < check_bits_; ++row) {
+    const std::uint64_t parity =
+        static_cast<std::uint64_t>(std::popcount(data & row_data_masks_[row])) &
+        1ULL;
+    codeword |= parity << (data_bits_ + row);
+  }
+  return codeword;
+}
+
+WordDecodeResult HsiaoSecded::decode_word(std::uint64_t received) const {
+  if (row_masks_.empty()) {
+    return Codec::decode_word(received);  // wide code: base enforces the word-path precondition
+  }
+  received &= low_mask(codeword_bits());
+  std::uint64_t syndrome = 0;
+  for (std::size_t row = 0; row < check_bits_; ++row) {
+    const std::uint64_t parity =
+        static_cast<std::uint64_t>(std::popcount(received & row_masks_[row])) &
+        1ULL;
+    syndrome |= parity << row;
+  }
+
+  WordDecodeResult result;
+  const std::uint64_t data_mask = low_mask(data_bits_);
+  if (syndrome == 0) {
+    result.data = received & data_mask;
+    return result;
+  }
+  if ((std::popcount(syndrome) & 1) == 0) {
+    // Even nonzero syndrome: double error (Hsiao's key property).
+    result.status = DecodeStatus::kDetected;
+    return result;
+  }
+  if (std::popcount(syndrome) == 1) {
+    // A check bit flipped; the data bits are untouched.
+    result.status = DecodeStatus::kCorrected;
+    result.corrected_bits = 1;
+    result.data = received & data_mask;
+    return result;
+  }
+  const std::int32_t position = syndrome_to_position_[syndrome];
+  if (position < 0) {
+    // Odd-weight syndrome matching no column: >= 3 errors detected.
+    result.status = DecodeStatus::kDetected;
+    return result;
+  }
+  result.status = DecodeStatus::kCorrected;
+  result.corrected_bits = 1;
+  result.data = (received ^ (1ULL << position)) & data_mask;
   return result;
 }
 

@@ -12,9 +12,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "hvc/common/rng.hpp"
 
 namespace hvc::yield {
 
@@ -45,6 +48,31 @@ struct WordClass {
 [[nodiscard]] double raw_yield(double pf, std::size_t bits);
 [[nodiscard]] double max_pf_for_raw_yield(double target_yield,
                                           std::size_t bits);
+
+/// Outcome of a Monte-Carlo chip-yield experiment.
+struct McYieldResult {
+  std::size_t chips = 0;
+  std::size_t chips_ok = 0;
+  /// Total faulty bits sampled across all chips (diagnostic: the sampler's
+  /// work is proportional to this, not to chips * total bits).
+  std::uint64_t faults_sampled = 0;
+
+  [[nodiscard]] double yield() const noexcept {
+    return chips == 0 ? 0.0
+                      : static_cast<double>(chips_ok) /
+                            static_cast<double>(chips);
+  }
+};
+
+/// Monte-Carlo counterpart of cache_yield() (Equations (1)-(2)): samples
+/// `chips` instances of per-bit hard faults and counts chips where every
+/// word stays within its correction budget. Instead of one Bernoulli draw
+/// per bit, geometric skip-sampling (Rng::geometric) jumps straight to the
+/// next faulty bit, so a chip costs O(expected faults) = O(total_bits * pf)
+/// draws rather than O(total_bits) — a ~1/Pf speedup at paper Pf values.
+[[nodiscard]] McYieldResult mc_cache_yield(double pf,
+                                           std::span<const WordClass> words,
+                                           std::size_t chips, Rng& rng);
 
 /// Standard word-class layouts for one ULE way of the paper's cache
 /// (32-bit data words, 26-bit tags), given the way's line count and line

@@ -73,6 +73,45 @@ double max_pf_for_raw_yield(double target_yield, std::size_t bits) {
   return max_pf_for_yield(target_yield, words);
 }
 
+McYieldResult mc_cache_yield(double pf, std::span<const WordClass> words,
+                             std::size_t chips, Rng& rng) {
+  expects(pf >= 0.0 && pf <= 1.0, "Pf must be a probability");
+  McYieldResult result;
+  result.chips = chips;
+  for (std::size_t chip = 0; chip < chips; ++chip) {
+    bool chip_ok = true;
+    for (const auto& word : words) {
+      const std::uint64_t bits = word.data_bits + word.check_bits;
+      const std::uint64_t span = word.count * bits;
+      // Jump from faulty bit to faulty bit across the whole word class;
+      // consecutive faults landing in the same word share its budget.
+      std::uint64_t position = rng.geometric(pf);
+      std::uint64_t current_word = ~std::uint64_t{0};
+      std::size_t word_faults = 0;
+      while (position < span) {
+        ++result.faults_sampled;
+        const std::uint64_t word_index = position / bits;
+        word_faults = word_index == current_word ? word_faults + 1 : 1;
+        current_word = word_index;
+        if (word_faults > word.hard_correctable) {
+          chip_ok = false;
+          break;
+        }
+        const std::uint64_t skip = rng.geometric(pf);
+        if (skip >= span - position - 1) {
+          break;
+        }
+        position += skip + 1;
+      }
+      if (!chip_ok) {
+        break;
+      }
+    }
+    result.chips_ok += chip_ok ? 1 : 0;
+  }
+  return result;
+}
+
 std::vector<WordClass> ule_way_words(std::size_t lines, std::size_t line_bytes,
                                      std::size_t check_bits_data,
                                      std::size_t check_bits_tag,

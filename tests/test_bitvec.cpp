@@ -146,6 +146,60 @@ TEST(BitVec, EqualityAndClear) {
   EXPECT_EQ(a.size(), 8u);
 }
 
+TEST(BitVec, ExtractWord) {
+  BitVec v(200);
+  v.set(3);
+  v.set(64);
+  v.set(70);
+  v.set(130);
+  EXPECT_EQ(v.extract_word(0, 8), 0b1000u);
+  EXPECT_EQ(v.extract_word(3, 4), 1u);
+  // Word-boundary-straddling range.
+  EXPECT_EQ(v.extract_word(60, 16), (1ULL << 4) | (1ULL << 10));
+  EXPECT_EQ(v.extract_word(130, 1), 1u);
+  EXPECT_EQ(v.extract_word(136, 64), 0u);
+  EXPECT_EQ(v.extract_word(64, 64), (1ULL << 0) | (1ULL << 6));
+  EXPECT_EQ(v.extract_word(10, 0), 0u);
+}
+
+TEST(BitVec, ExtractWordMatchesGet) {
+  Rng rng(17);
+  BitVec v(300);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v.set(i, rng.bernoulli(0.4));
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto count = static_cast<std::size_t>(rng.below(64)) + 1;
+    const auto pos = static_cast<std::size_t>(rng.below(v.size() - count));
+    const std::uint64_t word = v.extract_word(pos, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ((word >> i) & 1ULL, v.get(pos + i) ? 1ULL : 0ULL);
+    }
+    if (count < 64) {
+      EXPECT_EQ(word >> count, 0ULL);  // no stray high bits
+    }
+  }
+}
+
+TEST(BitVec, ExtractWordOutOfRangeThrows) {
+  const BitVec v(100);
+  EXPECT_THROW((void)v.extract_word(40, 65), PreconditionError);
+  EXPECT_THROW((void)v.extract_word(90, 11), PreconditionError);
+}
+
+TEST(BitVec, UncheckedAccessorsMatchChecked) {
+  Rng rng(19);
+  BitVec a(150), b(150);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto i = static_cast<std::size_t>(rng.below(150));
+    const bool value = rng.bernoulli(0.5);
+    a.set(i, value);
+    b.set_unchecked(i, value);
+    EXPECT_EQ(a.get(i), b.get_unchecked(i));
+  }
+  EXPECT_EQ(a, b);
+}
+
 TEST(BitVec, PopcountRandomized) {
   Rng rng(3);
   for (int trial = 0; trial < 20; ++trial) {

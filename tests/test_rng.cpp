@@ -103,6 +103,85 @@ TEST(Rng, BernoulliFrequency) {
   EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
 }
 
+TEST(Rng, GeometricEdgeCases) {
+  Rng rng(41);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+  EXPECT_EQ(rng.geometric(1.5), 0u);
+  EXPECT_EQ(rng.geometric(0.0), ~std::uint64_t{0});
+  EXPECT_EQ(rng.geometric(-0.1), ~std::uint64_t{0});
+}
+
+TEST(Rng, GeometricMoments) {
+  // Gap distribution on {0,1,2,...}: mean (1-p)/p, var (1-p)/p^2.
+  Rng rng(42);
+  for (const double p : {0.5, 0.1, 0.01}) {
+    const int n = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const auto value = static_cast<double>(rng.geometric(p));
+      sum += value;
+      sum_sq += value * value;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    const double expected_mean = (1.0 - p) / p;
+    const double expected_var = (1.0 - p) / (p * p);
+    EXPECT_NEAR(mean, expected_mean, 0.05 * expected_mean) << "p=" << p;
+    EXPECT_NEAR(var, expected_var, 0.1 * expected_var) << "p=" << p;
+  }
+}
+
+TEST(Rng, GeometricMatchesBernoulliFrequency) {
+  // P(gap == 0) must equal p: the skip-sampler and a per-bit Bernoulli
+  // scan describe the same fault process.
+  Rng rng(43);
+  const double p = 0.2;
+  const int n = 100000;
+  int zero_gaps = 0;
+  for (int i = 0; i < n; ++i) {
+    zero_gaps += rng.geometric(p) == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(zero_gaps) / n, p, 0.01);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(44);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(rng.binomial(17, 0.3), 17u);
+  }
+}
+
+TEST(Rng, BinomialMoments) {
+  // Mean n*p, variance n*p*(1-p); includes p > 1/2 (mirrored sampling).
+  Rng rng(45);
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  for (const Case c : {Case{39, 2e-1}, Case{1000, 0.01}, Case{64, 0.9}}) {
+    const int trials = 100000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < trials; ++i) {
+      const auto value = static_cast<double>(rng.binomial(c.n, c.p));
+      sum += value;
+      sum_sq += value * value;
+    }
+    const double mean = sum / trials;
+    const double var = sum_sq / trials - mean * mean;
+    const double expected_mean = static_cast<double>(c.n) * c.p;
+    const double expected_var = expected_mean * (1.0 - c.p);
+    EXPECT_NEAR(mean, expected_mean, 0.03 * expected_mean + 0.01)
+        << "n=" << c.n << " p=" << c.p;
+    EXPECT_NEAR(var, expected_var, 0.05 * expected_var + 0.01)
+        << "n=" << c.n << " p=" << c.p;
+  }
+}
+
 TEST(Rng, NormalMoments) {
   Rng rng(16);
   double sum = 0.0, sum2 = 0.0;

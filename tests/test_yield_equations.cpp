@@ -104,6 +104,48 @@ TEST(Eq2, MonteCarloAgreement) {
   EXPECT_NEAR(mc_yield, analytic, 0.02);
 }
 
+TEST(Eq2, SkipSamplingMonteCarloAgreement) {
+  // The O(faults) skip-sampler must land on the same yield curve as the
+  // analytic Equations (1)-(2), including the unprotected (t=0) case.
+  Rng rng(12);
+  const std::vector<WordClass> coded{{"data", 256, 32, 7, 1},
+                                     {"tag", 32, 26, 7, 1}};
+  const std::vector<WordClass> raw{{"data", 256, 32, 0, 0},
+                                   {"tag", 32, 26, 0, 0}};
+  for (const double pf : {5e-5, 2e-4, 1e-3}) {
+    const auto mc = mc_cache_yield(pf, coded, 20000, rng);
+    EXPECT_NEAR(mc.yield(), cache_yield(pf, coded), 0.01) << "pf=" << pf;
+  }
+  for (const double pf : {1e-6, 1e-5, 5e-5}) {
+    const auto mc = mc_cache_yield(pf, raw, 20000, rng);
+    EXPECT_NEAR(mc.yield(), cache_yield(pf, raw), 0.01) << "pf=" << pf;
+  }
+}
+
+TEST(Eq2, SkipSamplingWorkIsProportionalToFaults) {
+  // O(expected faults), not O(bits): sampled fault count per chip must be
+  // about total_bits * pf, a tiny fraction of the total bits.
+  Rng rng(13);
+  const std::vector<WordClass> words{{"data", 256, 32, 7, 1},
+                                     {"tag", 32, 26, 7, 1}};
+  const double pf = 2e-4;
+  const std::size_t chips = 5000;
+  const auto mc = mc_cache_yield(pf, words, chips, rng);
+  const double total_bits = 256.0 * 39 + 32.0 * 33;
+  const double expected = static_cast<double>(chips) * total_bits * pf;
+  // Early-exit on failed chips only removes samples, so allow slack below.
+  EXPECT_LT(static_cast<double>(mc.faults_sampled), 1.15 * expected);
+  EXPECT_GT(static_cast<double>(mc.faults_sampled), 0.7 * expected);
+}
+
+TEST(Eq2, SkipSamplingDegenerateInputs) {
+  Rng rng(14);
+  const std::vector<WordClass> words{{"data", 8, 32, 7, 1}};
+  EXPECT_DOUBLE_EQ(mc_cache_yield(0.0, words, 100, rng).yield(), 1.0);
+  EXPECT_DOUBLE_EQ(mc_cache_yield(1.0, words, 100, rng).yield(), 0.0);
+  EXPECT_EQ(mc_cache_yield(2e-4, words, 0, rng).yield(), 0.0);
+}
+
 TEST(Eq2, UleWayWordLayout) {
   const auto words = ule_way_words(32, 32, 7, 7, 1);
   ASSERT_EQ(words.size(), 2u);
