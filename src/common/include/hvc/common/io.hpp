@@ -1,0 +1,56 @@
+// Small I/O helpers for the sweep engine: deterministic number formatting,
+// an in-memory CSV table, and whole-file read/write.
+//
+// Determinism matters here: the explorer's byte-identical-output guarantee
+// holds because every cell is formatted by format_number() (fixed %.12g,
+// locale-independent) and rows are emitted in point order, never in
+// completion order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hvc {
+
+/// Formats a double with %.12g semantics: enough digits that distinct
+/// sweep results stay distinct, integral values print without an exponent
+/// where possible, and the output never depends on locale or thread.
+[[nodiscard]] std::string format_number(double value);
+
+/// Formats an unsigned integer (decimal).
+[[nodiscard]] std::string format_number(std::uint64_t value);
+
+/// An in-memory rectangular table with named columns that serializes to
+/// RFC-4180-style CSV (fields containing separators/quotes are quoted).
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> columns);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
+
+  /// Appends a row; throws ConfigError when the width does not match.
+  void add_row(std::vector<std::string> cells);
+
+  /// Header line + one line per row, '\n' separated, trailing newline.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Reads a whole file; throws ConfigError when it cannot be opened.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+/// Writes (replaces) a whole file; throws ConfigError on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace hvc

@@ -7,6 +7,37 @@
 // The generator is xoshiro256++ (Blackman & Vigna), seeded through
 // SplitMix64; both are public-domain algorithms with excellent statistical
 // quality and tiny state, well suited to spawning many independent streams.
+//
+// Stream-splitting contract (sharded / multi-threaded runs)
+// ---------------------------------------------------------
+// Reproducibility across thread counts is achieved by *stream splitting*,
+// never by partitioning one stream's draws: every logical sampling task
+// (one Monte-Carlo chip, one sweep point, one fault map) gets its own
+// generator via Rng::stream(seed, index) — a pure counter-based function
+// of (seed, index) with no hidden state — so results depend only on the
+// task's index, not on which thread ran it or in what order.
+//
+// Per-call draw counts (raw 64-bit outputs consumed), for auditing that a
+// shared stream stays aligned when splitting is impossible:
+//   uniform()/bernoulli(p in (0,1))   exactly 1
+//   below()/range()                   1 + Lemire rejections (probability
+//                                     < n/2^64 per extra draw)
+//   geometric(p in (0,1))             exactly 1, except a 2^-53-probability
+//                                     rejection of a zero mantissa
+//   binomial(n, p<=0.5)               one geometric draw per success, plus
+//                                     one terminating draw unless the last
+//                                     success lands exactly on bit n-1;
+//                                     p>0.5 mirrors to binomial(n, 1-p)
+//   normal()                          2 on the first call of a pair, 0 on
+//                                     the second (cached spare); fork()/
+//                                     stream() never inherit the spare
+//   poisson(mean<=64)                 floor(sample)+1; mean>64: one
+//                                     normal() pair
+//   exponential()                     exactly 1 (same rejection as
+//                                     geometric)
+// Helpers whose draw count depends on sampled values (binomial, poisson)
+// are still deterministic for a fixed seed, but do NOT interleave them on
+// a stream shared across shards — give each shard its own stream.
 #pragma once
 
 #include <array>
@@ -36,8 +67,22 @@ class Rng {
   result_type next() noexcept;
 
   /// Creates an independent child stream (jump-free fork via re-seeding
-  /// with a drawn value mixed with a stream tag).
+  /// with a drawn value mixed with a stream tag). Consumes one draw from
+  /// this stream; the child starts with no cached normal() spare.
   [[nodiscard]] Rng fork(std::uint64_t tag) noexcept;
+
+  /// Counter-based stream splitting: a pure function of (seed, stream_id)
+  /// with no generator state involved, so shard i of a sweep gets the same
+  /// stream no matter how many threads run or in which order points are
+  /// claimed. stream(seed, i) != stream(seed, j) for i != j (SplitMix64
+  /// mixing is a bijection per round).
+  [[nodiscard]] static Rng stream(std::uint64_t seed,
+                                  std::uint64_t stream_id) noexcept;
+
+  /// The 64-bit mixing function behind stream(): deterministic hash of
+  /// (a, b) suitable for deriving per-point seeds from a base seed.
+  [[nodiscard]] static std::uint64_t mix64(std::uint64_t a,
+                                           std::uint64_t b) noexcept;
 
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform() noexcept;

@@ -1,0 +1,63 @@
+// Work-queue thread pool and a parallel_for built on it.
+//
+// The explorer's determinism story does NOT depend on scheduling: work is
+// indexed, every index derives its own Rng stream (Rng::stream), and
+// results land in pre-sized slots — so the pool is free to hand indices to
+// whichever worker asks first. Exceptions thrown by tasks are captured and
+// the first one is rethrown to the caller of wait()/parallel_for.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hvc {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Must not be called after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle, then
+  /// rethrows the first exception any task threw (clearing it).
+  void wait();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(i) for i in [begin, end) across `threads` workers. With
+/// threads <= 1 (or a single-element range) everything runs inline on the
+/// calling thread — handy as a reference baseline and under sanitizers.
+/// Rethrows the first exception; remaining indices may be skipped after a
+/// failure.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace hvc

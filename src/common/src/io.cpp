@@ -1,0 +1,101 @@
+#include "hvc/common/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc {
+
+std::string format_number(double value) {
+  // std::to_chars is locale-independent by definition (snprintf %g would
+  // honour LC_NUMERIC and break the byte-identical-output guarantee for
+  // embedders that call setlocale). Precision 12 ~ the old %.12g.
+  char buf[40];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value,
+                                       std::chars_format::general, 12);
+  return std::string(buf, ptr);
+}
+
+std::string format_number(std::uint64_t value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string(buf, ptr);
+}
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  expects(!columns_.empty(), "CSV table needs at least one column");
+}
+
+void CsvTable::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == columns_.size(),
+          "CSV row width does not match the header");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+void append_field(std::string& out, const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+void append_line(std::string& out, const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& field : fields) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    append_field(out, field);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string CsvTable::to_csv() const {
+  std::string out;
+  append_line(out, columns_);
+  for (const auto& row : rows_) {
+    append_line(out, row);
+  }
+  return out;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw ConfigError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw ConfigError("cannot open file for writing: " + path);
+  }
+  file.write(content.data(),
+             static_cast<std::streamsize>(content.size()));
+  if (!file) {
+    throw ConfigError("failed writing file: " + path);
+  }
+}
+
+}  // namespace hvc

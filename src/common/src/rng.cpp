@@ -42,6 +42,20 @@ Rng Rng::fork(std::uint64_t tag) noexcept {
   return Rng(mix);
 }
 
+std::uint64_t Rng::mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  // Two SplitMix64 rounds over a state that folds in both inputs; each
+  // round is a bijection, so distinct (a, b) pairs stay well separated.
+  std::uint64_t state = a;
+  std::uint64_t h = splitmix64(state);
+  state ^= b * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL;
+  h ^= splitmix64(state);
+  return h;
+}
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) noexcept {
+  return Rng(mix64(seed, stream_id));
+}
+
 double Rng::uniform() noexcept {
   // 53 random mantissa bits -> uniform in [0, 1).
   return static_cast<double>(next() >> 11) * 0x1.0p-53;

@@ -1,0 +1,123 @@
+#include "hvc/common/thread_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace hvc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) {
+    return;
+  }
+  const std::size_t count = end - begin;
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  if (threads > count) {
+    threads = count;
+  }
+  // One claim-the-next-index task per worker: cheap dynamic load balancing
+  // without queueing `count` closures.
+  std::atomic<std::size_t> next{begin};
+  std::atomic<bool> failed{false};
+  ThreadPool pool(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.submit([&next, &failed, end, &fn] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end || failed.load(std::memory_order_relaxed)) {
+          return;
+        }
+        try {
+          fn(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;  // captured by the pool, rethrown from wait()
+        }
+      }
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace hvc

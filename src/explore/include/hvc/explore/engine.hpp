@@ -1,0 +1,49 @@
+// Sharded execution engine for sweep specs.
+//
+// Determinism guarantee: for a fixed spec, run_sweep() produces
+// byte-identical CSV/JSON output for ANY thread count. Three mechanisms
+// enforce this:
+//   1. Points are identified by their index in the documented expansion
+//      order, and every stochastic input is derived from that index with
+//      the counter-based Rng::stream / Rng::mix64 — never from a stream
+//      shared across points.
+//   2. Cell plans (the expensive Fig. 2 sizing runs) are keyed by their
+//      inputs and computed once per unique key; the sizing loop itself is
+//      deterministic and analytic.
+//   3. Rows are formatted with fixed locale-free printf formats and
+//      emitted in point order, not completion order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hvc/common/json.hpp"
+#include "hvc/explore/spec.hpp"
+
+namespace hvc::explore {
+
+/// The finished sweep: one formatted row per point, in point order.
+struct SweepResult {
+  std::string name;
+  SweepKind kind = SweepKind::kSimulation;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::size_t points() const noexcept { return rows.size(); }
+  /// Index of a column by name; throws ConfigError when absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  /// Header + rows, RFC-4180 quoting, '\n' newlines.
+  [[nodiscard]] std::string to_csv() const;
+  /// {"name", "kind", "columns", "rows"} with rows as string arrays.
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Runs every point of the sweep across `threads` workers (1 = inline on
+/// the calling thread). Throws ConfigError/PreconditionError on bad specs;
+/// any point failure aborts the sweep with that point's exception.
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
+                                    std::size_t threads);
+
+}  // namespace hvc::explore

@@ -1,0 +1,108 @@
+// Declarative sweep specification for the design-space explorer.
+//
+// A spec is a JSON document naming the axes of a cartesian sweep over the
+// paper's design space. Two kinds exist:
+//   "simulation"  — each point builds a sim::System and replays one
+//                   workload trace (Fig. 3/4-style rows);
+//   "methodology" — each point runs the Fig. 2 sizing loop and reports
+//                   cells / Pf / yields / areas (no workload axis).
+//
+// Example:
+//   {
+//     "name": "fig3",
+//     "kind": "simulation",
+//     "seed": 42,
+//     "system_seed": 42,
+//     "workload_seed": 1,
+//     "scale": 1,
+//     "target_yield": 0.99,
+//     "axes": {
+//       "scenario": ["A", "B"],
+//       "design": ["baseline", "proposed"],
+//       "mode": ["hp"],
+//       "workload": ["@big"]
+//     }
+//   }
+//
+// Numeric axes (hp_vcc, ule_vcc, scrub_interval_s) take either an explicit
+// list ([0.3, 0.35]) or an inclusive grid ({"from": 0.28, "to": 0.5,
+// "step": 0.02}). The workload axis accepts registry names plus the
+// classes "@small", "@big" and "@all". Unknown keys anywhere are errors:
+// a spec is an experiment record, so typos must not silently change it.
+//
+// Point order is the documented nested-loop order (scenario, design,
+// mode, hp_vcc, ule_vcc, workload, scrub_interval_s — outermost first);
+// a point's index in that order is its identity for seeding, so adding
+// threads can never change any point's random stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hvc/common/json.hpp"
+#include "hvc/power/cache_power.hpp"
+#include "hvc/yield/methodology.hpp"
+
+namespace hvc::explore {
+
+enum class SweepKind {
+  kSimulation,   ///< System + workload replay per point
+  kMethodology,  ///< Fig. 2 sizing loop per point
+};
+
+[[nodiscard]] const char* to_string(SweepKind kind);
+
+/// A parsed, validated sweep: every axis expanded to its concrete values.
+struct SweepSpec {
+  std::string name = "sweep";
+  SweepKind kind = SweepKind::kSimulation;
+  /// Base seed for per-point Rng streams (point i uses stream(seed, i)).
+  std::uint64_t seed = 42;
+  /// When set, every System is built with this exact seed instead of the
+  /// per-point derived one — reproduces the fixed-seed bench_fig* rows.
+  std::optional<std::uint64_t> system_seed;
+  std::uint64_t workload_seed = 1;
+  std::size_t scale = 1;
+  double target_yield = 0.99;
+
+  // Axis values in spec order. Defaults match the paper's operating point.
+  std::vector<yield::Scenario> scenarios{yield::Scenario::kA};
+  std::vector<bool> designs{false};  ///< proposed flags
+  std::vector<power::Mode> modes{power::Mode::kHp};
+  std::vector<double> hp_vccs{1.0};
+  std::vector<double> ule_vccs{0.35};
+  std::vector<std::string> workloads;          ///< simulation: required
+  std::vector<double> scrub_intervals_s{0.0};  ///< 0 = no scrubbing
+
+  /// Parses and validates a JSON spec document; throws ConfigError with a
+  /// helpful message on any problem.
+  [[nodiscard]] static SweepSpec from_json(const Json& json);
+  [[nodiscard]] static SweepSpec parse(std::string_view text);
+
+  /// Serializes back to JSON (axes in expanded-list form); parse(dump())
+  /// reproduces the same sweep.
+  [[nodiscard]] Json to_json() const;
+
+  [[nodiscard]] std::size_t point_count() const noexcept;
+};
+
+/// One fully-resolved point of the sweep.
+struct SweepPoint {
+  std::size_t index = 0;  ///< position in documented order == seed stream
+  yield::Scenario scenario = yield::Scenario::kA;
+  bool proposed = false;
+  power::Mode mode = power::Mode::kHp;
+  double hp_vcc = 1.0;
+  double ule_vcc = 0.35;
+  std::string workload;  ///< empty for methodology sweeps
+  double scrub_interval_s = 0.0;
+};
+
+/// Expands the cartesian product in the documented order.
+[[nodiscard]] std::vector<SweepPoint> expand_points(const SweepSpec& spec);
+
+}  // namespace hvc::explore

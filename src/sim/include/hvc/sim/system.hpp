@@ -109,6 +109,7 @@ class System {
 
 /// Runs the methodology once and caches the plan per scenario (the sizing
 /// loop is deterministic, so this is shared across benches/tests).
+/// Thread-safe: concurrent callers see one shared, immutable plan.
 [[nodiscard]] const yield::CacheCellPlan& cell_plan_for(
     yield::Scenario scenario);
 

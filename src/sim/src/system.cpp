@@ -1,6 +1,7 @@
 #include "hvc/sim/system.hpp"
 
 #include <map>
+#include <mutex>
 
 #include "hvc/common/error.hpp"
 
@@ -132,7 +133,12 @@ double System::l1_area_um2() const noexcept {
 }
 
 const yield::CacheCellPlan& cell_plan_for(yield::Scenario scenario) {
+  // Shared across every System built by concurrent explorer workers; the
+  // map's node-based references stay valid after later insertions, so the
+  // lock only needs to cover lookup + the one-time sizing run.
+  static std::mutex mutex;
   static std::map<yield::Scenario, yield::CacheCellPlan> plans;
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = plans.find(scenario);
   if (it == plans.end()) {
     it = plans.emplace(scenario, yield::run_methodology(scenario)).first;

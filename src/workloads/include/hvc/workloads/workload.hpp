@@ -47,7 +47,13 @@ struct WorkloadInfo {
 /// Lookup by name; throws ConfigError for unknown names.
 [[nodiscard]] const WorkloadInfo& find_workload(const std::string& name);
 
+/// Non-throwing existence check (spec-file validation).
+[[nodiscard]] bool has_workload(const std::string& name) noexcept;
+
 /// Names of one class, e.g. for the FIG3 (big) / FIG4 (small) benches.
 [[nodiscard]] std::vector<std::string> names_of(BenchClass cls);
+
+/// All registered names in paper order.
+[[nodiscard]] std::vector<std::string> all_names();
 
 }  // namespace hvc::wl

@@ -195,7 +195,9 @@ Bitstream encode(const std::vector<std::int16_t>& pcm,
       const std::int32_t* d = residual.data() + sf * kSubframeSize;
 
       // LTP lag search: maximize normalized cross-correlation.
-      std::int64_t best_score_num = 0;
+      // corr^2 alone can exceed 2^63 on loud frames, so the division-free
+      // score comparison runs in 128-bit arithmetic.
+      __int128 best_score_num = 0;
       std::int64_t best_score_den = 1;
       std::size_t best_lag = kMinLag;
       for (std::size_t lag = kMinLag; lag <= kMaxLag; ++lag) {
@@ -210,8 +212,9 @@ Bitstream encode(const std::vector<std::int16_t>& pcm,
           continue;
         }
         // Compare corr^2/energy without division:
-        if (corr * corr * best_score_den > best_score_num * energy) {
-          best_score_num = corr * corr;
+        const __int128 score_num = static_cast<__int128>(corr) * corr;
+        if (score_num * best_score_den > best_score_num * energy) {
+          best_score_num = score_num;
           best_score_den = energy;
           best_lag = lag;
         }

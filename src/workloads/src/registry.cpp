@@ -38,12 +38,29 @@ const WorkloadInfo& find_workload(const std::string& name) {
   throw ConfigError("unknown workload: " + name);
 }
 
+bool has_workload(const std::string& name) noexcept {
+  for (const auto& info : registry()) {
+    if (info.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<std::string> names_of(BenchClass cls) {
   std::vector<std::string> names;
   for (const auto& info : registry()) {
     if (info.bench_class == cls) {
       names.push_back(info.name);
     }
+  }
+  return names;
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& info : registry()) {
+    names.push_back(info.name);
   }
   return names;
 }

@@ -74,6 +74,15 @@ struct McYieldResult {
                                            std::span<const WordClass> words,
                                            std::size_t chips, Rng& rng);
 
+/// Explicit-seed overload for sharded runs: chip i draws from the
+/// counter-based stream Rng::stream(seed, i), so splitting `chips` across
+/// shards/threads (each shard passing the same `seed` and its own chip
+/// index range via `first_chip`) reproduces the single-shard result
+/// exactly.
+[[nodiscard]] McYieldResult mc_cache_yield_seeded(
+    double pf, std::span<const WordClass> words, std::size_t chips,
+    std::uint64_t seed, std::size_t first_chip = 0);
+
 /// Standard word-class layouts for one ULE way of the paper's cache
 /// (32-bit data words, 26-bit tags), given the way's line count and line
 /// size in bytes.

@@ -8,10 +8,22 @@ namespace hvc::yield {
 
 namespace {
 
+/// Thread-safe log-gamma: std::lgamma writes the global `signgam`, which
+/// races when the explorer sizes plans on several threads. Every argument
+/// here is a positive integer + 1, so the sign is always +.
+[[nodiscard]] double lgamma_safe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 [[nodiscard]] double log_binomial(std::size_t n, std::size_t k) {
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return lgamma_safe(static_cast<double>(n) + 1.0) -
+         lgamma_safe(static_cast<double>(k) + 1.0) -
+         lgamma_safe(static_cast<double>(n - k) + 1.0);
 }
 
 }  // namespace
@@ -73,41 +85,65 @@ double max_pf_for_raw_yield(double target_yield, std::size_t bits) {
   return max_pf_for_yield(target_yield, words);
 }
 
+namespace {
+
+/// Samples one chip's fault pattern; returns whether every word stayed
+/// within its correction budget and accumulates the faults drawn.
+[[nodiscard]] bool sample_chip(double pf, std::span<const WordClass> words,
+                               Rng& rng, std::uint64_t& faults_sampled) {
+  for (const auto& word : words) {
+    const std::uint64_t bits = word.data_bits + word.check_bits;
+    const std::uint64_t span = word.count * bits;
+    // Jump from faulty bit to faulty bit across the whole word class;
+    // consecutive faults landing in the same word share its budget.
+    std::uint64_t position = rng.geometric(pf);
+    std::uint64_t current_word = ~std::uint64_t{0};
+    std::size_t word_faults = 0;
+    while (position < span) {
+      ++faults_sampled;
+      const std::uint64_t word_index = position / bits;
+      word_faults = word_index == current_word ? word_faults + 1 : 1;
+      current_word = word_index;
+      if (word_faults > word.hard_correctable) {
+        return false;
+      }
+      const std::uint64_t skip = rng.geometric(pf);
+      if (skip >= span - position - 1) {
+        break;
+      }
+      position += skip + 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 McYieldResult mc_cache_yield(double pf, std::span<const WordClass> words,
                              std::size_t chips, Rng& rng) {
   expects(pf >= 0.0 && pf <= 1.0, "Pf must be a probability");
   McYieldResult result;
   result.chips = chips;
   for (std::size_t chip = 0; chip < chips; ++chip) {
-    bool chip_ok = true;
-    for (const auto& word : words) {
-      const std::uint64_t bits = word.data_bits + word.check_bits;
-      const std::uint64_t span = word.count * bits;
-      // Jump from faulty bit to faulty bit across the whole word class;
-      // consecutive faults landing in the same word share its budget.
-      std::uint64_t position = rng.geometric(pf);
-      std::uint64_t current_word = ~std::uint64_t{0};
-      std::size_t word_faults = 0;
-      while (position < span) {
-        ++result.faults_sampled;
-        const std::uint64_t word_index = position / bits;
-        word_faults = word_index == current_word ? word_faults + 1 : 1;
-        current_word = word_index;
-        if (word_faults > word.hard_correctable) {
-          chip_ok = false;
-          break;
-        }
-        const std::uint64_t skip = rng.geometric(pf);
-        if (skip >= span - position - 1) {
-          break;
-        }
-        position += skip + 1;
-      }
-      if (!chip_ok) {
-        break;
-      }
-    }
-    result.chips_ok += chip_ok ? 1 : 0;
+    result.chips_ok +=
+        sample_chip(pf, words, rng, result.faults_sampled) ? 1 : 0;
+  }
+  return result;
+}
+
+McYieldResult mc_cache_yield_seeded(double pf,
+                                    std::span<const WordClass> words,
+                                    std::size_t chips, std::uint64_t seed,
+                                    std::size_t first_chip) {
+  expects(pf >= 0.0 && pf <= 1.0, "Pf must be a probability");
+  McYieldResult result;
+  result.chips = chips;
+  for (std::size_t chip = 0; chip < chips; ++chip) {
+    // One counter-based stream per chip: the outcome of chip i depends
+    // only on (seed, first_chip + i), never on other chips' draw counts.
+    Rng rng = Rng::stream(seed, first_chip + chip);
+    result.chips_ok +=
+        sample_chip(pf, words, rng, result.faults_sampled) ? 1 : 0;
   }
   return result;
 }

@@ -1,0 +1,124 @@
+// Pins hvc_explore's Fig. 3/4 rows against the single-threaded evaluation
+// path the bench_fig3_hp_epi / bench_fig4_ule_epi harnesses use
+// (sim::run_one with the shared methodology plan and fixed seed 42).
+#include <gtest/gtest.h>
+
+#include "hvc/common/io.hpp"
+#include "hvc/explore/engine.hpp"
+#include "hvc/sim/report.hpp"
+#include "hvc/sim/system.hpp"
+#include "hvc/workloads/workload.hpp"
+
+namespace hvc::explore {
+namespace {
+
+/// Exactly what bench_common.hpp's run_point() builds.
+[[nodiscard]] cpu::RunResult bench_point(yield::Scenario scenario,
+                                         bool proposed, power::Mode mode,
+                                         const std::string& workload) {
+  sim::SystemConfig config;
+  config.design.scenario = scenario;
+  config.design.proposed = proposed;
+  config.mode = mode;
+  return sim::run_one(config, workload);
+}
+
+void expect_rows_match_bench(const SweepSpec& spec) {
+  const SweepResult result = run_sweep(spec, 2);
+  const auto points = expand_points(spec);
+  ASSERT_EQ(result.rows.size(), points.size());
+  const std::size_t instructions_col = result.column("instructions");
+  const std::size_t cycles_col = result.column("cycles");
+  const std::size_t cpi_col = result.column("cpi");
+  const std::size_t epi_col = result.column("epi_j");
+  const std::size_t epi_dyn_col = result.column("epi_l1_dynamic_j");
+  const std::size_t epi_leak_col = result.column("epi_l1_leakage_j");
+  const std::size_t epi_edc_col = result.column("epi_l1_edc_j");
+  for (const auto& point : points) {
+    const cpu::RunResult reference = bench_point(
+        point.scenario, point.proposed, point.mode, point.workload);
+    const sim::EpiBreakdown breakdown = sim::epi_breakdown(reference);
+    const auto& row = result.rows[point.index];
+    EXPECT_EQ(row[instructions_col], format_number(reference.instructions))
+        << point.workload;
+    EXPECT_EQ(row[cycles_col], format_number(reference.cycles))
+        << point.workload;
+    EXPECT_EQ(row[cpi_col], format_number(reference.cpi()))
+        << point.workload;
+    EXPECT_EQ(row[epi_col], format_number(reference.epi()))
+        << point.workload;
+    EXPECT_EQ(row[epi_dyn_col], format_number(breakdown.l1_dynamic))
+        << point.workload;
+    EXPECT_EQ(row[epi_leak_col], format_number(breakdown.l1_leakage))
+        << point.workload;
+    EXPECT_EQ(row[epi_edc_col], format_number(breakdown.l1_edc))
+        << point.workload;
+  }
+}
+
+TEST(ExploreRegression, Fig3RowsMatchBenchPath) {
+  // Scenario A slice of examples/fig3.json (system_seed 42 = the bench
+  // default), HP mode over BigBench.
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "name": "fig3_pin",
+    "kind": "simulation",
+    "seed": 42,
+    "system_seed": 42,
+    "workload_seed": 1,
+    "axes": {
+      "scenario": ["A"],
+      "design": ["baseline", "proposed"],
+      "mode": ["hp"],
+      "workload": ["@big"]
+    }
+  })");
+  expect_rows_match_bench(spec);
+}
+
+TEST(ExploreRegression, Fig4RowsMatchBenchPath) {
+  // ULE mode over SmallBench, both scenarios — the Fig. 4 table.
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "name": "fig4_pin",
+    "kind": "simulation",
+    "seed": 42,
+    "system_seed": 42,
+    "workload_seed": 1,
+    "axes": {
+      "scenario": ["A", "B"],
+      "design": ["baseline", "proposed"],
+      "mode": ["ule"],
+      "workload": ["@small"]
+    }
+  })");
+  expect_rows_match_bench(spec);
+}
+
+TEST(ExploreRegression, Fig4EpiSavingInPaperBallpark) {
+  // The paper reports ~42% (A) average ULE EPI saving; the reproduction
+  // should stay in that neighbourhood whatever the exact cell sizing.
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "kind": "simulation",
+    "system_seed": 42,
+    "axes": {
+      "scenario": ["A"],
+      "design": ["baseline", "proposed"],
+      "mode": ["ule"],
+      "workload": ["@small"]
+    }
+  })");
+  const SweepResult result = run_sweep(spec, 2);
+  const std::size_t epi_col = result.column("epi_j");
+  const std::size_t design_col = result.column("design");
+  double base = 0.0;
+  double prop = 0.0;
+  for (const auto& row : result.rows) {
+    (row[design_col] == "baseline" ? base : prop) +=
+        std::stod(row[epi_col]);
+  }
+  const double saving = 1.0 - prop / base;
+  EXPECT_GT(saving, 0.25);
+  EXPECT_LT(saving, 0.60);
+}
+
+}  // namespace
+}  // namespace hvc::explore

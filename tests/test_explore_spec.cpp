@@ -1,0 +1,211 @@
+// Sweep-spec parsing: round-trips, axis expansion, and error cases.
+#include <gtest/gtest.h>
+
+#include "hvc/common/error.hpp"
+#include "hvc/explore/spec.hpp"
+#include "hvc/workloads/workload.hpp"
+
+namespace hvc::explore {
+namespace {
+
+constexpr const char* kFig3Spec = R"({
+  "name": "fig3",
+  "kind": "simulation",
+  "seed": 42,
+  "system_seed": 42,
+  "workload_seed": 1,
+  "axes": {
+    "scenario": ["A", "B"],
+    "design": ["baseline", "proposed"],
+    "mode": ["hp"],
+    "workload": ["@big"]
+  }
+})";
+
+TEST(SweepSpec, ParsesSimulationSpec) {
+  const SweepSpec spec = SweepSpec::parse(kFig3Spec);
+  EXPECT_EQ(spec.name, "fig3");
+  EXPECT_EQ(spec.kind, SweepKind::kSimulation);
+  EXPECT_EQ(spec.seed, 42u);
+  ASSERT_TRUE(spec.system_seed.has_value());
+  EXPECT_EQ(*spec.system_seed, 42u);
+  EXPECT_EQ(spec.scenarios.size(), 2u);
+  EXPECT_EQ(spec.designs.size(), 2u);
+  EXPECT_EQ(spec.modes, std::vector<power::Mode>{power::Mode::kHp});
+  EXPECT_EQ(spec.workloads, wl::names_of(wl::BenchClass::kBig));
+  EXPECT_EQ(spec.point_count(), 2u * 2u * 1u * spec.workloads.size());
+}
+
+TEST(SweepSpec, ExpandsPointsInDocumentedOrder) {
+  const SweepSpec spec = SweepSpec::parse(kFig3Spec);
+  const auto points = expand_points(spec);
+  ASSERT_EQ(points.size(), spec.point_count());
+  // Outermost axis is scenario: the first half is all-A, second all-B.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].scenario, i < points.size() / 2
+                                      ? yield::Scenario::kA
+                                      : yield::Scenario::kB);
+  }
+  // Innermost non-degenerate axis is workload: consecutive points cycle
+  // through the registry names.
+  EXPECT_EQ(points[0].workload, spec.workloads[0]);
+  EXPECT_EQ(points[1].workload, spec.workloads[1]);
+  EXPECT_FALSE(points[0].proposed);
+  EXPECT_TRUE(points[spec.workloads.size()].proposed);
+}
+
+TEST(SweepSpec, RoundTripsThroughJson) {
+  const SweepSpec spec = SweepSpec::parse(kFig3Spec);
+  const SweepSpec again = SweepSpec::parse(spec.to_json().dump(2));
+  EXPECT_EQ(again.name, spec.name);
+  EXPECT_EQ(again.kind, spec.kind);
+  EXPECT_EQ(again.seed, spec.seed);
+  EXPECT_EQ(again.system_seed, spec.system_seed);
+  EXPECT_EQ(again.workload_seed, spec.workload_seed);
+  EXPECT_EQ(again.scale, spec.scale);
+  EXPECT_DOUBLE_EQ(again.target_yield, spec.target_yield);
+  const auto a = expand_points(spec);
+  const auto b = expand_points(again);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].scenario, b[i].scenario);
+    EXPECT_EQ(a[i].proposed, b[i].proposed);
+    EXPECT_EQ(a[i].mode, b[i].mode);
+    EXPECT_DOUBLE_EQ(a[i].hp_vcc, b[i].hp_vcc);
+    EXPECT_DOUBLE_EQ(a[i].ule_vcc, b[i].ule_vcc);
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_DOUBLE_EQ(a[i].scrub_interval_s, b[i].scrub_interval_s);
+  }
+}
+
+TEST(SweepSpec, GridAxisIsInclusive) {
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"ule_vcc": {"from": 0.28, "to": 0.5, "step": 0.02}}
+  })");
+  ASSERT_EQ(spec.ule_vccs.size(), 12u);
+  EXPECT_DOUBLE_EQ(spec.ule_vccs.front(), 0.28);
+  EXPECT_NEAR(spec.ule_vccs.back(), 0.5, 1e-12);
+}
+
+TEST(SweepSpec, MethodologySpecNeedsNoWorkloads) {
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"scenario": ["A", "B"], "ule_vcc": [0.3, 0.35]}
+  })");
+  EXPECT_EQ(spec.point_count(), 4u);
+  const auto points = expand_points(spec);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_TRUE(points[0].workload.empty());
+}
+
+TEST(SweepSpec, WorkloadClassesExpand) {
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["@all"]}
+  })");
+  EXPECT_EQ(spec.workloads, wl::all_names());
+}
+
+TEST(SweepSpec, RejectsSimulationWithoutWorkloads) {
+  EXPECT_THROW(SweepSpec::parse(R"({"kind": "simulation"})"), ConfigError);
+  EXPECT_THROW(
+      SweepSpec::parse(R"({"kind": "simulation", "axes": {"mode": ["hp"]}})"),
+      ConfigError);
+}
+
+TEST(SweepSpec, RejectsUnknownKeysAndValues) {
+  EXPECT_THROW(SweepSpec::parse(R"({"kindd": "simulation"})"), ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({"kind": "other"})"), ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["@big"], "voltage": [0.3]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["not_a_workload"]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["@big"], "scenario": ["C"]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["@big"], "mode": ["turbo"]}
+  })"),
+               ConfigError);
+}
+
+TEST(SweepSpec, RejectsDuplicateWorkloads) {
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["adpcm_c", "@small"]}
+  })"),
+               ConfigError);
+}
+
+TEST(SweepSpec, RejectsSimulationAxesOnMethodology) {
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"workload": ["@big"]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"design": ["proposed"]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"mode": ["ule"]}
+  })"),
+               ConfigError);
+}
+
+TEST(SweepSpec, RejectsBadNumericAxes) {
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"ule_vcc": []}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"ule_vcc": {"from": 0.5, "to": 0.3, "step": 0.02}}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"ule_vcc": {"from": 0.3, "to": 0.5, "step": 0}}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"ule_vcc": [-0.3]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["@big"], "scrub_interval_s": [-1]}
+  })"),
+               ConfigError);
+}
+
+TEST(SweepSpec, RejectsBadScalars) {
+  EXPECT_THROW(SweepSpec::parse(R"({"kind": "methodology", "seed": -1})"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({"kind": "methodology", "seed": 1.5})"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({"kind": "methodology", "scale": 0})"),
+               ConfigError);
+  EXPECT_THROW(
+      SweepSpec::parse(R"({"kind": "methodology", "target_yield": 1.5})"),
+      ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"([1, 2])"), ConfigError);
+}
+
+}  // namespace
+}  // namespace hvc::explore

@@ -1,0 +1,52 @@
+// CSV table / deterministic formatting tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "hvc/common/error.hpp"
+#include "hvc/common/io.hpp"
+
+namespace hvc {
+namespace {
+
+TEST(FormatNumber, Deterministic) {
+  EXPECT_EQ(format_number(1.0), "1");
+  EXPECT_EQ(format_number(0.35), "0.35");
+  EXPECT_EQ(format_number(1.22e-6), "1.22e-06");
+  EXPECT_EQ(format_number(std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+}
+
+TEST(CsvTable, WritesHeaderAndRows) {
+  CsvTable table({"a", "b"});
+  table.add_row({"1", "x"});
+  table.add_row({"2", "y"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,x\n2,y\n");
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(CsvTable, QuotesSpecialFields) {
+  CsvTable table({"v"});
+  table.add_row({"has,comma"});
+  table.add_row({"has\"quote"});
+  table.add_row({"has\nnewline"});
+  EXPECT_EQ(table.to_csv(),
+            "v\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvTable, RejectsMismatchedRows) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), PreconditionError);
+  EXPECT_THROW(CsvTable({}), PreconditionError);
+}
+
+TEST(TextFile, RoundTripsAndReportsMissing) {
+  const std::string path = ::testing::TempDir() + "hvc_io_test.txt";
+  write_text_file(path, "line1\nline2\n");
+  EXPECT_EQ(read_text_file(path), "line1\nline2\n");
+  std::remove(path.c_str());
+  EXPECT_THROW((void)read_text_file(path), ConfigError);
+}
+
+}  // namespace
+}  // namespace hvc

@@ -233,6 +233,94 @@ TEST(Rng, ExponentialMean) {
   EXPECT_NEAR(sum / kN, 0.5, 0.02);
 }
 
+TEST(Rng, StreamIsCounterBased) {
+  // stream(seed, i) is a pure function of its inputs: recomputing it later
+  // (or on another thread) yields the same generator, and no draws from
+  // any other stream can perturb it.
+  Rng a = Rng::stream(42, 7);
+  Rng noise = Rng::stream(42, 3);
+  for (int i = 0; i < 100; ++i) {
+    (void)noise.next();
+  }
+  Rng b = Rng::stream(42, 7);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, StreamsAreDistinct) {
+  // Neighbouring stream ids (the common sweep indexing) must not collide.
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    first_draws.insert(Rng::stream(1234, i).next());
+  }
+  EXPECT_EQ(first_draws.size(), 1000u);
+}
+
+TEST(Rng, StreamDiffersAcrossSeeds) {
+  Rng a = Rng::stream(1, 0);
+  Rng b = Rng::stream(2, 0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Mix64Deterministic) {
+  EXPECT_EQ(Rng::mix64(42, 7), Rng::mix64(42, 7));
+  EXPECT_NE(Rng::mix64(42, 7), Rng::mix64(42, 8));
+  EXPECT_NE(Rng::mix64(42, 7), Rng::mix64(43, 7));
+}
+
+TEST(Rng, GeometricConsumesExactlyOneDraw) {
+  // Documented contract (rng.hpp): one raw draw per geometric() call, so
+  // a stream interleaving geometric gaps stays aligned with a reference
+  // that discards the same number of raw draws.
+  Rng sampler(777);
+  Rng reference(777);
+  for (const double p : {0.5, 0.01, 1e-6}) {
+    for (int i = 0; i < 50; ++i) {
+      (void)sampler.geometric(p);
+      (void)reference.next();
+    }
+    EXPECT_EQ(sampler.next(), reference.next()) << "p=" << p;
+  }
+}
+
+TEST(Rng, BinomialDrawCountMatchesContract) {
+  // Documented contract (rng.hpp): for p <= 0.5, binomial(n, p) consumes
+  // one geometric draw per success plus one terminating draw, unless the
+  // final success lands exactly on bit n-1.
+  Rng sampler(888);
+  for (int i = 0; i < 200; ++i) {
+    Rng probe = sampler;  // same state, replayed manually
+    const std::uint64_t n = 1000;
+    const double p = 0.02;
+    const std::uint64_t successes = sampler.binomial(n, p);
+    std::uint64_t draws = 0;
+    std::uint64_t count = 0;
+    std::uint64_t position = 0;
+    for (;;) {
+      const std::uint64_t skip = probe.geometric(p);
+      ++draws;
+      if (skip >= n - position) {
+        break;
+      }
+      position += skip + 1;
+      ++count;
+      if (position >= n) {
+        break;
+      }
+    }
+    EXPECT_EQ(count, successes);
+    EXPECT_TRUE(draws == successes || draws == successes + 1);
+    // Both generators consumed identical draws: they stay in lockstep.
+    EXPECT_EQ(sampler.next(), probe.next());
+    EXPECT_EQ(sampler.next(), probe.next());
+  }
+}
+
 TEST(Rng, SplitMix64KnownGood) {
   // First outputs of splitmix64 from seed 0 (reference values).
   std::uint64_t state = 0;

@@ -165,5 +165,41 @@ TEST(Eq2, InvalidInputsThrow) {
   EXPECT_THROW((void)max_pf_for_yield(1.0, words), PreconditionError);
 }
 
+TEST(Eq2, SeededMonteCarloShardsMergeExactly) {
+  // The documented contract of mc_cache_yield_seeded: splitting the chip
+  // range across shards (each passing the same seed and its own
+  // first_chip offset) reproduces the single-shard result exactly,
+  // because chip i draws only from Rng::stream(seed, i).
+  const auto words = ule_way_words(32, 32, 7, 7, 1);
+  const double pf = 2e-4;
+  const std::size_t chips = 1000;
+  const std::uint64_t seed = 99;
+  const McYieldResult full =
+      mc_cache_yield_seeded(pf, words, chips, seed, 0);
+
+  McYieldResult merged;
+  for (std::size_t first = 0; first < chips; first += 250) {
+    const McYieldResult shard =
+        mc_cache_yield_seeded(pf, words, 250, seed, first);
+    merged.chips += shard.chips;
+    merged.chips_ok += shard.chips_ok;
+    merged.faults_sampled += shard.faults_sampled;
+  }
+  EXPECT_EQ(merged.chips, full.chips);
+  EXPECT_EQ(merged.chips_ok, full.chips_ok);
+  EXPECT_EQ(merged.faults_sampled, full.faults_sampled);
+
+  // And it agrees with the analytic Eq. 1-2 yield like the shared-stream
+  // sampler does.
+  EXPECT_NEAR(full.yield(), cache_yield(pf, words), 0.05);
+}
+
+TEST(Eq2, SeededMonteCarloIsSeedSensitive) {
+  const auto words = ule_way_words(32, 32, 7, 7, 1);
+  const McYieldResult a = mc_cache_yield_seeded(1e-3, words, 2000, 1, 0);
+  const McYieldResult b = mc_cache_yield_seeded(1e-3, words, 2000, 2, 0);
+  EXPECT_NE(a.faults_sampled, b.faults_sampled);
+}
+
 }  // namespace
 }  // namespace hvc::yield

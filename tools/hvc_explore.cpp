@@ -1,0 +1,151 @@
+// hvc_explore — parallel design-space exploration driver.
+//
+// Reads a declarative sweep spec (JSON), shards its points across a
+// worker pool, and streams the aggregated table to CSV or JSON. Output is
+// byte-identical for any --threads value (see hvc/explore/engine.hpp).
+//
+// Usage:
+//   hvc_explore --spec examples/fig3.json [--threads N] [--out sweep.csv]
+//               [--format csv|json] [--seed S] [--dry-run] [--print-spec]
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "hvc/common/io.hpp"
+#include "hvc/common/thread_pool.hpp"
+#include "hvc/explore/engine.hpp"
+
+namespace {
+
+void print_usage(std::FILE* stream) {
+  std::fprintf(stream,
+               "usage: hvc_explore --spec FILE [options]\n"
+               "\n"
+               "options:\n"
+               "  --spec FILE      sweep specification (JSON); required\n"
+               "  --threads N      worker threads (default: hardware "
+               "concurrency)\n"
+               "  --out FILE       write the table to FILE instead of "
+               "stdout\n"
+               "  --format FMT     csv (default) or json\n"
+               "  --seed S         override the spec's base seed\n"
+               "  --dry-run        parse + expand only; print the point "
+               "count\n"
+               "  --print-spec     echo the validated spec as JSON and "
+               "exit\n"
+               "  --help           this message\n"
+               "\n"
+               "Output is byte-identical for any --threads value: every\n"
+               "sweep point derives its random streams from its own index\n"
+               "(counter-based splitting), and rows are emitted in point\n"
+               "order.\n");
+}
+
+struct Options {
+  std::string spec_path;
+  std::size_t threads = hvc::ThreadPool::hardware_threads();
+  std::string out_path;  ///< empty = stdout
+  std::string format = "csv";
+  std::optional<std::uint64_t> seed_override;
+  bool dry_run = false;
+  bool print_spec = false;
+};
+
+[[nodiscard]] Options parse_args(int argc, char** argv) {
+  Options options;
+  const auto value_of = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      throw std::runtime_error(std::string("missing value for ") + argv[i]);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--spec") == 0) {
+      options.spec_path = value_of(i);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      const long parsed = std::atol(value_of(i));
+      if (parsed < 1) {
+        throw std::runtime_error("--threads must be >= 1");
+      }
+      options.threads = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      options.out_path = value_of(i);
+    } else if (std::strcmp(arg, "--format") == 0) {
+      options.format = value_of(i);
+      if (options.format != "csv" && options.format != "json") {
+        throw std::runtime_error("--format must be csv or json");
+      }
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* text = value_of(i);
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || *text == '-') {
+        throw std::runtime_error(
+            std::string("--seed must be a decimal uint64, got: ") + text);
+      }
+      options.seed_override = static_cast<std::uint64_t>(parsed);
+    } else if (std::strcmp(arg, "--dry-run") == 0) {
+      options.dry_run = true;
+    } else if (std::strcmp(arg, "--print-spec") == 0) {
+      options.print_spec = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      print_usage(stdout);
+      std::exit(0);
+    } else {
+      throw std::runtime_error(std::string("unknown option: ") + arg);
+    }
+  }
+  if (options.spec_path.empty()) {
+    throw std::runtime_error("--spec is required");
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hvc;
+  try {
+    const Options options = parse_args(argc, argv);
+    explore::SweepSpec spec =
+        explore::SweepSpec::parse(read_text_file(options.spec_path));
+    if (options.seed_override) {
+      spec.seed = *options.seed_override;
+    }
+
+    if (options.print_spec) {
+      std::printf("%s\n", spec.to_json().dump(2).c_str());
+      return 0;
+    }
+    if (options.dry_run) {
+      std::printf("spec \"%s\" (%s): %zu points, %zu threads\n",
+                  spec.name.c_str(), explore::to_string(spec.kind),
+                  spec.point_count(), options.threads);
+      return 0;
+    }
+
+    const explore::SweepResult result =
+        explore::run_sweep(spec, options.threads);
+    const std::string output = options.format == "csv"
+                                   ? result.to_csv()
+                                   : result.to_json().dump(2) + "\n";
+    if (options.out_path.empty()) {
+      std::fwrite(output.data(), 1, output.size(), stdout);
+    } else {
+      write_text_file(options.out_path, output);
+      std::fprintf(stderr, "wrote %zu rows to %s\n", result.points(),
+                   options.out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "hvc_explore: %s\n", error.what());
+    return 1;
+  }
+}
