@@ -80,6 +80,34 @@ void BM_CacheAccessUle(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheAccessUle);
 
+void BM_CacheAccessL2(benchmark::State& state) {
+  // Same hit+miss mix, but L1 misses fill from a 32KB shared L2 through
+  // the MemoryLevel interface instead of straight from memory: bounds the
+  // hierarchy plumbing's cost per access (fetch_block/writeback_block).
+  cache::MainMemory memory;
+  Rng rng(13);
+  cache::MainMemoryLevel terminal(memory, 20);
+  cache::CacheConfig l2_config = coded_config();
+  l2_config.name = "L2";
+  l2_config.org.size_bytes = 32 * 1024;
+  l2_config.hit_latency_cycles = 4;
+  cache::Cache l2(l2_config, terminal, rng);
+  cache::Cache l1(coded_config(), l2, rng);
+  const auto addrs = address_stream(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t addr = addrs[i];
+    const auto type = (i % 4 == 3) ? cache::AccessType::kStore
+                                   : cache::AccessType::kLoad;
+    benchmark::DoNotOptimize(
+        l1.access(addr, type, static_cast<std::uint32_t>(i)));
+    i = (i + 1) % addrs.size();
+  }
+  state.counters["hit_rate"] = l1.stats().hit_rate();
+  state.counters["l2_hit_rate"] = l2.stats().hit_rate();
+}
+BENCHMARK(BM_CacheAccessL2);
+
 void BM_CacheScrub(benchmark::State& state) {
   cache::MainMemory memory;
   Rng rng(11);

@@ -21,6 +21,7 @@
 
 #include "hvc/cache/fault.hpp"
 #include "hvc/cache/memory.hpp"
+#include "hvc/cache/memory_level.hpp"
 #include "hvc/cache/replacement.hpp"
 #include "hvc/common/rng.hpp"
 #include "hvc/common/stats.hpp"
@@ -88,8 +89,17 @@ struct CacheStats {
   }
 };
 
-class Cache {
+class Cache : public MemoryLevel {
  public:
+  /// Builds a cache that misses into an arbitrary next level (another
+  /// Cache, or a MainMemoryLevel terminal). The next level must outlive
+  /// this cache. `config.memory_latency_cycles` is ignored on this path:
+  /// miss latency is whatever the next level reports per request.
+  Cache(CacheConfig config, MemoryLevel& next_level, Rng& rng);
+
+  /// Convenience for the paper's two-level shape: wraps `memory` as an
+  /// internally-owned terminal level with `config.memory_latency_cycles`
+  /// access latency. Behaviour is identical to the pre-hierarchy cache.
   Cache(CacheConfig config, MainMemory& memory, Rng& rng);
 
   /// Performs one access at the current mode. Functionally exact: loads
@@ -99,7 +109,7 @@ class Cache {
 
   /// Switches operating mode. HP->ULE writes back dirty HP-way lines and
   /// invalidates them (gated-Vdd loses content); ULE->HP keeps ULE ways.
-  void set_mode(power::Mode mode);
+  void set_mode(power::Mode mode) override;
   [[nodiscard]] power::Mode mode() const noexcept { return mode_; }
 
   /// Arms Poisson soft-error injection on one way's data array with the
@@ -120,26 +130,53 @@ class Cache {
   /// of corrected bits. Lines that are already uncorrectable are
   /// invalidated (clean) or refetched conceptually by the next miss;
   /// dirty uncorrectable lines count as data loss in `scrub_data_loss`.
-  struct ScrubReport {
-    std::size_t lines_scrubbed = 0;
-    std::size_t bits_corrected = 0;
-    std::size_t uncorrectable = 0;
-    std::size_t data_loss = 0;  ///< dirty lines that could not be recovered
-  };
-  ScrubReport scrub();
+  /// (ScrubReport lives at namespace scope so every MemoryLevel shares it;
+  /// the nested name is kept for existing callers.)
+  using ScrubReport = cache::ScrubReport;
+  ScrubReport scrub() override;
 
-  /// Writes back every dirty line (used at simulation end).
-  void flush();
+  /// Writes back every dirty line (used at simulation end). Flushes this
+  /// level only; sim::System drains a hierarchy top-down (L1s, then L2).
+  void flush() override;
 
   /// Invalidate everything without writeback (power-on state).
-  void reset();
+  void reset() override;
+
+  // --- MemoryLevel: serving as another cache's next level ---
+  [[nodiscard]] const std::string& level_name() const noexcept override {
+    return config_.name;
+  }
+  /// One logical read access of this level covering `count` words of one
+  /// line (an upper level's fill). Counts as a single load access.
+  std::size_t fetch_block(std::uint64_t addr, std::uint32_t* out,
+                          std::size_t count) override;
+  /// One logical write access covering `count` words of one line (an upper
+  /// level's dirty write-back). Write-allocates on a miss; a full-line
+  /// write allocates without fetching from below.
+  std::size_t writeback_block(std::uint64_t addr, const std::uint32_t* words,
+                              std::size_t count) override;
+  [[nodiscard]] std::uint32_t load_word(std::uint64_t addr) override;
+  std::size_t store_word(std::uint64_t addr, std::uint32_t value) override;
+  [[nodiscard]] LevelStats level_stats() const override;
+  void clear_level_counters() override;
 
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   void clear_stats() noexcept { stats_ = CacheStats{}; }
 
-  /// Accumulated dynamic/EDC energy in joules since the last clear.
-  [[nodiscard]] const Breakdown& energy() const noexcept { return energy_; }
-  void clear_energy() noexcept { energy_ = Breakdown{}; }
+  /// Accumulated dynamic/EDC energy in joules since the last clear, as a
+  /// named breakdown for reports. The per-access hot path charges plain
+  /// doubles (see EnergyCat); names exist only here.
+  [[nodiscard]] Breakdown energy() const;
+  [[nodiscard]] double dynamic_energy_j() const noexcept {
+    return energy_j_[kEnergyDynamic];
+  }
+  [[nodiscard]] double edc_energy_j() const noexcept {
+    return energy_j_[kEnergyEdc];
+  }
+  [[nodiscard]] double total_energy_j() const noexcept {
+    return energy_j_[kEnergyDynamic] + energy_j_[kEnergyEdc];
+  }
+  void clear_energy() noexcept { energy_j_[0] = energy_j_[1] = 0.0; }
 
   /// Static power (W) at the current mode, split into array and EDC parts.
   [[nodiscard]] double leakage_power() const noexcept;
@@ -156,6 +193,14 @@ class Cache {
   [[nodiscard]] bool line_valid(std::size_t way, std::size_t set) const;
 
  private:
+  /// Pre-resolved energy-category handles: the per-access hot path
+  /// accumulates into a flat array instead of a string-keyed map.
+  enum EnergyCat : std::size_t {
+    kEnergyDynamic = 0,
+    kEnergyEdc = 1,
+    kEnergyCats = 2,
+  };
+
   struct Line {
     bool valid = false;
     bool dirty = false;
@@ -185,6 +230,12 @@ class Cache {
   [[nodiscard]] std::size_t set_of(std::uint64_t line_addr) const noexcept;
   [[nodiscard]] std::uint64_t tag_of(std::uint64_t line_addr) const noexcept;
 
+  /// Tag-probes every active way of `set` for `line_addr`; returns the
+  /// hit way, or config_.org.ways on a miss. EDC events encountered while
+  /// decoding tags are recorded in `result`.
+  [[nodiscard]] std::size_t find_way(std::uint64_t line_addr, std::size_t set,
+                                     AccessResult& result);
+
   /// Reads and decodes the tag of (way,set); nullopt when invalid or the
   /// tag is uncorrectable.
   [[nodiscard]] std::optional<std::uint64_t> read_tag(std::size_t w,
@@ -210,25 +261,44 @@ class Cache {
   [[nodiscard]] std::size_t tag_bit_base(std::size_t w,
                                          std::size_t set) const noexcept;
 
+  /// Allocates a line: victim selection, dirty-victim write-back, tag
+  /// write. With `incoming == nullptr` the content is fetched from the
+  /// next level (the fetch latency is added to `result.latency_cycles`);
+  /// otherwise `incoming` supplies the full line and no fetch happens
+  /// (full-line write-allocate). Returns the victim way.
   std::size_t fill_line(std::uint64_t line_addr, std::size_t set,
-                        AccessResult& result);
+                        AccessResult& result,
+                        const std::uint32_t* incoming = nullptr);
   void writeback_line(std::size_t w, std::size_t set);
 
-  void charge(const std::string& category, double joules);
+  void init();
+  void charge_lookup();
+
+  void charge(EnergyCat category, double joules) noexcept {
+    energy_j_[category] += joules;
+  }
 
   CacheConfig config_;
-  MainMemory& memory_;
+  /// Set only by the MainMemory& convenience constructor.
+  std::unique_ptr<MainMemoryLevel> owned_terminal_;
+  MemoryLevel* next_level_;
   power::Mode mode_ = power::Mode::kHp;
   std::vector<Way> ways_;
   std::unique_ptr<ReplacementPolicy> policy_;
   std::unique_ptr<power::CacheEnergyModel> hp_model_;
   std::unique_ptr<power::CacheEnergyModel> ule_model_;
   CacheStats stats_;
-  Breakdown energy_;
+  double energy_j_[kEnergyCats] = {0.0, 0.0};
   Rng rng_;
   /// Stored codeword widths per way (strongest protection, physical layout).
   std::vector<std::size_t> stored_data_cw_bits_;
   std::vector<std::size_t> stored_tag_cw_bits_;
+  /// Reusable line-sized word buffer for fills/write-backs (no per-miss
+  /// allocation; fill and write-back of one cache never overlap).
+  std::vector<std::uint32_t> line_buf_;
+  /// Per-word decodability flags of the line in line_buf_ (write-backs
+  /// skip unrecoverable words so the next level keeps its stale copy).
+  std::vector<std::uint8_t> line_word_ok_;
 };
 
 }  // namespace hvc::cache

@@ -18,9 +18,17 @@ class MainMemory {
   /// Writes the aligned 32-bit word containing `addr`.
   void write_word(std::uint64_t addr, std::uint32_t value);
 
-  /// Reads `count` consecutive words starting at the aligned `addr`.
+  /// Reads `count` consecutive words starting at the aligned `addr` into
+  /// `out`. One page lookup per 4KB page touched (a block inside one page —
+  /// the cache fill/write-back case — costs a single hash lookup plus a
+  /// contiguous copy, not a lookup per word).
+  void read_block_into(std::uint64_t addr, std::uint32_t* out,
+                       std::size_t count) const;
   [[nodiscard]] std::vector<std::uint32_t> read_block(std::uint64_t addr,
                                                       std::size_t count) const;
+  /// Writes `count` consecutive words; same single-page fast path.
+  void write_block(std::uint64_t addr, const std::uint32_t* words,
+                   std::size_t count);
   void write_block(std::uint64_t addr,
                    const std::vector<std::uint32_t>& words);
 

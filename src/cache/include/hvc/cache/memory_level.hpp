@@ -1,0 +1,137 @@
+// Composable memory-hierarchy levels.
+//
+// A MemoryLevel is anything a cache can miss into: another cache (the
+// shared L2), or main memory wrapped as the terminal level. The interface
+// carries the three paths a level must serve — line fill, dirty
+// write-back, and single-word fallback (write-through stores and
+// detected-uncorrectable reads) — plus the lifecycle operations the
+// hybrid-voltage system drives top-down (mode switch, scrub, flush,
+// reset) and a uniform per-level stats snapshot for reporting.
+//
+// Latency contract: fetch_block/writeback_block/store_word return the
+// request's latency in cycles *including* every deeper level the request
+// had to reach, so an L1 miss simply adds its next level's return value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "hvc/power/cache_power.hpp"
+
+namespace hvc::cache {
+
+class MainMemory;
+
+/// Result of one scrub pass over a level (no-op levels report zeros).
+struct ScrubReport {
+  std::size_t lines_scrubbed = 0;
+  std::size_t bits_corrected = 0;
+  std::size_t uncorrectable = 0;
+  std::size_t data_loss = 0;  ///< dirty lines that could not be recovered
+};
+
+/// Uniform per-level counters/energy snapshot for hierarchy reporting.
+/// Caches fill every field; the memory terminal reports its traffic with
+/// hits == accesses (memory always "hits") and zero energy/leakage.
+struct LevelStats {
+  std::string name;
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t edc_corrections = 0;
+  std::uint64_t edc_detected = 0;
+  double dynamic_energy_j = 0.0;  ///< accumulated since last clear
+  double edc_energy_j = 0.0;      ///< accumulated since last clear
+  double leakage_w = 0.0;         ///< static power at the current mode
+  double area_um2 = 0.0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// Abstract next-level interface of the memory hierarchy.
+class MemoryLevel {
+ public:
+  virtual ~MemoryLevel() = default;
+
+  [[nodiscard]] virtual const std::string& level_name() const noexcept = 0;
+
+  /// Fill path: reads `count` consecutive aligned 32-bit words starting at
+  /// `addr` into `out`. For cache levels the range must not cross one of
+  /// this level's lines (callers fetch one line at a time). Returns the
+  /// request latency in cycles, including deeper levels on a miss.
+  virtual std::size_t fetch_block(std::uint64_t addr, std::uint32_t* out,
+                                  std::size_t count) = 0;
+
+  /// Write-back path: writes `count` consecutive aligned words (a dirty
+  /// line evicted by the level above). Same one-line constraint as
+  /// fetch_block. Returns the request latency in cycles.
+  virtual std::size_t writeback_block(std::uint64_t addr,
+                                      const std::uint32_t* words,
+                                      std::size_t count) = 0;
+
+  /// Single-word read: the detected-uncorrectable fallback path.
+  [[nodiscard]] virtual std::uint32_t load_word(std::uint64_t addr) = 0;
+
+  /// Single-word write (write-through stores). Returns latency in cycles.
+  virtual std::size_t store_word(std::uint64_t addr, std::uint32_t value) = 0;
+
+  /// Lifecycle, driven top-down by sim::System (L1s first, then L2, ...).
+  virtual void set_mode(power::Mode mode) = 0;
+  virtual ScrubReport scrub() = 0;
+  virtual void flush() = 0;
+  virtual void reset() = 0;
+
+  /// Stats/energy snapshot since the last clear_level_counters().
+  [[nodiscard]] virtual LevelStats level_stats() const = 0;
+  virtual void clear_level_counters() = 0;
+};
+
+/// Main memory wrapped as the terminal level of a hierarchy chain: fixed
+/// access latency, no energy model (the paper accounts memory energy in
+/// the core model), and no mode/scrub behaviour.
+class MainMemoryLevel final : public MemoryLevel {
+ public:
+  MainMemoryLevel(MainMemory& memory, std::size_t latency_cycles,
+                  std::string name = "MEM");
+
+  [[nodiscard]] const std::string& level_name() const noexcept override {
+    return name_;
+  }
+  std::size_t fetch_block(std::uint64_t addr, std::uint32_t* out,
+                          std::size_t count) override;
+  std::size_t writeback_block(std::uint64_t addr, const std::uint32_t* words,
+                              std::size_t count) override;
+  [[nodiscard]] std::uint32_t load_word(std::uint64_t addr) override;
+  std::size_t store_word(std::uint64_t addr, std::uint32_t value) override;
+
+  void set_mode(power::Mode) override {}
+  ScrubReport scrub() override { return {}; }
+  void flush() override {}
+  void reset() override {}
+
+  [[nodiscard]] LevelStats level_stats() const override;
+  void clear_level_counters() override;
+
+  [[nodiscard]] std::size_t latency_cycles() const noexcept {
+    return latency_cycles_;
+  }
+  [[nodiscard]] MainMemory& memory() noexcept { return memory_; }
+
+ private:
+  MainMemory& memory_;
+  std::size_t latency_cycles_;
+  std::string name_;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::uint64_t word_reads_ = 0;
+  std::uint64_t word_writes_ = 0;
+};
+
+}  // namespace hvc::cache

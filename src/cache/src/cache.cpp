@@ -7,9 +7,6 @@
 namespace hvc::cache {
 
 namespace {
-constexpr const char* kDynamic = "dynamic";
-constexpr const char* kEdc = "edc";
-
 [[nodiscard]] std::unique_ptr<edc::Codec> codec_or_null(
     edc::Protection protection, std::size_t bits) {
   if (protection == edc::Protection::kNone) {
@@ -28,8 +25,24 @@ std::string to_string(AccessType type) {
   return "?";
 }
 
+Cache::Cache(CacheConfig config, MemoryLevel& next_level, Rng& rng)
+    : config_(std::move(config)),
+      next_level_(&next_level),
+      rng_(rng.fork(0xCACE)) {
+  init();
+}
+
 Cache::Cache(CacheConfig config, MainMemory& memory, Rng& rng)
-    : config_(std::move(config)), memory_(memory), rng_(rng.fork(0xCACE)) {
+    : config_(std::move(config)),
+      owned_terminal_(std::make_unique<MainMemoryLevel>(
+          memory, config_.memory_latency_cycles)),
+      next_level_(owned_terminal_.get()),
+      rng_(rng.fork(0xCACE)) {
+  init();
+}
+
+void Cache::init() {
+  config_.org.validate();
   expects(config_.ways.size() == config_.org.ways,
           "one WayPlan per way required");
   expects(config_.way_hard_pf.empty() ||
@@ -77,6 +90,8 @@ Cache::Cache(CacheConfig config, MainMemory& memory, Rng& rng)
     way.data_faults = std::make_unique<FaultMap>(data_bits, pf, fault_rng);
     way.tag_faults = std::make_unique<FaultMap>(tag_bits, pf, fault_rng);
   }
+  line_buf_.assign(wpl, 0);
+  line_word_ok_.assign(wpl, 1);
 }
 
 bool Cache::way_active(std::size_t w) const noexcept {
@@ -139,8 +154,27 @@ bool Cache::line_valid(std::size_t way, std::size_t set) const {
   return ways_[way].lines[set].valid;
 }
 
-void Cache::charge(const std::string& category, double joules) {
-  energy_.add(category, joules);
+Breakdown Cache::energy() const {
+  Breakdown out;
+  out.add("dynamic", energy_j_[kEnergyDynamic]);
+  out.add("edc", energy_j_[kEnergyEdc]);
+  return out;
+}
+
+std::size_t Cache::find_way(std::uint64_t line_addr, std::size_t set,
+                            AccessResult& result) {
+  const std::uint64_t tag = tag_of(line_addr);
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    if (!way_active(w)) {
+      continue;
+    }
+    const auto stored_tag = read_tag(w, set, result);
+    if (stored_tag && *stored_tag == tag &&
+        ways_[w].lines[set].line_addr == line_addr) {
+      return w;
+    }
+  }
+  return config_.org.ways;
 }
 
 std::optional<std::uint64_t> Cache::read_tag(std::size_t w, std::size_t set,
@@ -221,18 +255,29 @@ void Cache::write_tag(std::size_t w, std::size_t set, std::uint64_t tag) {
 
 void Cache::writeback_line(std::size_t w, std::size_t set) {
   Line& line = ways_[w].lines[set];
+  const std::size_t wpl = config_.org.words_per_line();
   const auto& model = energy_model();
-  charge(kDynamic, model.line_read_energy(w));
-  charge(kEdc, static_cast<double>(config_.org.words_per_line()) *
-                   model.edc_decode_energy(w));
+  charge(kEnergyDynamic, model.line_read_energy(w));
+  charge(kEnergyEdc, static_cast<double>(wpl) * model.edc_decode_energy(w));
   AccessResult scratch;
   const std::uint64_t base_addr = line.line_addr * config_.org.line_bytes;
-  for (std::size_t word = 0; word < config_.org.words_per_line(); ++word) {
+  bool all_valid = true;
+  for (std::size_t word = 0; word < wpl; ++word) {
     const auto value = read_data_word(w, set, word, scratch);
     // An uncorrectable word during writeback falls back to the (stale)
-    // memory copy; counted via stats_.edc_detected inside read_data_word.
-    if (value) {
-      memory_.write_word(base_addr + 4 * word, *value);
+    // next-level copy; counted via stats_.edc_detected inside
+    // read_data_word.
+    line_word_ok_[word] = value.has_value();
+    line_buf_[word] = value.value_or(0);
+    all_valid = all_valid && value.has_value();
+  }
+  if (all_valid) {
+    (void)next_level_->writeback_block(base_addr, line_buf_.data(), wpl);
+  } else {
+    for (std::size_t word = 0; word < wpl; ++word) {
+      if (line_word_ok_[word]) {
+        (void)next_level_->store_word(base_addr + 4 * word, line_buf_[word]);
+      }
     }
   }
   line.dirty = false;
@@ -240,7 +285,8 @@ void Cache::writeback_line(std::size_t w, std::size_t set) {
 }
 
 std::size_t Cache::fill_line(std::uint64_t line_addr, std::size_t set,
-                             AccessResult& result) {
+                             AccessResult& result,
+                             const std::uint32_t* incoming) {
   // Victim selection among active ways: invalid first, then policy.
   std::size_t victim = config_.org.ways;
   std::vector<std::size_t> candidates;
@@ -266,20 +312,28 @@ std::size_t Cache::fill_line(std::uint64_t line_addr, std::size_t set,
     result.writeback = true;
   }
 
+  const std::size_t wpl = config_.org.words_per_line();
   const std::uint64_t base_addr = line_addr * config_.org.line_bytes;
-  const auto words =
-      memory_.read_block(base_addr, config_.org.words_per_line());
+  const std::uint32_t* words = incoming;
+  if (words == nullptr) {
+    // The next level reports this request's latency (its hit latency, or
+    // its own miss chain) — the terminal level reports the flat memory
+    // latency, reproducing the original two-level timing exactly.
+    result.latency_cycles +=
+        next_level_->fetch_block(base_addr, line_buf_.data(), wpl);
+    words = line_buf_.data();
+  }
   line.valid = true;
   line.dirty = false;
   line.line_addr = line_addr;
   write_tag(victim, set, tag_of(line_addr));
-  for (std::size_t word = 0; word < words.size(); ++word) {
+  for (std::size_t word = 0; word < wpl; ++word) {
     write_data_word(victim, set, word, words[word]);
   }
 
   const auto& model = energy_model();
-  charge(kDynamic, model.line_fill_energy(victim));
-  charge(kEdc, static_cast<double>(config_.org.words_per_line() + 1) *
+  charge(kEnergyDynamic, model.line_fill_energy(victim));
+  charge(kEnergyEdc, static_cast<double>(config_.org.words_per_line() + 1) *
                    model.edc_encode_energy(victim));
   ++stats_.fills;
   policy_->touch(set, victim);
@@ -298,34 +352,14 @@ AccessResult Cache::access(std::uint64_t addr, AccessType type,
 
   const std::uint64_t line_addr = addr / config_.org.line_bytes;
   const std::size_t set = set_of(line_addr);
-  const std::uint64_t tag = tag_of(line_addr);
   const std::size_t word =
       static_cast<std::size_t>(addr % config_.org.line_bytes) / 4;
 
   const auto& model = energy_model();
-  charge(kDynamic, model.lookup_energy());
-  // Tag decode on every lookup of every active coded way.
-  for (std::size_t w = 0; w < config_.org.ways; ++w) {
-    if (way_active(w) && tag_codec(w) != nullptr) {
-      charge(kEdc, model.edc_decode_energy(w));
-    }
-  }
+  charge_lookup();
   result.latency_cycles = hit_latency();
 
-  // --- lookup ---
-  std::size_t hit_way = config_.org.ways;
-  for (std::size_t w = 0; w < config_.org.ways; ++w) {
-    if (!way_active(w)) {
-      continue;
-    }
-    const auto stored_tag = read_tag(w, set, result);
-    if (stored_tag && *stored_tag == tag &&
-        ways_[w].lines[set].line_addr == line_addr) {
-      hit_way = w;
-      break;
-    }
-  }
-
+  const std::size_t hit_way = find_way(line_addr, set, result);
   if (hit_way != config_.org.ways) {
     // --- hit ---
     result.hit = true;
@@ -334,30 +368,29 @@ AccessResult Cache::access(std::uint64_t addr, AccessType type,
     policy_->touch(set, hit_way);
     if (type == AccessType::kStore) {
       write_data_word(hit_way, set, word, store_value);
-      charge(kDynamic, model.word_write_energy(hit_way));
-      charge(kEdc, model.edc_encode_energy(hit_way));
+      charge(kEnergyDynamic, model.word_write_energy(hit_way));
+      charge(kEnergyEdc, model.edc_encode_energy(hit_way));
       if (config_.write_policy == WritePolicy::kWriteThroughNoAllocate) {
-        memory_.write_word(addr, store_value);
+        (void)next_level_->store_word(addr, store_value);
       } else {
         ways_[hit_way].lines[set].dirty = true;
       }
     } else {
-      charge(kEdc, model.edc_decode_energy(hit_way));
+      charge(kEnergyEdc, model.edc_decode_energy(hit_way));
       const auto value = read_data_word(hit_way, set, word, result);
-      // Uncorrectable data: fall back to memory (predictability safety
-      // net; never taken with properly sized cells).
-      result.data = value ? *value : memory_.read_word(addr);
+      // Uncorrectable data: fall back to the next level (predictability
+      // safety net; never taken with properly sized cells).
+      result.data = value ? *value : next_level_->load_word(addr);
     }
     return result;
   }
 
   // --- miss ---
   ++stats_.misses;
-  result.latency_cycles += config_.memory_latency_cycles;
 
   if (type == AccessType::kStore &&
       config_.write_policy == WritePolicy::kWriteThroughNoAllocate) {
-    memory_.write_word(addr, store_value);
+    result.latency_cycles += next_level_->store_word(addr, store_value);
     return result;
   }
 
@@ -365,19 +398,26 @@ AccessResult Cache::access(std::uint64_t addr, AccessType type,
   result.way = filled;
   if (type == AccessType::kStore) {
     write_data_word(filled, set, word, store_value);
-    charge(kDynamic, model.word_write_energy(filled));
-    charge(kEdc, model.edc_encode_energy(filled));
-    if (config_.write_policy == WritePolicy::kWriteThroughNoAllocate) {
-      memory_.write_word(addr, store_value);
-    } else {
-      ways_[filled].lines[set].dirty = true;
-    }
+    charge(kEnergyDynamic, model.word_write_energy(filled));
+    charge(kEnergyEdc, model.edc_encode_energy(filled));
+    ways_[filled].lines[set].dirty = true;
   } else {
-    charge(kEdc, model.edc_decode_energy(filled));
+    charge(kEnergyEdc, model.edc_decode_energy(filled));
     const auto value = read_data_word(filled, set, word, result);
-    result.data = value ? *value : memory_.read_word(addr);
+    result.data = value ? *value : next_level_->load_word(addr);
   }
   return result;
+}
+
+void Cache::charge_lookup() {
+  const auto& model = energy_model();
+  charge(kEnergyDynamic, model.lookup_energy());
+  // Tag decode on every lookup of every active coded way.
+  for (std::size_t w = 0; w < config_.org.ways; ++w) {
+    if (way_active(w) && tag_codec(w) != nullptr) {
+      charge(kEnergyEdc, model.edc_decode_energy(w));
+    }
+  }
 }
 
 void Cache::set_mode(power::Mode mode) {
@@ -445,7 +485,7 @@ void Cache::set_mode(power::Mode mode) {
       }
       mode_ = old_mode;
       // Scrub energy: one line read + one line fill at the new mode.
-      charge(kDynamic, (mode == power::Mode::kHp ? *hp_model_ : *ule_model_)
+      charge(kEnergyDynamic, (mode == power::Mode::kHp ? *hp_model_ : *ule_model_)
                            .line_fill_energy(w));
     }
   }
@@ -508,8 +548,8 @@ Cache::ScrubReport Cache::scrub() {
         continue;
       }
       ++report.lines_scrubbed;
-      charge(kDynamic, model.line_read_energy(w) + model.line_fill_energy(w));
-      charge(kEdc, static_cast<double>(wpl) * (model.edc_decode_energy(w) +
+      charge(kEnergyDynamic, model.line_read_energy(w) + model.line_fill_energy(w));
+      charge(kEnergyEdc, static_cast<double>(wpl) * (model.edc_decode_energy(w) +
                                                model.edc_encode_energy(w)));
       AccessResult scratch;
       bool lost = false;
@@ -560,6 +600,139 @@ void Cache::reset() {
       line.dirty = false;
     }
   }
+}
+
+// --- MemoryLevel: this cache serving as another cache's next level ---
+
+std::size_t Cache::fetch_block(std::uint64_t addr, std::uint32_t* out,
+                               std::size_t count) {
+  expects(count > 0 && addr % 4 == 0, "fetch_block: aligned non-empty range");
+  const std::uint64_t line_addr = addr / config_.org.line_bytes;
+  expects((addr + 4 * count - 1) / config_.org.line_bytes == line_addr,
+          "fetch_block range must lie within one line of this level");
+  ++stats_.accesses;
+  ++stats_.loads;
+  charge_lookup();
+  std::size_t latency = hit_latency();
+
+  const std::size_t set = set_of(line_addr);
+  AccessResult scratch;
+  std::size_t w = find_way(line_addr, set, scratch);
+  if (w != config_.org.ways) {
+    ++stats_.hits;
+    policy_->touch(set, w);
+  } else {
+    ++stats_.misses;
+    scratch.latency_cycles = 0;
+    w = fill_line(line_addr, set, scratch);
+    latency += scratch.latency_cycles;
+  }
+
+  const auto& model = energy_model();
+  const std::size_t wpl = config_.org.words_per_line();
+  const std::size_t first_word =
+      static_cast<std::size_t>(addr % config_.org.line_bytes) / 4;
+  // Reads `count` of the line's `wpl` words: charge the proportional share
+  // of a whole-line read (identical to writeback_line when count == wpl).
+  charge(kEnergyDynamic,
+         model.line_read_energy(w) *
+             (static_cast<double>(count) / static_cast<double>(wpl)));
+  charge(kEnergyEdc, static_cast<double>(count) * model.edc_decode_energy(w));
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto value = read_data_word(w, set, first_word + i, scratch);
+    out[i] = value ? *value : next_level_->load_word(addr + 4 * i);
+  }
+  return latency;
+}
+
+std::size_t Cache::writeback_block(std::uint64_t addr,
+                                   const std::uint32_t* words,
+                                   std::size_t count) {
+  expects(count > 0 && addr % 4 == 0,
+          "writeback_block: aligned non-empty range");
+  const std::uint64_t line_addr = addr / config_.org.line_bytes;
+  expects((addr + 4 * count - 1) / config_.org.line_bytes == line_addr,
+          "writeback_block range must lie within one line of this level");
+  ++stats_.accesses;
+  ++stats_.stores;
+  charge_lookup();
+  std::size_t latency = hit_latency();
+
+  const std::size_t wpl = config_.org.words_per_line();
+  const std::size_t first_word =
+      static_cast<std::size_t>(addr % config_.org.line_bytes) / 4;
+  const std::size_t set = set_of(line_addr);
+  AccessResult scratch;
+  std::size_t w = find_way(line_addr, set, scratch);
+
+  const bool allocate =
+      config_.write_policy == WritePolicy::kWriteBackAllocate;
+  if (w == config_.org.ways) {
+    ++stats_.misses;
+    if (!allocate) {
+      // Write-through/no-allocate: pass the block straight down.
+      return latency + next_level_->writeback_block(addr, words, count);
+    }
+    scratch.latency_cycles = 0;
+    // A full-line write allocates without fetching from below; a partial
+    // write merges into the fetched line.
+    const bool full_line = count == wpl;
+    w = fill_line(line_addr, set, scratch, full_line ? words : nullptr);
+    latency += scratch.latency_cycles;
+    if (full_line) {
+      ways_[w].lines[set].dirty = true;
+      return latency;  // fill_line wrote (and charged) the whole line
+    }
+  } else {
+    ++stats_.hits;
+    policy_->touch(set, w);
+  }
+
+  const auto& model = energy_model();
+  for (std::size_t i = 0; i < count; ++i) {
+    write_data_word(w, set, first_word + i, words[i]);
+  }
+  charge(kEnergyDynamic,
+         static_cast<double>(count) * model.word_write_energy(w));
+  charge(kEnergyEdc, static_cast<double>(count) * model.edc_encode_energy(w));
+  if (allocate) {
+    ways_[w].lines[set].dirty = true;
+  } else {
+    // Write-through hit: the line is updated in place and the block also
+    // goes below; the store buffer hides that latency.
+    (void)next_level_->writeback_block(addr, words, count);
+  }
+  return latency;
+}
+
+std::uint32_t Cache::load_word(std::uint64_t addr) {
+  return access(addr, AccessType::kLoad).data;
+}
+
+std::size_t Cache::store_word(std::uint64_t addr, std::uint32_t value) {
+  return access(addr, AccessType::kStore, value).latency_cycles;
+}
+
+LevelStats Cache::level_stats() const {
+  LevelStats out;
+  out.name = config_.name;
+  out.accesses = stats_.accesses;
+  out.hits = stats_.hits;
+  out.misses = stats_.misses;
+  out.fills = stats_.fills;
+  out.writebacks = stats_.writebacks;
+  out.edc_corrections = stats_.edc_corrections;
+  out.edc_detected = stats_.edc_detected;
+  out.dynamic_energy_j = dynamic_energy_j();
+  out.edc_energy_j = edc_energy_j();
+  out.leakage_w = leakage_power();
+  out.area_um2 = total_area_um2();
+  return out;
+}
+
+void Cache::clear_level_counters() {
+  clear_stats();
+  clear_energy();
 }
 
 }  // namespace hvc::cache

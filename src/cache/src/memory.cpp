@@ -1,5 +1,7 @@
 #include "hvc/cache/memory.hpp"
 
+#include <algorithm>
+
 namespace hvc::cache {
 
 const MainMemory::Page* MainMemory::find_page(std::uint64_t page_index) const {
@@ -29,21 +31,52 @@ void MainMemory::write_word(std::uint64_t addr, std::uint32_t value) {
   get_page(word_addr / kWordsPerPage)[word_addr % kWordsPerPage] = value;
 }
 
+void MainMemory::read_block_into(std::uint64_t addr, std::uint32_t* out,
+                                 std::size_t count) const {
+  std::uint64_t word_addr = addr / 4;
+  while (count > 0) {
+    const std::size_t offset =
+        static_cast<std::size_t>(word_addr % kWordsPerPage);
+    const std::size_t chunk =
+        std::min(count, static_cast<std::size_t>(kWordsPerPage) - offset);
+    const Page* page = find_page(word_addr / kWordsPerPage);
+    if (page != nullptr) {
+      std::copy_n(page->data() + offset, chunk, out);
+    } else {
+      std::fill_n(out, chunk, 0);
+    }
+    out += chunk;
+    word_addr += chunk;
+    count -= chunk;
+  }
+}
+
 std::vector<std::uint32_t> MainMemory::read_block(std::uint64_t addr,
                                                   std::size_t count) const {
-  std::vector<std::uint32_t> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(read_word(addr + 4 * i));
-  }
+  std::vector<std::uint32_t> out(count);
+  read_block_into(addr, out.data(), count);
   return out;
+}
+
+void MainMemory::write_block(std::uint64_t addr, const std::uint32_t* words,
+                             std::size_t count) {
+  std::uint64_t word_addr = addr / 4;
+  while (count > 0) {
+    const std::size_t offset =
+        static_cast<std::size_t>(word_addr % kWordsPerPage);
+    const std::size_t chunk =
+        std::min(count, static_cast<std::size_t>(kWordsPerPage) - offset);
+    Page& page = get_page(word_addr / kWordsPerPage);
+    std::copy_n(words, chunk, page.data() + offset);
+    words += chunk;
+    word_addr += chunk;
+    count -= chunk;
+  }
 }
 
 void MainMemory::write_block(std::uint64_t addr,
                              const std::vector<std::uint32_t>& words) {
-  for (std::size_t i = 0; i < words.size(); ++i) {
-    write_word(addr + 4 * i, words[i]);
-  }
+  write_block(addr, words.data(), words.size());
 }
 
 }  // namespace hvc::cache

@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "hvc/cache/cache.hpp"
+#include "hvc/cache/memory_level.hpp"
 #include "hvc/common/stats.hpp"
 #include "hvc/power/array.hpp"
 #include "hvc/trace/trace.hpp"
@@ -48,6 +50,19 @@ struct CoreParams {
   tech::CellDesign array_cell{tech::CellKind::k10T, 3.5};
 };
 
+/// The core's connections into the memory hierarchy: the two first-level
+/// caches it issues accesses to, plus the deeper shared levels behind them
+/// (e.g. a shared L2, then the memory terminal) in front-to-back order.
+/// Shared levels are cleared at run start and reported per level in
+/// RunResult::levels; their dynamic/EDC/leakage energy is rolled into the
+/// run's Breakdown under "<name>.dynamic" / "<name>.edc" / "<name>.leakage"
+/// keys (name lowercased, zero entries omitted).
+struct MemoryPorts {
+  cache::Cache* il1 = nullptr;
+  cache::Cache* dl1 = nullptr;
+  std::vector<cache::MemoryLevel*> shared;
+};
+
 /// Result of replaying one trace.
 struct RunResult {
   std::uint64_t instructions = 0;
@@ -56,9 +71,17 @@ struct RunResult {
   /// Energy breakdown in joules. Categories:
   ///   "l1.dynamic", "l1.leakage", "l1.edc",
   ///   "arrays.dynamic", "arrays.leakage", "core.dynamic", "core.leakage"
+  /// plus "l2.*" (and analogous) entries when shared levels are present.
   Breakdown energy;
   cache::CacheStats il1;
   cache::CacheStats dl1;
+  /// Per-level snapshot of the whole hierarchy for this run: IL1, DL1,
+  /// then every shared level (L2, MEM, ...) in MemoryPorts order.
+  std::vector<cache::LevelStats> levels;
+
+  /// Stats of the level named `name` ("L2", "MEM", ...); nullptr when the
+  /// run's hierarchy has no such level.
+  [[nodiscard]] const cache::LevelStats* level(const std::string& name) const;
 
   [[nodiscard]] double total_energy() const noexcept { return energy.total(); }
   /// Energy per instruction (J) — the paper's EPI metric.
@@ -75,9 +98,13 @@ struct RunResult {
   }
 };
 
-/// The core: owns the non-L1 arrays, borrows the two L1 caches.
+/// The core: owns the non-L1 arrays, borrows the memory hierarchy.
 class Core {
  public:
+  Core(CoreParams params, MemoryPorts ports, power::OperatingPoint op,
+       const tech::TechNode& node = tech::node32());
+
+  /// Two-level convenience (L1s straight to memory, no shared levels).
   Core(CoreParams params, cache::Cache& il1, cache::Cache& dl1,
        power::OperatingPoint op, const tech::TechNode& node = tech::node32());
 
@@ -94,8 +121,7 @@ class Core {
 
  private:
   CoreParams params_;
-  cache::Cache& il1_;
-  cache::Cache& dl1_;
+  MemoryPorts ports_;
   power::OperatingPoint op_;
   const tech::TechNode& node_;
   std::unique_ptr<power::ArrayModel> regfile_;

@@ -1,16 +1,43 @@
 #include "hvc/cpu/core.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <utility>
 
 #include "hvc/common/error.hpp"
 #include "hvc/tech/transistor.hpp"
 
 namespace hvc::cpu {
 
+namespace {
+[[nodiscard]] std::string energy_key_prefix(const std::string& level_name) {
+  std::string out = level_name;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+}  // namespace
+
+const cache::LevelStats* RunResult::level(const std::string& name) const {
+  for (const auto& entry : levels) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
 Core::Core(CoreParams params, cache::Cache& il1, cache::Cache& dl1,
            power::OperatingPoint op, const tech::TechNode& node)
-    : params_(params), il1_(il1), dl1_(dl1), op_(op), node_(node),
+    : Core(params, MemoryPorts{&il1, &dl1, {}}, op, node) {}
+
+Core::Core(CoreParams params, MemoryPorts ports, power::OperatingPoint op,
+           const tech::TechNode& node)
+    : params_(params), ports_(std::move(ports)), op_(op), node_(node),
       rng_(0xC0DE) {
+  expects(ports_.il1 != nullptr && ports_.dl1 != nullptr,
+          "core needs both L1 ports connected");
   // Register file: 32 x 32-bit, 10T (works at any Vcc).
   power::ArrayGeometry rf_geom{32, 32, 32};
   regfile_ = std::make_unique<power::ArrayModel>(rf_geom, params_.array_cell,
@@ -35,12 +62,17 @@ double Core::core_leakage_w() const noexcept {
 
 RunResult Core::run(const trace::Tracer& tracer) {
   RunResult result;
+  cache::Cache& il1_ = *ports_.il1;
+  cache::Cache& dl1_ = *ports_.dl1;
 
   // Snapshot cache energy so this run reports deltas.
   il1_.clear_energy();
   dl1_.clear_energy();
   il1_.clear_stats();
   dl1_.clear_stats();
+  for (cache::MemoryLevel* level : ports_.shared) {
+    level->clear_level_counters();
+  }
 
   const double core_energy_per_instr =
       params_.core_cap_per_instr_f * op_.vcc * op_.vcc;
@@ -108,10 +140,9 @@ RunResult Core::run(const trace::Tracer& tracer) {
   result.seconds = static_cast<double>(cycles) / op_.freq_hz;
 
   // --- energy roll-up ---
-  result.energy.add("l1.dynamic", il1_.energy().get("dynamic") +
-                                      dl1_.energy().get("dynamic"));
-  result.energy.add("l1.edc",
-                    il1_.energy().get("edc") + dl1_.energy().get("edc"));
+  result.energy.add("l1.dynamic",
+                    il1_.dynamic_energy_j() + dl1_.dynamic_energy_j());
+  result.energy.add("l1.edc", il1_.edc_energy_j() + dl1_.edc_energy_j());
   const double l1_leak =
       (il1_.leakage_power() - il1_.edc_leakage_power()) +
       (dl1_.leakage_power() - dl1_.edc_leakage_power());
@@ -128,8 +159,31 @@ RunResult Core::run(const trace::Tracer& tracer) {
   result.energy.add("core.dynamic", core_dynamic);
   result.energy.add("core.leakage", core_leak_w_ * result.seconds);
 
+  // Shared deeper levels (L2, memory terminal): per-level energy under
+  // "<name>.{dynamic,edc,leakage}". Zero entries are omitted so L1-only
+  // breakdowns keep exactly their historical categories.
+  for (cache::MemoryLevel* level : ports_.shared) {
+    const cache::LevelStats stats = level->level_stats();
+    const std::string prefix = energy_key_prefix(stats.name);
+    if (stats.dynamic_energy_j != 0.0) {
+      result.energy.add(prefix + ".dynamic", stats.dynamic_energy_j);
+    }
+    if (stats.edc_energy_j != 0.0) {
+      result.energy.add(prefix + ".edc", stats.edc_energy_j);
+    }
+    if (stats.leakage_w != 0.0) {
+      result.energy.add(prefix + ".leakage", stats.leakage_w * result.seconds);
+    }
+  }
+
   result.il1 = il1_.stats();
   result.dl1 = dl1_.stats();
+  result.levels.reserve(2 + ports_.shared.size());
+  result.levels.push_back(il1_.level_stats());
+  result.levels.push_back(dl1_.level_stats());
+  for (cache::MemoryLevel* level : ports_.shared) {
+    result.levels.push_back(level->level_stats());
+  }
   return result;
 }
 

@@ -24,16 +24,21 @@
 //     }
 //   }
 //
-// Numeric axes (hp_vcc, ule_vcc, scrub_interval_s) take either an explicit
-// list ([0.3, 0.35]) or an inclusive grid ({"from": 0.28, "to": 0.5,
-// "step": 0.02}). The workload axis accepts registry names plus the
-// classes "@small", "@big" and "@all". Unknown keys anywhere are errors:
-// a spec is an experiment record, so typos must not silently change it.
+// Numeric axes (hp_vcc, ule_vcc, scrub_interval_s, l2_size_kb) take
+// either an explicit list ([0.3, 0.35]) or an inclusive grid ({"from":
+// 0.28, "to": 0.5, "step": 0.02}). The workload axis accepts registry
+// names plus the classes "@small", "@big" and "@all". The hierarchy axes
+// sweep the memory-hierarchy shape: "l2" takes "none" (the paper's
+// two-level chip), "baseline" (10T shared L2) or "proposed" (8T+EDC
+// shared L2), and "l2_size_kb" its capacity ("none" has no L2 to size, so
+// it collapses to a single point however many sizes are listed). Unknown
+// keys anywhere are errors: a spec is an experiment record, so typos must
+// not silently change it.
 //
-// Point order is the documented nested-loop order (scenario, design,
-// mode, hp_vcc, ule_vcc, workload, scrub_interval_s — outermost first);
-// a point's index in that order is its identity for seeding, so adding
-// threads can never change any point's random stream.
+// Point order is the documented nested-loop order (scenario, design, l2,
+// l2_size_kb, mode, hp_vcc, ule_vcc, workload, scrub_interval_s —
+// outermost first); a point's index in that order is its identity for
+// seeding, so adding threads can never change any point's random stream.
 #pragma once
 
 #include <cstddef>
@@ -71,7 +76,9 @@ struct SweepSpec {
 
   // Axis values in spec order. Defaults match the paper's operating point.
   std::vector<yield::Scenario> scenarios{yield::Scenario::kA};
-  std::vector<bool> designs{false};  ///< proposed flags
+  std::vector<bool> designs{false};       ///< proposed flags
+  std::vector<std::string> l2_designs{"none"};  ///< none|baseline|proposed
+  std::vector<double> l2_size_kbs{64.0};
   std::vector<power::Mode> modes{power::Mode::kHp};
   std::vector<double> hp_vccs{1.0};
   std::vector<double> ule_vccs{0.35};
@@ -95,6 +102,8 @@ struct SweepPoint {
   std::size_t index = 0;  ///< position in documented order == seed stream
   yield::Scenario scenario = yield::Scenario::kA;
   bool proposed = false;
+  std::string l2_design = "none";
+  double l2_size_kb = 64.0;
   power::Mode mode = power::Mode::kHp;
   double hp_vcc = 1.0;
   double ule_vcc = 0.35;

@@ -128,14 +128,16 @@ struct UleReliability {
 [[nodiscard]] std::vector<std::string> simulation_columns() {
   return {
       "point",          "scenario",        "design",
-      "mode",           "workload",        "hp_vcc",
-      "ule_vcc",        "scrub_interval_s", "instructions",
-      "cycles",         "cpi",             "seconds",
-      "epi_j",          "epi_l1_dynamic_j", "epi_l1_leakage_j",
-      "epi_l1_edc_j",   "epi_core_other_j", "total_energy_j",
-      "il1_hit_rate",   "dl1_hit_rate",    "edc_corrections",
-      "edc_detected",   "l1_area_um2",     "ule_soft_rate_per_bit",
-      "ule_uncorr_per_s", "ule_mttf_s",
+      "l2",             "l2_size_kb",      "mode",
+      "workload",       "hp_vcc",          "ule_vcc",
+      "scrub_interval_s", "instructions",  "cycles",
+      "cpi",            "seconds",         "epi_j",
+      "epi_l1_dynamic_j", "epi_l1_leakage_j", "epi_l1_edc_j",
+      "epi_l2_j",       "epi_core_other_j", "total_energy_j",
+      "il1_hit_rate",   "dl1_hit_rate",    "l2_hit_rate",
+      "l2_accesses",    "mem_accesses",    "edc_corrections",
+      "edc_detected",   "l1_area_um2",     "cache_area_um2",
+      "ule_soft_rate_per_bit", "ule_uncorr_per_s", "ule_mttf_s",
   };
 }
 
@@ -159,6 +161,14 @@ struct UleReliability {
   config.mode = point.mode;
   config.hp.vcc = point.hp_vcc;
   config.ule.vcc = point.ule_vcc;
+  const bool with_l2 = point.l2_design != "none";
+  if (with_l2) {
+    sim::L2Spec l2;
+    l2.org.size_bytes =
+        static_cast<std::size_t>(point.l2_size_kb) * std::size_t{1024};
+    l2.proposed = point.l2_design == "proposed";
+    config.hierarchy.l2 = l2;
+  }
   // The System's fault maps draw from the point's own counter-based seed
   // (or the spec's fixed one, for pinning against the bench_fig* rows).
   config.seed = spec.system_seed ? *spec.system_seed
@@ -170,12 +180,20 @@ struct UleReliability {
   const sim::EpiBreakdown epi = sim::epi_breakdown(result);
   const UleReliability reliability =
       ule_reliability(point, plan, point.scrub_interval_s);
+  const cache::LevelStats* l2_stats = result.level("L2");
+  const cache::LevelStats* mem_stats = result.level("MEM");
 
   std::vector<std::string> row;
   row.reserve(simulation_columns().size());
   row.push_back(format_number(static_cast<std::uint64_t>(point.index)));
   row.emplace_back(yield::to_string(point.scenario));
   row.emplace_back(point.proposed ? "proposed" : "baseline");
+  row.push_back(point.l2_design);
+  if (with_l2) {
+    row.push_back(format_number(point.l2_size_kb));
+  } else {
+    row.emplace_back("");
+  }
   row.emplace_back(point.mode == power::Mode::kHp ? "hp" : "ule");
   row.push_back(point.workload);
   row.push_back(format_number(point.hp_vcc));
@@ -189,15 +207,35 @@ struct UleReliability {
   row.push_back(format_number(epi.l1_dynamic));
   row.push_back(format_number(epi.l1_leakage));
   row.push_back(format_number(epi.l1_edc));
+  row.push_back(format_number(epi.l2));
   row.push_back(format_number(epi.core_other));
   row.push_back(format_number(result.total_energy()));
   row.push_back(format_number(result.il1.hit_rate()));
   row.push_back(format_number(result.dl1.hit_rate()));
-  row.push_back(format_number(result.il1.edc_corrections +
-                              result.dl1.edc_corrections));
-  row.push_back(
-      format_number(result.il1.edc_detected + result.dl1.edc_detected));
+  if (l2_stats != nullptr) {
+    row.push_back(format_number(l2_stats->hit_rate()));
+    row.push_back(format_number(l2_stats->accesses));
+  } else {
+    row.emplace_back("");
+    row.emplace_back("");
+  }
+  if (mem_stats != nullptr) {
+    row.push_back(format_number(mem_stats->accesses));
+  } else {
+    row.emplace_back("");
+  }
+  std::uint64_t edc_corrections =
+      result.il1.edc_corrections + result.dl1.edc_corrections;
+  std::uint64_t edc_detected =
+      result.il1.edc_detected + result.dl1.edc_detected;
+  if (l2_stats != nullptr) {
+    edc_corrections += l2_stats->edc_corrections;
+    edc_detected += l2_stats->edc_detected;
+  }
+  row.push_back(format_number(edc_corrections));
+  row.push_back(format_number(edc_detected));
   row.push_back(format_number(system.l1_area_um2()));
+  row.push_back(format_number(system.cache_area_um2()));
   row.push_back(format_number(reliability.rate_per_bit));
   if (point.scrub_interval_s > 0.0) {
     row.push_back(format_number(reliability.uncorrectable_per_s));

@@ -205,6 +205,31 @@ SweepSpec SweepSpec::from_json(const Json& json) {
                 "axis \"design\": expected \"baseline\" or \"proposed\"");
           }
         }
+      } else if (axis == "l2") {
+        if (methodology) {
+          throw ConfigError("axis \"l2\" does not apply to methodology sweeps");
+        }
+        spec.l2_designs.clear();
+        for (const auto& entry : parse_string_axis(axis, value)) {
+          if (entry != "none" && entry != "baseline" && entry != "proposed") {
+            throw ConfigError(
+                "axis \"l2\": expected \"none\", \"baseline\" or "
+                "\"proposed\"");
+          }
+          spec.l2_designs.push_back(entry);
+        }
+      } else if (axis == "l2_size_kb") {
+        if (methodology) {
+          throw ConfigError(
+              "axis \"l2_size_kb\" does not apply to methodology sweeps");
+        }
+        spec.l2_size_kbs = parse_numeric_axis(axis, value);
+        for (const double kb : spec.l2_size_kbs) {
+          if (kb < 1.0 || kb != std::floor(kb)) {
+            throw ConfigError(
+                "axis \"l2_size_kb\": sizes must be integers >= 1");
+          }
+        }
       } else if (axis == "mode") {
         if (methodology) {
           throw ConfigError(
@@ -285,6 +310,16 @@ Json SweepSpec::to_json() const {
       values.emplace_back(proposed ? "proposed" : "baseline");
     }
     axes.set("design", Json(std::move(values)));
+    Json::Array l2_values;
+    for (const auto& l2 : l2_designs) {
+      l2_values.emplace_back(l2);
+    }
+    axes.set("l2", Json(std::move(l2_values)));
+    Json::Array l2_size_values;
+    for (const double kb : l2_size_kbs) {
+      l2_size_values.emplace_back(kb);
+    }
+    axes.set("l2_size_kb", Json(std::move(l2_size_values)));
     Json::Array mode_values;
     for (const auto mode : modes) {
       mode_values.emplace_back(mode == power::Mode::kHp ? "hp" : "ule");
@@ -335,7 +370,14 @@ Json SweepSpec::to_json() const {
 std::size_t SweepSpec::point_count() const noexcept {
   std::size_t count = scenarios.size() * hp_vccs.size() * ule_vccs.size();
   if (kind == SweepKind::kSimulation) {
-    count *= designs.size() * modes.size() * workloads.size() *
+    // "none" has no L2 to size: it contributes one hierarchy shape however
+    // many sizes the l2_size_kb axis lists (expand_points collapses it the
+    // same way, so no duplicate rows are simulated).
+    std::size_t l2_shapes = 0;
+    for (const auto& l2 : l2_designs) {
+      l2_shapes += l2 == "none" ? 1 : l2_size_kbs.size();
+    }
+    count *= designs.size() * l2_shapes * modes.size() * workloads.size() *
              scrub_intervals_s.size();
   }
   return count;
@@ -349,6 +391,10 @@ std::vector<SweepPoint> expand_points(const SweepSpec& spec) {
   // methodology sweep collapse to one iteration each.
   const std::vector<bool> designs = simulation ? spec.designs
                                                : std::vector<bool>{false};
+  const std::vector<std::string> l2_designs =
+      simulation ? spec.l2_designs : std::vector<std::string>{"none"};
+  const std::vector<double> l2_sizes =
+      simulation ? spec.l2_size_kbs : std::vector<double>{64.0};
   const std::vector<power::Mode> modes =
       simulation ? spec.modes : std::vector<power::Mode>{power::Mode::kHp};
   const std::vector<std::string> workloads =
@@ -357,21 +403,31 @@ std::vector<SweepPoint> expand_points(const SweepSpec& spec) {
       simulation ? spec.scrub_intervals_s : std::vector<double>{0.0};
   for (const auto scenario : spec.scenarios) {
     for (const bool proposed : designs) {
-      for (const auto mode : modes) {
-        for (const double hp_vcc : spec.hp_vccs) {
-          for (const double ule_vcc : spec.ule_vccs) {
-            for (const auto& workload : workloads) {
-              for (const double scrub : scrubs) {
-                SweepPoint point;
-                point.index = points.size();
-                point.scenario = scenario;
-                point.proposed = proposed;
-                point.mode = mode;
-                point.hp_vcc = hp_vcc;
-                point.ule_vcc = ule_vcc;
-                point.workload = workload;
-                point.scrub_interval_s = scrub;
-                points.push_back(std::move(point));
+      for (const auto& l2_design : l2_designs) {
+        // The "none" shape has no L2 to size: one point, not one per size.
+        const std::size_t size_count =
+            l2_design == "none" ? 1 : l2_sizes.size();
+        for (std::size_t si = 0; si < size_count; ++si) {
+          const double l2_size_kb = l2_sizes[si];
+          for (const auto mode : modes) {
+            for (const double hp_vcc : spec.hp_vccs) {
+              for (const double ule_vcc : spec.ule_vccs) {
+                for (const auto& workload : workloads) {
+                  for (const double scrub : scrubs) {
+                    SweepPoint point;
+                    point.index = points.size();
+                    point.scenario = scenario;
+                    point.proposed = proposed;
+                    point.l2_design = l2_design;
+                    point.l2_size_kb = l2_size_kb;
+                    point.mode = mode;
+                    point.hp_vcc = hp_vcc;
+                    point.ule_vcc = ule_vcc;
+                    point.workload = workload;
+                    point.scrub_interval_s = scrub;
+                    points.push_back(std::move(point));
+                  }
+                }
               }
             }
           }

@@ -46,6 +46,13 @@ struct CacheOrg {
   [[nodiscard]] std::size_t words_per_line() const noexcept {
     return line_bytes * 8 / word_bits;
   }
+
+  /// Structural consistency check (throws PreconditionError with the
+  /// offending relation): sizes divide into whole lines, lines into whole
+  /// sets, lines into whole words. Swept organisations (e.g. an
+  /// l2_size_kb axis value) fail here with a real message instead of
+  /// building a degenerate cache.
+  void validate() const;
 };
 
 /// Physical plan for one way: its bitcell and the protection active in

@@ -20,6 +20,18 @@ constexpr double kGateAreaUm2 = 0.6;
 
 const char* to_string(Mode mode) { return mode == Mode::kHp ? "HP" : "ULE"; }
 
+void CacheOrg::validate() const {
+  expects(ways >= 1, "cache needs at least one way");
+  expects(line_bytes >= 4 && line_bytes % 4 == 0,
+          "lines must hold whole 4-byte words");
+  expects(word_bits >= 1 && (line_bytes * 8) % word_bits == 0,
+          "lines must hold a whole number of data words");
+  expects(size_bytes >= line_bytes && size_bytes % line_bytes == 0,
+          "cache size must hold whole lines");
+  expects(lines() % ways == 0 && sets() >= 1,
+          "cache size must divide evenly into sets (size/line/ways)");
+}
+
 edc::Protection WayPlan::stored_protection() const noexcept {
   const auto rank = [](edc::Protection p) {
     return p == edc::Protection::kNone ? 0 : p == edc::Protection::kSecded ? 1 : 2;

@@ -9,15 +9,17 @@
 
 namespace hvc::sim {
 
-/// The EPI breakdown categories of Figures 3/4.
+/// The EPI breakdown categories of Figures 3/4, plus the shared-L2 share
+/// for hierarchy configurations (zero for the paper's two-level shape).
 struct EpiBreakdown {
   double l1_dynamic = 0.0;
   double l1_leakage = 0.0;
   double l1_edc = 0.0;
+  double l2 = 0.0;          ///< shared L2 dynamic + leakage + EDC
   double core_other = 0.0;  ///< core logic + non-L1 arrays
 
   [[nodiscard]] double total() const noexcept {
-    return l1_dynamic + l1_leakage + l1_edc + core_other;
+    return l1_dynamic + l1_leakage + l1_edc + l2 + core_other;
   }
   EpiBreakdown& operator/=(double d) noexcept;
 };

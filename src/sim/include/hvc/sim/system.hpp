@@ -1,7 +1,8 @@
 // Full-system experiment assembly (paper Section IV).
 //
 // A System is one simulated chip: IL1 + DL1 hybrid caches built from the
-// design-methodology cell plan, a main memory, and the in-order core.
+// design-methodology cell plan, an optional shared L2 (HierarchySpec), a
+// main memory, and the in-order core.
 // Four cache designs exist per the paper:
 //   scenario A baseline : 6T        + 10T
 //   scenario A proposed : 6T        + 8T+SECDED (SECDED only at ULE)
@@ -13,9 +14,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "hvc/cache/cache.hpp"
+#include "hvc/cache/memory_level.hpp"
 #include "hvc/cpu/core.hpp"
 #include "hvc/workloads/workload.hpp"
 #include "hvc/yield/methodology.hpp"
@@ -30,8 +33,32 @@ struct DesignChoice {
   [[nodiscard]] std::string label() const;
 };
 
+/// Optional shared second-level cache between the L1s and main memory.
+/// Its ways follow the same hybrid plan as the L1s (6T HP ways plus
+/// `ule_ways` always-on ways): `proposed` selects 8T cells with the
+/// scenario's stronger EDC at ULE, otherwise fault-free-sized 10T.
+struct L2Spec {
+  power::CacheOrg org{64 * 1024, 8, 32, 32, 26};
+  std::size_t ule_ways = 1;
+  bool proposed = false;
+  std::size_t hit_latency_cycles = 4;
+  /// L2-miss penalty to main memory (replaces the L1's flat memory
+  /// latency, which only applies to the two-level shape).
+  std::size_t memory_latency_cycles = 20;
+};
+
+/// Shape of the memory hierarchy below the L1s. Default: the paper's
+/// two-level IL1+DL1 -> memory chip; with `l2` set, both L1s miss into a
+/// shared L2 that misses into memory.
+struct HierarchySpec {
+  std::optional<L2Spec> l2;
+
+  [[nodiscard]] bool has_l2() const noexcept { return l2.has_value(); }
+};
+
 struct SystemConfig {
   DesignChoice design;
+  HierarchySpec hierarchy;
   power::Mode mode = power::Mode::kHp;
   power::CacheOrg org;            ///< defaults: 8KB 8-way 32B lines
   std::size_t ule_ways = 1;       ///< paper: 7+1
@@ -85,14 +112,23 @@ class System {
   /// Total chip static power at the current mode (caches + core + arrays).
   [[nodiscard]] double chip_leakage_w() const noexcept;
 
+  /// Writes every dirty line back to memory, draining top-down (L1s
+  /// first so their victims land in the L2, then the L2 itself).
+  void flush();
+
   [[nodiscard]] cache::Cache& il1() noexcept { return *il1_; }
   [[nodiscard]] cache::Cache& dl1() noexcept { return *dl1_; }
+  /// The shared L2, or nullptr for the two-level shape.
+  [[nodiscard]] cache::Cache* l2() noexcept { return l2_.get(); }
+  [[nodiscard]] bool has_l2() const noexcept { return l2_ != nullptr; }
   [[nodiscard]] cpu::Core& core() noexcept { return *core_; }
   [[nodiscard]] cache::MainMemory& memory() noexcept { return memory_; }
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
 
   /// Total L1 area (IL1 + DL1), um^2.
   [[nodiscard]] double l1_area_um2() const noexcept;
+  /// Total on-chip cache area including the L2 when present, um^2.
+  [[nodiscard]] double cache_area_um2() const noexcept;
 
  private:
   void rebuild_core();
@@ -100,6 +136,12 @@ class System {
   SystemConfig config_;
   cache::MainMemory memory_;
   Rng rng_;
+  /// Terminal level behind the deepest cache (built only for L2 shapes;
+  /// the two-level shape keeps the caches' internally-owned terminals so
+  /// its behaviour — including RNG stream order — is bit-identical to the
+  /// pre-hierarchy System).
+  std::unique_ptr<cache::MainMemoryLevel> memory_level_;
+  std::unique_ptr<cache::Cache> l2_;
   std::unique_ptr<cache::Cache> il1_;
   std::unique_ptr<cache::Cache> dl1_;
   std::unique_ptr<cpu::Core> core_;

@@ -11,6 +11,7 @@ EpiBreakdown& EpiBreakdown::operator/=(double d) noexcept {
     l1_dynamic /= d;
     l1_leakage /= d;
     l1_edc /= d;
+    l2 /= d;
     core_other /= d;
   }
   return *this;
@@ -23,6 +24,9 @@ EpiBreakdown epi_breakdown(const cpu::RunResult& result) {
   out.l1_dynamic = result.energy.get("l1.dynamic") / instr;
   out.l1_leakage = result.energy.get("l1.leakage") / instr;
   out.l1_edc = result.energy.get("l1.edc") / instr;
+  out.l2 = (result.energy.get("l2.dynamic") + result.energy.get("l2.edc") +
+            result.energy.get("l2.leakage")) /
+           instr;
   out.core_other =
       (result.energy.get("arrays.dynamic") +
        result.energy.get("arrays.leakage") +

@@ -63,6 +63,30 @@ CachePlan build_cache_plan(const DesignChoice& design,
 
 System::System(const SystemConfig& config, const yield::CacheCellPlan& cells)
     : config_(config), rng_(config.seed) {
+  if (config_.hierarchy.has_l2()) {
+    const L2Spec& l2 = *config_.hierarchy.l2;
+    expects(l2.org.line_bytes >= config_.org.line_bytes &&
+                l2.org.line_bytes % config_.org.line_bytes == 0,
+            "L2 lines must cover whole L1 lines");
+    memory_level_ = std::make_unique<cache::MainMemoryLevel>(
+        memory_, l2.memory_latency_cycles);
+    const CachePlan l2_plan = build_cache_plan(
+        {config_.design.scenario, l2.proposed}, cells, l2.org.ways,
+        l2.ule_ways, config_.inject_hard_faults);
+    cache::CacheConfig cc;
+    cc.name = "L2";
+    cc.org = l2.org;
+    cc.ways = l2_plan.ways;
+    cc.way_hard_pf = l2_plan.way_hard_pf;
+    cc.write_policy = config_.write_policy;
+    cc.hit_latency_cycles = l2.hit_latency_cycles;
+    cc.memory_latency_cycles = l2.memory_latency_cycles;
+    cc.hp = config_.hp;
+    cc.ule = config_.ule;
+    cc.fault_seed = config_.seed ^ 0x22;
+    l2_ = std::make_unique<cache::Cache>(cc, *memory_level_, rng_);
+  }
+
   const CachePlan plan =
       build_cache_plan(config_.design, cells, config_.org.ways,
                        config_.ule_ways, config_.inject_hard_faults);
@@ -78,20 +102,33 @@ System::System(const SystemConfig& config, const yield::CacheCellPlan& cells)
     cc.hp = config_.hp;
     cc.ule = config_.ule;
     cc.fault_seed = config_.seed ^ salt;
-    return std::make_unique<cache::Cache>(cc, memory_, rng_);
+    // Two-level shape: miss straight into memory (the cache wraps its own
+    // terminal, preserving the pre-hierarchy behaviour bit-for-bit).
+    return l2_ ? std::make_unique<cache::Cache>(cc, *l2_, rng_)
+               : std::make_unique<cache::Cache>(cc, memory_, rng_);
   };
   il1_ = make_cache("IL1", 0x11);
   dl1_ = make_cache("DL1", 0xDD);
 
   il1_->set_mode(config_.mode);
   dl1_->set_mode(config_.mode);
+  if (l2_) {
+    l2_->set_mode(config_.mode);
+  }
   rebuild_core();
 }
 
 void System::rebuild_core() {
   const power::OperatingPoint op =
       config_.mode == power::Mode::kHp ? config_.hp : config_.ule;
-  core_ = std::make_unique<cpu::Core>(config_.core, *il1_, *dl1_, op);
+  cpu::MemoryPorts ports;
+  ports.il1 = il1_.get();
+  ports.dl1 = dl1_.get();
+  if (l2_) {
+    ports.shared.push_back(l2_.get());
+    ports.shared.push_back(memory_level_.get());
+  }
+  core_ = std::make_unique<cpu::Core>(config_.core, std::move(ports), op);
 }
 
 void System::set_mode(power::Mode mode) {
@@ -99,21 +136,41 @@ void System::set_mode(power::Mode mode) {
     return;
   }
   // Capture the transition's cache energy (writebacks + re-encode scrub).
+  // Top-down: the L1s drain first so their dirty victims land in the L2,
+  // then the L2 drains into memory.
   il1_->clear_energy();
   dl1_->clear_energy();
+  if (l2_) {
+    l2_->clear_energy();
+  }
   il1_->set_mode(mode);
   dl1_->set_mode(mode);
-  mode_switch_energy_j_ += il1_->energy().total() + dl1_->energy().total();
+  if (l2_) {
+    l2_->set_mode(mode);
+  }
+  mode_switch_energy_j_ += il1_->total_energy_j() + dl1_->total_energy_j() +
+                           (l2_ ? l2_->total_energy_j() : 0.0);
   il1_->clear_energy();
   dl1_->clear_energy();
+  if (l2_) {
+    l2_->clear_energy();
+  }
   config_.mode = mode;
   ++mode_switches_;
   rebuild_core();
 }
 
+void System::flush() {
+  il1_->flush();
+  dl1_->flush();
+  if (l2_) {
+    l2_->flush();
+  }
+}
+
 double System::chip_leakage_w() const noexcept {
   return il1_->leakage_power() + dl1_->leakage_power() +
-         core_->core_leakage_w();
+         (l2_ ? l2_->leakage_power() : 0.0) + core_->core_leakage_w();
 }
 
 cpu::RunResult System::run_workload(const std::string& name,
@@ -130,6 +187,10 @@ cpu::RunResult System::run_trace(const trace::Tracer& tracer) {
 
 double System::l1_area_um2() const noexcept {
   return il1_->total_area_um2() + dl1_->total_area_um2();
+}
+
+double System::cache_area_um2() const noexcept {
+  return l1_area_um2() + (l2_ ? l2_->total_area_um2() : 0.0);
 }
 
 const yield::CacheCellPlan& cell_plan_for(yield::Scenario scenario) {

@@ -71,12 +71,63 @@ TEST(SweepSpec, RoundTripsThroughJson) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].scenario, b[i].scenario);
     EXPECT_EQ(a[i].proposed, b[i].proposed);
+    EXPECT_EQ(a[i].l2_design, b[i].l2_design);
+    EXPECT_DOUBLE_EQ(a[i].l2_size_kb, b[i].l2_size_kb);
     EXPECT_EQ(a[i].mode, b[i].mode);
     EXPECT_DOUBLE_EQ(a[i].hp_vcc, b[i].hp_vcc);
     EXPECT_DOUBLE_EQ(a[i].ule_vcc, b[i].ule_vcc);
     EXPECT_EQ(a[i].workload, b[i].workload);
     EXPECT_DOUBLE_EQ(a[i].scrub_interval_s, b[i].scrub_interval_s);
   }
+}
+
+TEST(SweepSpec, L2AxesDefaultToNone) {
+  const SweepSpec spec = SweepSpec::parse(kFig3Spec);
+  EXPECT_EQ(spec.l2_designs, std::vector<std::string>{"none"});
+  const auto points = expand_points(spec);
+  EXPECT_EQ(points[0].l2_design, "none");
+}
+
+TEST(SweepSpec, L2AxesExpandHierarchyShapes) {
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {
+      "l2": ["none", "baseline", "proposed"],
+      "l2_size_kb": [32, 64],
+      "workload": ["adpcm_c"]
+    }
+  })");
+  // "none" collapses the size axis: 1 + 2 + 2 shapes, not 3 * 2.
+  EXPECT_EQ(spec.point_count(), 5u);
+  const auto points = expand_points(spec);
+  ASSERT_EQ(points.size(), spec.point_count());
+  EXPECT_EQ(points[0].l2_design, "none");
+  EXPECT_EQ(points[1].l2_design, "baseline");
+  EXPECT_DOUBLE_EQ(points[1].l2_size_kb, 32.0);
+  EXPECT_EQ(points[2].l2_design, "baseline");
+  EXPECT_DOUBLE_EQ(points[2].l2_size_kb, 64.0);
+  EXPECT_EQ(points[3].l2_design, "proposed");
+  EXPECT_DOUBLE_EQ(points[3].l2_size_kb, 32.0);
+  EXPECT_EQ(points[4].l2_design, "proposed");
+  EXPECT_DOUBLE_EQ(points[4].l2_size_kb, 64.0);
+}
+
+TEST(SweepSpec, RejectsBadL2Axes) {
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["@big"], "l2": ["huge"]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["@big"], "l2_size_kb": [0.5]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"l2": ["baseline"]}
+  })"),
+               ConfigError);
 }
 
 TEST(SweepSpec, GridAxisIsInclusive) {

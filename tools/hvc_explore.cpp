@@ -18,6 +18,7 @@
 #include "hvc/common/io.hpp"
 #include "hvc/common/thread_pool.hpp"
 #include "hvc/explore/engine.hpp"
+#include "hvc/workloads/workload.hpp"
 
 namespace {
 
@@ -37,6 +38,10 @@ void print_usage(std::FILE* stream) {
                "count\n"
                "  --print-spec     echo the validated spec as JSON and "
                "exit\n"
+               "  --list-workloads print the workload registry (axis "
+               "\"workload\") and exit\n"
+               "  --list-scenarios print the paper scenarios (axis "
+               "\"scenario\") and exit\n"
                "  --help           this message\n"
                "\n"
                "Output is byte-identical for any --threads value: every\n"
@@ -53,7 +58,34 @@ struct Options {
   std::optional<std::uint64_t> seed_override;
   bool dry_run = false;
   bool print_spec = false;
+  bool list_workloads = false;
+  bool list_scenarios = false;
 };
+
+/// Prints the registry so specs can be authored without reading the
+/// source: one name per line with its bench class (the "@small"/"@big"
+/// classes the workload axis accepts).
+void print_workloads() {
+  std::printf("workloads (axis \"workload\"; classes: @small @big @all):\n");
+  for (const auto& name : hvc::wl::all_names()) {
+    const auto& info = hvc::wl::find_workload(name);
+    std::printf("  %-10s @%s\n", name.c_str(),
+                hvc::wl::to_string(info.bench_class).c_str());
+  }
+}
+
+void print_scenarios() {
+  std::printf(
+      "scenarios (axis \"scenario\"):\n"
+      "  A  no EDC at HP mode: 6T HP ways + 10T ULE way (baseline) or\n"
+      "     8T+SECDED ULE way (proposed); SECDED active at ULE only\n"
+      "  B  SECDED on every way at HP mode (soft-error protection);\n"
+      "     baseline ULE way 10T+SECDED, proposed 8T+DECTED at ULE\n"
+      "hierarchy (axes \"l2\", \"l2_size_kb\"):\n"
+      "  none      two-level chip: IL1+DL1 -> memory (the paper's shape)\n"
+      "  baseline  shared L2 with fault-free-sized 10T ULE ways\n"
+      "  proposed  shared L2 with 8T ULE ways + the scenario's EDC\n");
+}
 
 [[nodiscard]] Options parse_args(int argc, char** argv) {
   Options options;
@@ -94,6 +126,10 @@ struct Options {
       options.dry_run = true;
     } else if (std::strcmp(arg, "--print-spec") == 0) {
       options.print_spec = true;
+    } else if (std::strcmp(arg, "--list-workloads") == 0) {
+      options.list_workloads = true;
+    } else if (std::strcmp(arg, "--list-scenarios") == 0) {
+      options.list_scenarios = true;
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       print_usage(stdout);
@@ -102,7 +138,8 @@ struct Options {
       throw std::runtime_error(std::string("unknown option: ") + arg);
     }
   }
-  if (options.spec_path.empty()) {
+  if (options.spec_path.empty() && !options.list_workloads &&
+      !options.list_scenarios) {
     throw std::runtime_error("--spec is required");
   }
   return options;
@@ -114,6 +151,15 @@ int main(int argc, char** argv) {
   using namespace hvc;
   try {
     const Options options = parse_args(argc, argv);
+    if (options.list_workloads || options.list_scenarios) {
+      if (options.list_workloads) {
+        print_workloads();
+      }
+      if (options.list_scenarios) {
+        print_scenarios();
+      }
+      return 0;
+    }
     explore::SweepSpec spec =
         explore::SweepSpec::parse(read_text_file(options.spec_path));
     if (options.seed_override) {
