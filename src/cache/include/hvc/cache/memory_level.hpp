@@ -43,6 +43,10 @@ struct LevelStats {
   std::uint64_t writebacks = 0;
   std::uint64_t edc_corrections = 0;
   std::uint64_t edc_detected = 0;
+  /// Arbitration counters — zero except for shared levels wrapped in an
+  /// ArbitratedLevel (see hvc/cache/arbiter.hpp).
+  std::uint64_t contended_requests = 0;  ///< requests that queued (delay > 0)
+  std::uint64_t contention_cycles = 0;   ///< total queueing delay added
   double dynamic_energy_j = 0.0;  ///< accumulated since last clear
   double edc_energy_j = 0.0;      ///< accumulated since last clear
   double leakage_w = 0.0;         ///< static power at the current mode

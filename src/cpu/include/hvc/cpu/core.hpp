@@ -63,6 +63,17 @@ struct MemoryPorts {
   std::vector<cache::MemoryLevel*> shared;
 };
 
+/// Lowercased energy-category prefix of a hierarchy level ("L2" -> "l2").
+[[nodiscard]] std::string level_energy_prefix(const std::string& level_name);
+
+/// Folds one shared level's snapshot into an energy breakdown under
+/// "<prefix>.{dynamic,edc,leakage}" keys (leakage integrated over
+/// `seconds`), omitting zero entries so L1-only breakdowns keep exactly
+/// their historical categories. Shared by Core::finish_run and the
+/// multi-core aggregate (sim::System::run_mix).
+void add_shared_level_energy(Breakdown& energy,
+                             const cache::LevelStats& stats, double seconds);
+
 /// Result of replaying one trace.
 struct RunResult {
   std::uint64_t instructions = 0;
@@ -112,14 +123,60 @@ class Core {
   /// deltas for this run only (internally snapshotted).
   [[nodiscard]] RunResult run(const trace::Tracer& tracer);
 
+  // --- incremental replay (multi-core interleaving) ---
+  // run() is begin_run() + step() per record + finish_run(); a round-robin
+  // interleaver (sim::System::run_mix) drives several cores' states through
+  // the same per-record code, so a one-core interleaved run is bit-identical
+  // to run().
+
+  /// Mutable state of one in-flight replay.
+  struct RunState {
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double arrays_dynamic = 0.0;
+    double core_dynamic = 0.0;
+  };
+
+  /// Clears this core's own L1 stats/energy for a fresh replay. Shared
+  /// levels are NOT cleared here: run() clears them itself, and a
+  /// multi-core driver clears them once for all cores.
+  void begin_run();
+
+  /// Replays one trace record against the pipeline/energy model.
+  void step(const trace::Record& record, RunState& state);
+
+  /// Rolls the finished state up into a RunResult. With `include_shared`
+  /// the shared levels' energy/stats are folded in (single-core run());
+  /// a multi-core driver passes false and accounts shared levels once.
+  [[nodiscard]] RunResult finish_run(const RunState& state,
+                                     bool include_shared = true) const;
+
   [[nodiscard]] const power::OperatingPoint& op() const noexcept {
     return op_;
   }
 
   /// Static power of core logic + non-L1 arrays (W).
   [[nodiscard]] double core_leakage_w() const noexcept;
+  /// Static power of the non-L1 arrays alone (regfile + TLBs), W — the
+  /// "arrays.leakage" share of core_leakage_w().
+  [[nodiscard]] double arrays_leakage_w() const noexcept;
+  /// Static power of the core logic alone, W — the "core.leakage" share.
+  [[nodiscard]] double logic_leakage_w() const noexcept {
+    return core_leak_w_;
+  }
 
  private:
+  /// Per-replay constants, captured by begin_run() (hit latencies depend
+  /// on the caches' current mode).
+  struct RunConsts {
+    double core_energy_per_instr = 0.0;
+    double rf_read = 0.0;
+    double rf_write = 0.0;
+    double tlb_read = 0.0;
+    std::size_t il1_hit = 0;
+    std::size_t dl1_hit = 0;
+  };
+
   CoreParams params_;
   MemoryPorts ports_;
   power::OperatingPoint op_;
@@ -129,6 +186,7 @@ class Core {
   std::unique_ptr<power::ArrayModel> dtlb_;
   double core_leak_w_ = 0.0;
   Rng rng_;
+  RunConsts consts_;
 };
 
 }  // namespace hvc::cpu

@@ -9,15 +9,27 @@
 
 namespace hvc::cpu {
 
-namespace {
-[[nodiscard]] std::string energy_key_prefix(const std::string& level_name) {
+std::string level_energy_prefix(const std::string& level_name) {
   std::string out = level_name;
   for (char& c : out) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
   return out;
 }
-}  // namespace
+
+void add_shared_level_energy(Breakdown& energy,
+                             const cache::LevelStats& stats, double seconds) {
+  const std::string prefix = level_energy_prefix(stats.name);
+  if (stats.dynamic_energy_j != 0.0) {
+    energy.add(prefix + ".dynamic", stats.dynamic_energy_j);
+  }
+  if (stats.edc_energy_j != 0.0) {
+    energy.add(prefix + ".edc", stats.edc_energy_j);
+  }
+  if (stats.leakage_w != 0.0) {
+    energy.add(prefix + ".leakage", stats.leakage_w * seconds);
+  }
+}
 
 const cache::LevelStats* RunResult::level(const std::string& name) const {
   for (const auto& entry : levels) {
@@ -60,84 +72,100 @@ double Core::core_leakage_w() const noexcept {
          dtlb_->leakage_power();
 }
 
-RunResult Core::run(const trace::Tracer& tracer) {
-  RunResult result;
+double Core::arrays_leakage_w() const noexcept {
+  return regfile_->leakage_power() + itlb_->leakage_power() +
+         dtlb_->leakage_power();
+}
+
+void Core::begin_run() {
+  // Snapshot cache energy so this run reports deltas.
+  ports_.il1->clear_energy();
+  ports_.dl1->clear_energy();
+  ports_.il1->clear_stats();
+  ports_.dl1->clear_stats();
+
+  consts_.core_energy_per_instr =
+      params_.core_cap_per_instr_f * op_.vcc * op_.vcc;
+  consts_.rf_read = regfile_->read_energy();
+  consts_.rf_write = regfile_->write_energy();
+  consts_.tlb_read = itlb_->read_energy();
+  consts_.il1_hit = ports_.il1->hit_latency();
+  consts_.dl1_hit = ports_.dl1->hit_latency();
+}
+
+void Core::step(const trace::Record& record, RunState& state) {
   cache::Cache& il1_ = *ports_.il1;
   cache::Cache& dl1_ = *ports_.dl1;
+  switch (record.kind) {
+    case trace::Kind::kIfetch: {
+      ++state.instructions;
+      ++state.cycles;  // base CPI 1 with pipelined fetch
+      const auto access = il1_.access(record.addr, cache::AccessType::kIfetch);
+      if (!access.hit) {
+        state.cycles += access.latency_cycles - consts_.il1_hit;  // miss stall
+      }
+      state.arrays_dynamic += consts_.tlb_read;  // ITLB lookup
+      state.arrays_dynamic +=
+          2.0 * consts_.rf_read + consts_.rf_write;  // operand read/writeback
+      state.core_dynamic += consts_.core_energy_per_instr;
+      break;
+    }
+    case trace::Kind::kLoad: {
+      const auto access = dl1_.access(record.addr, cache::AccessType::kLoad);
+      if (!access.hit) {
+        state.cycles += access.latency_cycles - consts_.dl1_hit;
+      }
+      // Load-to-use: with probability p the consumer is adjacent and
+      // exposes the (hit latency - 1) bubble, including the EDC cycle.
+      if (consts_.dl1_hit > 1 &&
+          rng_.bernoulli(params_.load_use_adjacent_prob)) {
+        state.cycles += consts_.dl1_hit - 1;
+      }
+      state.arrays_dynamic += consts_.tlb_read;  // DTLB
+      break;
+    }
+    case trace::Kind::kStore: {
+      const auto access = dl1_.access(record.addr, cache::AccessType::kStore);
+      if (!access.hit) {
+        state.cycles += access.latency_cycles - consts_.dl1_hit;
+      }
+      state.arrays_dynamic += consts_.tlb_read;
+      break;
+    }
+    case trace::Kind::kBranch: {
+      if (record.taken && consts_.il1_hit > 1 &&
+          rng_.bernoulli(params_.redirect_on_taken)) {
+        // Fetch redirect: the next fetch waits for the full IL1 hit
+        // latency (incl. the EDC cycle) instead of overlapping.
+        state.cycles += consts_.il1_hit - 1;
+      }
+      break;
+    }
+  }
+}
 
-  // Snapshot cache energy so this run reports deltas.
-  il1_.clear_energy();
-  dl1_.clear_energy();
-  il1_.clear_stats();
-  dl1_.clear_stats();
+RunResult Core::run(const trace::Tracer& tracer) {
+  begin_run();
   for (cache::MemoryLevel* level : ports_.shared) {
     level->clear_level_counters();
   }
-
-  const double core_energy_per_instr =
-      params_.core_cap_per_instr_f * op_.vcc * op_.vcc;
-  const double rf_read = regfile_->read_energy();
-  const double rf_write = regfile_->write_energy();
-  const double tlb_read = itlb_->read_energy();
-
-  std::uint64_t cycles = 0;
-  std::uint64_t instructions = 0;
-  double arrays_dynamic = 0.0;
-  double core_dynamic = 0.0;
-
-  const std::size_t il1_hit = il1_.hit_latency();
-  const std::size_t dl1_hit = dl1_.hit_latency();
-
+  RunState state;
   for (const auto& record : tracer.records()) {
-    switch (record.kind) {
-      case trace::Kind::kIfetch: {
-        ++instructions;
-        ++cycles;  // base CPI 1 with pipelined fetch
-        const auto access = il1_.access(record.addr, cache::AccessType::kIfetch);
-        if (!access.hit) {
-          cycles += access.latency_cycles - il1_hit;  // miss stall
-        }
-        arrays_dynamic += tlb_read;             // ITLB lookup
-        arrays_dynamic += 2.0 * rf_read + rf_write;  // operand read/writeback
-        core_dynamic += core_energy_per_instr;
-        break;
-      }
-      case trace::Kind::kLoad: {
-        const auto access = dl1_.access(record.addr, cache::AccessType::kLoad);
-        if (!access.hit) {
-          cycles += access.latency_cycles - dl1_hit;
-        }
-        // Load-to-use: with probability p the consumer is adjacent and
-        // exposes the (hit latency - 1) bubble, including the EDC cycle.
-        if (dl1_hit > 1 && rng_.bernoulli(params_.load_use_adjacent_prob)) {
-          cycles += dl1_hit - 1;
-        }
-        arrays_dynamic += tlb_read;  // DTLB
-        break;
-      }
-      case trace::Kind::kStore: {
-        const auto access = dl1_.access(record.addr, cache::AccessType::kStore);
-        if (!access.hit) {
-          cycles += access.latency_cycles - dl1_hit;
-        }
-        arrays_dynamic += tlb_read;
-        break;
-      }
-      case trace::Kind::kBranch: {
-        if (record.taken && il1_hit > 1 &&
-            rng_.bernoulli(params_.redirect_on_taken)) {
-          // Fetch redirect: the next fetch waits for the full IL1 hit
-          // latency (incl. the EDC cycle) instead of overlapping.
-          cycles += il1_hit - 1;
-        }
-        break;
-      }
-    }
+    step(record, state);
   }
+  return finish_run(state);
+}
 
-  result.instructions = instructions;
-  result.cycles = cycles;
-  result.seconds = static_cast<double>(cycles) / op_.freq_hz;
+RunResult Core::finish_run(const RunState& state, bool include_shared) const {
+  RunResult result;
+  cache::Cache& il1_ = *ports_.il1;
+  cache::Cache& dl1_ = *ports_.dl1;
+  const double arrays_dynamic = state.arrays_dynamic;
+  const double core_dynamic = state.core_dynamic;
+
+  result.instructions = state.instructions;
+  result.cycles = state.cycles;
+  result.seconds = static_cast<double>(state.cycles) / op_.freq_hz;
 
   // --- energy roll-up ---
   result.energy.add("l1.dynamic",
@@ -151,38 +179,29 @@ RunResult Core::run(const trace::Tracer& tracer) {
                     (il1_.edc_leakage_power() + dl1_.edc_leakage_power()) *
                         result.seconds);
   result.energy.add("arrays.dynamic", arrays_dynamic);
-  result.energy.add(
-      "arrays.leakage",
-      (regfile_->leakage_power() + itlb_->leakage_power() +
-       dtlb_->leakage_power()) *
-          result.seconds);
+  result.energy.add("arrays.leakage", arrays_leakage_w() * result.seconds);
   result.energy.add("core.dynamic", core_dynamic);
   result.energy.add("core.leakage", core_leak_w_ * result.seconds);
 
-  // Shared deeper levels (L2, memory terminal): per-level energy under
-  // "<name>.{dynamic,edc,leakage}". Zero entries are omitted so L1-only
-  // breakdowns keep exactly their historical categories.
-  for (cache::MemoryLevel* level : ports_.shared) {
-    const cache::LevelStats stats = level->level_stats();
-    const std::string prefix = energy_key_prefix(stats.name);
-    if (stats.dynamic_energy_j != 0.0) {
-      result.energy.add(prefix + ".dynamic", stats.dynamic_energy_j);
-    }
-    if (stats.edc_energy_j != 0.0) {
-      result.energy.add(prefix + ".edc", stats.edc_energy_j);
-    }
-    if (stats.leakage_w != 0.0) {
-      result.energy.add(prefix + ".leakage", stats.leakage_w * result.seconds);
+  // Shared deeper levels (L2, memory terminal): per-level energy. A
+  // multi-core driver passes include_shared = false and accounts these
+  // once across all cores instead of once per core.
+  if (include_shared) {
+    for (cache::MemoryLevel* level : ports_.shared) {
+      add_shared_level_energy(result.energy, level->level_stats(),
+                              result.seconds);
     }
   }
 
   result.il1 = il1_.stats();
   result.dl1 = dl1_.stats();
-  result.levels.reserve(2 + ports_.shared.size());
+  result.levels.reserve(2 + (include_shared ? ports_.shared.size() : 0));
   result.levels.push_back(il1_.level_stats());
   result.levels.push_back(dl1_.level_stats());
-  for (cache::MemoryLevel* level : ports_.shared) {
-    result.levels.push_back(level->level_stats());
+  if (include_shared) {
+    for (cache::MemoryLevel* level : ports_.shared) {
+      result.levels.push_back(level->level_stats());
+    }
   }
   return result;
 }

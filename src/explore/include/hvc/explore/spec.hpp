@@ -24,21 +24,28 @@
 //     }
 //   }
 //
-// Numeric axes (hp_vcc, ule_vcc, scrub_interval_s, l2_size_kb) take
-// either an explicit list ([0.3, 0.35]) or an inclusive grid ({"from":
-// 0.28, "to": 0.5, "step": 0.02}). The workload axis accepts registry
-// names plus the classes "@small", "@big" and "@all". The hierarchy axes
-// sweep the memory-hierarchy shape: "l2" takes "none" (the paper's
-// two-level chip), "baseline" (10T shared L2) or "proposed" (8T+EDC
-// shared L2), and "l2_size_kb" its capacity ("none" has no L2 to size, so
-// it collapses to a single point however many sizes are listed). Unknown
-// keys anywhere are errors: a spec is an experiment record, so typos must
-// not silently change it.
+// Numeric axes (hp_vcc, ule_vcc, scrub_interval_s, l2_size_kb, cores)
+// take either an explicit list ([0.3, 0.35]) or an inclusive grid
+// ({"from": 0.28, "to": 0.5, "step": 0.02}). The workload axis accepts
+// registry names plus the classes "@small", "@big" and "@all". The
+// hierarchy axes sweep the memory-hierarchy shape: "l2" takes "none" (the
+// paper's two-level chip), "baseline" (10T shared L2) or "proposed"
+// (8T+EDC shared L2), and "l2_size_kb" its capacity ("none" has no L2 to
+// size, so it collapses to a single point however many sizes are listed).
+// The multi-core axes: "cores" counts the chip's cores (each with private
+// IL1/DL1, sharing the L2 — or the memory port — behind a round-robin
+// arbiter), and "workload_mix" lists per-core mixes as '+'-separated
+// registry names ("gsm_c+adpcm_c"; core c runs entry c mod mix length).
+// "workload" and "workload_mix" are mutually exclusive — a simulation
+// spec names exactly one of them. Unknown keys anywhere are errors: a
+// spec is an experiment record, so typos must not silently change it.
 //
 // Point order is the documented nested-loop order (scenario, design, l2,
-// l2_size_kb, mode, hp_vcc, ule_vcc, workload, scrub_interval_s —
-// outermost first); a point's index in that order is its identity for
-// seeding, so adding threads can never change any point's random stream.
+// l2_size_kb, cores, mode, hp_vcc, ule_vcc, workload-or-mix,
+// scrub_interval_s — outermost first); a point's index in that order is
+// its identity for seeding, so adding threads can never change any
+// point's random stream. Defaulted axes (cores [1], no mix) collapse to
+// one iteration, so pre-multicore specs keep their exact point indices.
 #pragma once
 
 #include <cstddef>
@@ -79,10 +86,14 @@ struct SweepSpec {
   std::vector<bool> designs{false};       ///< proposed flags
   std::vector<std::string> l2_designs{"none"};  ///< none|baseline|proposed
   std::vector<double> l2_size_kbs{64.0};
+  std::vector<std::size_t> cores{1};      ///< cores per chip
   std::vector<power::Mode> modes{power::Mode::kHp};
   std::vector<double> hp_vccs{1.0};
   std::vector<double> ule_vccs{0.35};
-  std::vector<std::string> workloads;          ///< simulation: required
+  /// Exactly one of these is populated for simulation sweeps: plain
+  /// per-point workloads, or '+'-separated per-core mixes.
+  std::vector<std::string> workloads;
+  std::vector<std::string> workload_mixes;
   std::vector<double> scrub_intervals_s{0.0};  ///< 0 = no scrubbing
 
   /// Parses and validates a JSON spec document; throws ConfigError with a
@@ -104,11 +115,17 @@ struct SweepPoint {
   bool proposed = false;
   std::string l2_design = "none";
   double l2_size_kb = 64.0;
+  std::size_t cores = 1;
   power::Mode mode = power::Mode::kHp;
   double hp_vcc = 1.0;
   double ule_vcc = 0.35;
-  std::string workload;  ///< empty for methodology sweeps
+  std::string workload;      ///< empty for methodology and mix points
+  std::string workload_mix;  ///< '+'-separated; empty for plain points
   double scrub_interval_s = 0.0;
+
+  /// The per-core workload assignment of this point: the mix's names, or
+  /// the single workload every core runs.
+  [[nodiscard]] std::vector<std::string> core_workloads() const;
 };
 
 /// Expands the cartesian product in the documented order.

@@ -128,14 +128,17 @@ struct UleReliability {
 [[nodiscard]] std::vector<std::string> simulation_columns() {
   return {
       "point",          "scenario",        "design",
-      "l2",             "l2_size_kb",      "mode",
-      "workload",       "hp_vcc",          "ule_vcc",
+      "l2",             "l2_size_kb",      "cores",
+      "mode",           "workload",        "workload_mix",
+      "hp_vcc",         "ule_vcc",
       "scrub_interval_s", "instructions",  "cycles",
       "cpi",            "seconds",         "epi_j",
       "epi_l1_dynamic_j", "epi_l1_leakage_j", "epi_l1_edc_j",
-      "epi_l2_j",       "epi_core_other_j", "total_energy_j",
+      "epi_l2_j",       "epi_contention_j", "epi_core_other_j",
+      "total_energy_j",
       "il1_hit_rate",   "dl1_hit_rate",    "l2_hit_rate",
-      "l2_accesses",    "mem_accesses",    "edc_corrections",
+      "l2_accesses",    "mem_accesses",    "contended_requests",
+      "contention_cycles", "edc_corrections",
       "edc_detected",   "l1_area_um2",     "cache_area_um2",
       "ule_soft_rate_per_bit", "ule_uncorr_per_s", "ule_mttf_s",
   };
@@ -169,14 +172,23 @@ struct UleReliability {
     l2.proposed = point.l2_design == "proposed";
     config.hierarchy.l2 = l2;
   }
+  config.num_cores = point.cores;
   // The System's fault maps draw from the point's own counter-based seed
   // (or the spec's fixed one, for pinning against the bench_fig* rows).
   config.seed = spec.system_seed ? *spec.system_seed
                                  : Rng::mix64(spec.seed, point.index);
 
   sim::System system(config, plan);
+  // Plain one-core points keep the exact pre-multicore evaluation path;
+  // core-count/mix points report the interleaved run's chip aggregate.
+  const bool multicore = point.cores > 1 || !point.workload_mix.empty();
   const cpu::RunResult result =
-      system.run_workload(point.workload, spec.workload_seed, spec.scale);
+      multicore ? system
+                      .run_mix(point.core_workloads(), spec.workload_seed,
+                               spec.scale)
+                      .aggregate
+                : system.run_workload(point.workload, spec.workload_seed,
+                                      spec.scale);
   const sim::EpiBreakdown epi = sim::epi_breakdown(result);
   const UleReliability reliability =
       ule_reliability(point, plan, point.scrub_interval_s);
@@ -194,8 +206,11 @@ struct UleReliability {
   } else {
     row.emplace_back("");
   }
+  row.push_back(
+      format_number(static_cast<std::uint64_t>(point.cores)));
   row.emplace_back(point.mode == power::Mode::kHp ? "hp" : "ule");
   row.push_back(point.workload);
+  row.push_back(point.workload_mix);
   row.push_back(format_number(point.hp_vcc));
   row.push_back(format_number(point.ule_vcc));
   row.push_back(format_number(point.scrub_interval_s));
@@ -208,6 +223,7 @@ struct UleReliability {
   row.push_back(format_number(epi.l1_leakage));
   row.push_back(format_number(epi.l1_edc));
   row.push_back(format_number(epi.l2));
+  row.push_back(format_number(epi.contention));
   row.push_back(format_number(epi.core_other));
   row.push_back(format_number(result.total_energy()));
   row.push_back(format_number(result.il1.hit_rate()));
@@ -224,6 +240,16 @@ struct UleReliability {
   } else {
     row.emplace_back("");
   }
+  // Arbitration pressure on the shared level (zero rows for single-core
+  // points, where no arbiter exists).
+  std::uint64_t contended_requests = 0;
+  std::uint64_t contention_cycles = 0;
+  for (const cache::LevelStats& level : result.levels) {
+    contended_requests += level.contended_requests;
+    contention_cycles += level.contention_cycles;
+  }
+  row.push_back(format_number(contended_requests));
+  row.push_back(format_number(contention_cycles));
   std::uint64_t edc_corrections =
       result.il1.edc_corrections + result.dl1.edc_corrections;
   std::uint64_t edc_detected =

@@ -101,6 +101,43 @@ namespace {
   return names;
 }
 
+[[nodiscard]] std::vector<std::string> split_mix(const std::string& mix) {
+  std::vector<std::string> names;
+  std::string::size_type start = 0;
+  while (start <= mix.size()) {
+    const auto plus = mix.find('+', start);
+    const std::string name = mix.substr(
+        start, plus == std::string::npos ? std::string::npos : plus - start);
+    names.push_back(name);
+    if (plus == std::string::npos) {
+      break;
+    }
+    start = plus + 1;
+  }
+  return names;
+}
+
+[[nodiscard]] std::vector<std::string> validate_mixes(
+    const std::vector<std::string>& entries) {
+  for (const auto& entry : entries) {
+    for (const auto& name : split_mix(entry)) {
+      if (name.empty() || !wl::has_workload(name)) {
+        throw ConfigError("axis \"workload_mix\": mix \"" + entry +
+                          "\" needs '+'-separated registry names (classes "
+                          "like @big are not allowed inside a mix)");
+      }
+    }
+  }
+  std::set<std::string> seen;
+  for (const auto& entry : entries) {
+    if (!seen.insert(entry).second) {
+      throw ConfigError("axis \"workload_mix\": duplicate mix \"" + entry +
+                        "\"");
+    }
+  }
+  return entries;
+}
+
 [[nodiscard]] std::uint64_t parse_u64(const std::string& key,
                                       const Json& value) {
   // 0x1p64 bound: larger (or non-finite) doubles make the cast to
@@ -230,6 +267,26 @@ SweepSpec SweepSpec::from_json(const Json& json) {
                 "axis \"l2_size_kb\": sizes must be integers >= 1");
           }
         }
+      } else if (axis == "cores") {
+        if (methodology) {
+          throw ConfigError(
+              "axis \"cores\" does not apply to methodology sweeps");
+        }
+        spec.cores.clear();
+        for (const double count : parse_numeric_axis(axis, value)) {
+          if (count < 1.0 || count > 64.0 || count != std::floor(count)) {
+            throw ConfigError(
+                "axis \"cores\": core counts must be integers in [1, 64]");
+          }
+          spec.cores.push_back(static_cast<std::size_t>(count));
+        }
+      } else if (axis == "workload_mix") {
+        if (methodology) {
+          throw ConfigError(
+              "axis \"workload_mix\" does not apply to methodology sweeps");
+        }
+        spec.workload_mixes =
+            validate_mixes(parse_string_axis(axis, value));
       } else if (axis == "mode") {
         if (methodology) {
           throw ConfigError(
@@ -284,9 +341,15 @@ SweepSpec SweepSpec::from_json(const Json& json) {
       throw ConfigError("axis \"ule_vcc\": voltages must be in (0, 2] V");
     }
   }
-  if (!methodology && !have_workloads) {
+  if (!methodology && have_workloads && !spec.workload_mixes.empty()) {
     throw ConfigError(
-        "simulation sweeps need a \"workload\" axis (e.g. [\"@big\"])");
+        "axes \"workload\" and \"workload_mix\" are mutually exclusive "
+        "(a mix of one name covers the single-workload case)");
+  }
+  if (!methodology && !have_workloads && spec.workload_mixes.empty()) {
+    throw ConfigError(
+        "simulation sweeps need a \"workload\" axis (e.g. [\"@big\"]) or a "
+        "\"workload_mix\" axis");
   }
   return spec;
 }
@@ -320,6 +383,11 @@ Json SweepSpec::to_json() const {
       l2_size_values.emplace_back(kb);
     }
     axes.set("l2_size_kb", Json(std::move(l2_size_values)));
+    Json::Array core_values;
+    for (const std::size_t count : cores) {
+      core_values.emplace_back(static_cast<double>(count));
+    }
+    axes.set("cores", Json(std::move(core_values)));
     Json::Array mode_values;
     for (const auto mode : modes) {
       mode_values.emplace_back(mode == power::Mode::kHp ? "hp" : "ule");
@@ -341,11 +409,19 @@ Json SweepSpec::to_json() const {
     axes.set("ule_vcc", Json(std::move(values)));
   }
   if (kind == SweepKind::kSimulation) {
-    Json::Array values;
-    for (const auto& name : workloads) {
-      values.emplace_back(name);
+    if (workload_mixes.empty()) {
+      Json::Array values;
+      for (const auto& name : workloads) {
+        values.emplace_back(name);
+      }
+      axes.set("workload", Json(std::move(values)));
+    } else {
+      Json::Array values;
+      for (const auto& mix : workload_mixes) {
+        values.emplace_back(mix);
+      }
+      axes.set("workload_mix", Json(std::move(values)));
     }
-    axes.set("workload", Json(std::move(values)));
     Json::Array scrub_values;
     for (const double interval : scrub_intervals_s) {
       scrub_values.emplace_back(interval);
@@ -377,10 +453,19 @@ std::size_t SweepSpec::point_count() const noexcept {
     for (const auto& l2 : l2_designs) {
       l2_shapes += l2 == "none" ? 1 : l2_size_kbs.size();
     }
-    count *= designs.size() * l2_shapes * modes.size() * workloads.size() *
-             scrub_intervals_s.size();
+    const std::size_t workload_points =
+        workload_mixes.empty() ? workloads.size() : workload_mixes.size();
+    count *= designs.size() * l2_shapes * cores.size() * modes.size() *
+             workload_points * scrub_intervals_s.size();
   }
   return count;
+}
+
+std::vector<std::string> SweepPoint::core_workloads() const {
+  if (!workload_mix.empty()) {
+    return split_mix(workload_mix);
+  }
+  return {workload};
 }
 
 std::vector<SweepPoint> expand_points(const SweepSpec& spec) {
@@ -395,10 +480,17 @@ std::vector<SweepPoint> expand_points(const SweepSpec& spec) {
       simulation ? spec.l2_designs : std::vector<std::string>{"none"};
   const std::vector<double> l2_sizes =
       simulation ? spec.l2_size_kbs : std::vector<double>{64.0};
+  const std::vector<std::size_t> cores =
+      simulation ? spec.cores : std::vector<std::size_t>{1};
   const std::vector<power::Mode> modes =
       simulation ? spec.modes : std::vector<power::Mode>{power::Mode::kHp};
+  // The workload slot iterates over plain names or over per-core mixes,
+  // whichever the spec declares.
+  const bool mixes = simulation && !spec.workload_mixes.empty();
   const std::vector<std::string> workloads =
-      simulation ? spec.workloads : std::vector<std::string>{""};
+      !simulation ? std::vector<std::string>{""}
+      : mixes     ? spec.workload_mixes
+                  : spec.workloads;
   const std::vector<double> scrubs =
       simulation ? spec.scrub_intervals_s : std::vector<double>{0.0};
   for (const auto scenario : spec.scenarios) {
@@ -409,23 +501,27 @@ std::vector<SweepPoint> expand_points(const SweepSpec& spec) {
             l2_design == "none" ? 1 : l2_sizes.size();
         for (std::size_t si = 0; si < size_count; ++si) {
           const double l2_size_kb = l2_sizes[si];
-          for (const auto mode : modes) {
-            for (const double hp_vcc : spec.hp_vccs) {
-              for (const double ule_vcc : spec.ule_vccs) {
-                for (const auto& workload : workloads) {
-                  for (const double scrub : scrubs) {
-                    SweepPoint point;
-                    point.index = points.size();
-                    point.scenario = scenario;
-                    point.proposed = proposed;
-                    point.l2_design = l2_design;
-                    point.l2_size_kb = l2_size_kb;
-                    point.mode = mode;
-                    point.hp_vcc = hp_vcc;
-                    point.ule_vcc = ule_vcc;
-                    point.workload = workload;
-                    point.scrub_interval_s = scrub;
-                    points.push_back(std::move(point));
+          for (const std::size_t core_count : cores) {
+            for (const auto mode : modes) {
+              for (const double hp_vcc : spec.hp_vccs) {
+                for (const double ule_vcc : spec.ule_vccs) {
+                  for (const auto& workload : workloads) {
+                    for (const double scrub : scrubs) {
+                      SweepPoint point;
+                      point.index = points.size();
+                      point.scenario = scenario;
+                      point.proposed = proposed;
+                      point.l2_design = l2_design;
+                      point.l2_size_kb = l2_size_kb;
+                      point.cores = core_count;
+                      point.mode = mode;
+                      point.hp_vcc = hp_vcc;
+                      point.ule_vcc = ule_vcc;
+                      (mixes ? point.workload_mix : point.workload) =
+                          workload;
+                      point.scrub_interval_s = scrub;
+                      points.push_back(std::move(point));
+                    }
                   }
                 }
               }

@@ -16,10 +16,11 @@ struct EpiBreakdown {
   double l1_leakage = 0.0;
   double l1_edc = 0.0;
   double l2 = 0.0;          ///< shared L2 dynamic + leakage + EDC
+  double contention = 0.0;  ///< shared-level arbitration ("contention.*")
   double core_other = 0.0;  ///< core logic + non-L1 arrays
 
   [[nodiscard]] double total() const noexcept {
-    return l1_dynamic + l1_leakage + l1_edc + l2 + core_other;
+    return l1_dynamic + l1_leakage + l1_edc + l2 + contention + core_other;
   }
   EpiBreakdown& operator/=(double d) noexcept;
 };

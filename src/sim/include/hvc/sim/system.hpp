@@ -16,7 +16,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "hvc/cache/arbiter.hpp"
 #include "hvc/cache/cache.hpp"
 #include "hvc/cache/memory_level.hpp"
 #include "hvc/cpu/core.hpp"
@@ -56,9 +58,26 @@ struct HierarchySpec {
   [[nodiscard]] bool has_l2() const noexcept { return l2.has_value(); }
 };
 
+/// Contention model for the shared level of a multi-core chip (the L2
+/// when present, otherwise the memory terminal the private L1s share).
+enum class ArbitrationKind {
+  kSinglePort,  ///< requests queue behind other cores' service time
+  kFree,        ///< ideally multi-ported: sharing costs no cycles
+};
+
+struct ArbitrationSpec {
+  ArbitrationKind kind = ArbitrationKind::kSinglePort;
+  cache::ArbiterEnergy energy;
+};
+
 struct SystemConfig {
   DesignChoice design;
   HierarchySpec hierarchy;
+  /// Cores on the chip, each with private IL1/DL1. 1 = the paper's chip,
+  /// bit-identical to the pre-multicore model; > 1 shares the deepest
+  /// levels behind a round-robin arbiter.
+  std::size_t num_cores = 1;
+  ArbitrationSpec arbitration;
   power::Mode mode = power::Mode::kHp;
   power::CacheOrg org;            ///< defaults: 8KB 8-way 32B lines
   std::size_t ule_ways = 1;       ///< paper: 7+1
@@ -83,18 +102,43 @@ struct CachePlan {
                                          std::size_t ule_ways,
                                          bool inject_hard_faults);
 
+/// Result of one multi-core run: per-core replays plus the chip-level
+/// aggregate. Per-core results carry that core's IL1/DL1 only; the shared
+/// levels (L2/MEM, with their contention counters) and the
+/// "contention.<level>" energy category appear once, in `aggregate`.
+/// Aggregate timing: instructions are summed, cycles/seconds take the
+/// slowest core (the cores run concurrently), so aggregate EPI is total
+/// chip energy over total instructions.
+struct MulticoreResult {
+  std::vector<cpu::RunResult> per_core;
+  std::vector<std::string> core_workloads;  ///< workload run by each core
+  cpu::RunResult aggregate;
+};
+
 /// One simulated chip instance.
 class System {
  public:
   System(const SystemConfig& config, const yield::CacheCellPlan& cells);
 
   /// Runs a workload by registry name and returns timing/energy results.
+  /// Single-core path (replays on core 0; with num_cores > 1 prefer
+  /// run_mix, which interleaves all cores).
   [[nodiscard]] cpu::RunResult run_workload(const std::string& name,
                                             std::uint64_t seed = 1,
                                             std::size_t scale = 1);
 
-  /// Runs an already-captured trace.
+  /// Runs an already-captured trace (on core 0).
   [[nodiscard]] cpu::RunResult run_trace(const trace::Tracer& tracer);
+
+  /// Multi-core run: core c replays `workloads[c % workloads.size()]`
+  /// (seeded `seed + c`, so core 0 of a one-name mix reproduces
+  /// run_workload exactly), stepped by a deterministic round-robin
+  /// interleaver whose start core rotates every round — the shared-level
+  /// arbiter's priority slot circulates fairly. Works for any num_cores
+  /// (num_cores == 1 is bit-identical to run_workload).
+  [[nodiscard]] MulticoreResult run_mix(
+      const std::vector<std::string>& workloads, std::uint64_t seed = 1,
+      std::size_t scale = 1);
 
   /// Switches the whole chip between HP and ULE mode: gates/ungates cache
   /// ways (with the writeback/re-encode costs) and re-points the core at
@@ -116,35 +160,53 @@ class System {
   /// first so their victims land in the L2, then the L2 itself).
   void flush();
 
-  [[nodiscard]] cache::Cache& il1() noexcept { return *il1_; }
-  [[nodiscard]] cache::Cache& dl1() noexcept { return *dl1_; }
+  [[nodiscard]] std::size_t core_count() const noexcept {
+    return cores_.size();
+  }
+  [[nodiscard]] cache::Cache& il1(std::size_t core = 0) noexcept {
+    return *il1s_[core];
+  }
+  [[nodiscard]] cache::Cache& dl1(std::size_t core = 0) noexcept {
+    return *dl1s_[core];
+  }
   /// The shared L2, or nullptr for the two-level shape.
   [[nodiscard]] cache::Cache* l2() noexcept { return l2_.get(); }
   [[nodiscard]] bool has_l2() const noexcept { return l2_ != nullptr; }
-  [[nodiscard]] cpu::Core& core() noexcept { return *core_; }
+  /// The shared-level arbiter, or nullptr for single-core chips.
+  [[nodiscard]] cache::ArbitratedLevel* arbiter() noexcept {
+    return arbiter_.get();
+  }
+  [[nodiscard]] cpu::Core& core(std::size_t core = 0) noexcept {
+    return *cores_[core];
+  }
   [[nodiscard]] cache::MainMemory& memory() noexcept { return memory_; }
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
 
-  /// Total L1 area (IL1 + DL1), um^2.
+  /// Total L1 area across every core (IL1 + DL1), um^2.
   [[nodiscard]] double l1_area_um2() const noexcept;
   /// Total on-chip cache area including the L2 when present, um^2.
   [[nodiscard]] double cache_area_um2() const noexcept;
 
  private:
-  void rebuild_core();
+  void rebuild_cores();
+  /// The shared levels behind the L1s, in MemoryPorts front-to-back order
+  /// (empty for the paper's single-core two-level shape).
+  [[nodiscard]] std::vector<cache::MemoryLevel*> shared_levels() noexcept;
 
   SystemConfig config_;
   cache::MainMemory memory_;
   Rng rng_;
-  /// Terminal level behind the deepest cache (built only for L2 shapes;
-  /// the two-level shape keeps the caches' internally-owned terminals so
-  /// its behaviour — including RNG stream order — is bit-identical to the
-  /// pre-hierarchy System).
+  /// Terminal level behind the deepest cache (built for L2 shapes and for
+  /// multi-core chips; the single-core two-level shape keeps the caches'
+  /// internally-owned terminals so its behaviour — including RNG stream
+  /// order — is bit-identical to the pre-hierarchy System).
   std::unique_ptr<cache::MainMemoryLevel> memory_level_;
   std::unique_ptr<cache::Cache> l2_;
-  std::unique_ptr<cache::Cache> il1_;
-  std::unique_ptr<cache::Cache> dl1_;
-  std::unique_ptr<cpu::Core> core_;
+  /// Arbitration around the front shared level (multi-core only).
+  std::unique_ptr<cache::ArbitratedLevel> arbiter_;
+  std::vector<std::unique_ptr<cache::Cache>> il1s_;
+  std::vector<std::unique_ptr<cache::Cache>> dl1s_;
+  std::vector<std::unique_ptr<cpu::Core>> cores_;
   double mode_switch_energy_j_ = 0.0;
   std::uint64_t mode_switches_ = 0;
 };

@@ -12,6 +12,7 @@ EpiBreakdown& EpiBreakdown::operator/=(double d) noexcept {
     l1_leakage /= d;
     l1_edc /= d;
     l2 /= d;
+    contention /= d;
     core_other /= d;
   }
   return *this;
@@ -27,6 +28,13 @@ EpiBreakdown epi_breakdown(const cpu::RunResult& result) {
   out.l2 = (result.energy.get("l2.dynamic") + result.energy.get("l2.edc") +
             result.energy.get("l2.leakage")) /
            instr;
+  // Arbitration hardware of multi-core shared levels ("contention.l2" /
+  // "contention.mem"); zero for single-core runs.
+  for (const auto& [key, value] : result.energy.items()) {
+    if (key.rfind("contention.", 0) == 0) {
+      out.contention += value / instr;
+    }
+  }
   out.core_other =
       (result.energy.get("arrays.dynamic") +
        result.energy.get("arrays.leakage") +

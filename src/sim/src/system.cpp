@@ -1,11 +1,41 @@
 #include "hvc/sim/system.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <map>
 #include <mutex>
 
 #include "hvc/common/error.hpp"
 
 namespace hvc::sim {
+
+namespace {
+
+[[nodiscard]] std::unique_ptr<cache::ArbitrationModel> make_arbitration(
+    ArbitrationKind kind) {
+  if (kind == ArbitrationKind::kFree) {
+    return std::make_unique<cache::FreeArbitration>();
+  }
+  return std::make_unique<cache::SinglePortArbitration>();
+}
+
+void accumulate_cache_stats(cache::CacheStats& into,
+                            const cache::CacheStats& from) {
+  into.accesses += from.accesses;
+  into.hits += from.hits;
+  into.misses += from.misses;
+  into.loads += from.loads;
+  into.stores += from.stores;
+  into.ifetches += from.ifetches;
+  into.fills += from.fills;
+  into.writebacks += from.writebacks;
+  into.edc_corrections += from.edc_corrections;
+  into.edc_detected += from.edc_detected;
+  into.mode_switch_writebacks += from.mode_switch_writebacks;
+  into.soft_errors_injected += from.soft_errors_injected;
+}
+
+}  // namespace
 
 std::string DesignChoice::label() const {
   std::string out = "scenario";
@@ -63,6 +93,8 @@ CachePlan build_cache_plan(const DesignChoice& design,
 
 System::System(const SystemConfig& config, const yield::CacheCellPlan& cells)
     : config_(config), rng_(config.seed) {
+  expects(config_.num_cores >= 1, "a System needs at least one core");
+  const bool multicore = config_.num_cores > 1;
   if (config_.hierarchy.has_l2()) {
     const L2Spec& l2 = *config_.hierarchy.l2;
     expects(l2.org.line_bytes >= config_.org.line_bytes &&
@@ -85,6 +117,22 @@ System::System(const SystemConfig& config, const yield::CacheCellPlan& cells)
     cc.ule = config_.ule;
     cc.fault_seed = config_.seed ^ 0x22;
     l2_ = std::make_unique<cache::Cache>(cc, *memory_level_, rng_);
+  } else if (multicore) {
+    // L2-less multi-core chip: the private L1s share the memory terminal
+    // (and contend for its port) instead of owning one each.
+    memory_level_ = std::make_unique<cache::MainMemoryLevel>(
+        memory_, config_.memory_latency_cycles);
+  }
+
+  if (multicore) {
+    const power::OperatingPoint& op =
+        config_.mode == power::Mode::kHp ? config_.hp : config_.ule;
+    cache::MemoryLevel& front =
+        l2_ ? static_cast<cache::MemoryLevel&>(*l2_) : *memory_level_;
+    arbiter_ = std::make_unique<cache::ArbitratedLevel>(
+        front, config_.num_cores, op.vcc,
+        make_arbitration(config_.arbitration.kind),
+        config_.arbitration.energy);
   }
 
   const CachePlan plan =
@@ -102,33 +150,61 @@ System::System(const SystemConfig& config, const yield::CacheCellPlan& cells)
     cc.hp = config_.hp;
     cc.ule = config_.ule;
     cc.fault_seed = config_.seed ^ salt;
+    if (arbiter_) {
+      return std::make_unique<cache::Cache>(cc, *arbiter_, rng_);
+    }
     // Two-level shape: miss straight into memory (the cache wraps its own
     // terminal, preserving the pre-hierarchy behaviour bit-for-bit).
     return l2_ ? std::make_unique<cache::Cache>(cc, *l2_, rng_)
                : std::make_unique<cache::Cache>(cc, memory_, rng_);
   };
-  il1_ = make_cache("IL1", 0x11);
-  dl1_ = make_cache("DL1", 0xDD);
+  // Per-core fault-map salts: core 0 keeps the pre-multicore 0x11/0xDD so
+  // one-core chips are bit-identical; higher cores shift into disjoint
+  // ranges (0x11/0xDD + c*256 never collide with each other or 0x22).
+  for (std::size_t c = 0; c < config_.num_cores; ++c) {
+    const std::uint64_t core_salt = static_cast<std::uint64_t>(c) << 8;
+    il1s_.push_back(make_cache("IL1", 0x11 + core_salt));
+    dl1s_.push_back(make_cache("DL1", 0xDD + core_salt));
+  }
 
-  il1_->set_mode(config_.mode);
-  dl1_->set_mode(config_.mode);
+  for (std::size_t c = 0; c < config_.num_cores; ++c) {
+    il1s_[c]->set_mode(config_.mode);
+    dl1s_[c]->set_mode(config_.mode);
+  }
   if (l2_) {
     l2_->set_mode(config_.mode);
   }
-  rebuild_core();
+  rebuild_cores();
 }
 
-void System::rebuild_core() {
+std::vector<cache::MemoryLevel*> System::shared_levels() noexcept {
+  std::vector<cache::MemoryLevel*> levels;
+  if (arbiter_) {
+    // The arbiter fronts the L2 (or the memory terminal when no L2) and
+    // reports that level's stats plus contention counters.
+    levels.push_back(arbiter_.get());
+    if (l2_) {
+      levels.push_back(memory_level_.get());
+    }
+  } else if (l2_) {
+    levels.push_back(l2_.get());
+    levels.push_back(memory_level_.get());
+  }
+  return levels;
+}
+
+void System::rebuild_cores() {
   const power::OperatingPoint op =
       config_.mode == power::Mode::kHp ? config_.hp : config_.ule;
-  cpu::MemoryPorts ports;
-  ports.il1 = il1_.get();
-  ports.dl1 = dl1_.get();
-  if (l2_) {
-    ports.shared.push_back(l2_.get());
-    ports.shared.push_back(memory_level_.get());
+  cores_.clear();
+  for (std::size_t c = 0; c < config_.num_cores; ++c) {
+    cpu::MemoryPorts ports;
+    ports.il1 = il1s_[c].get();
+    ports.dl1 = dl1s_[c].get();
+    ports.shared = shared_levels();
+    cores_.push_back(
+        std::make_unique<cpu::Core>(config_.core, std::move(ports), op));
   }
-  core_ = std::make_unique<cpu::Core>(config_.core, std::move(ports), op);
 }
 
 void System::set_mode(power::Mode mode) {
@@ -136,41 +212,56 @@ void System::set_mode(power::Mode mode) {
     return;
   }
   // Capture the transition's cache energy (writebacks + re-encode scrub).
-  // Top-down: the L1s drain first so their dirty victims land in the L2,
-  // then the L2 drains into memory.
-  il1_->clear_energy();
-  dl1_->clear_energy();
-  if (l2_) {
-    l2_->clear_energy();
+  // Top-down: every core's L1s drain first so their dirty victims land in
+  // the L2, then the L2 drains into memory.
+  const auto for_each_cache = [this](auto&& fn) {
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      fn(*il1s_[c]);
+      fn(*dl1s_[c]);
+    }
+    if (l2_) {
+      fn(*l2_);
+    }
+  };
+  for_each_cache([](cache::Cache& c) { c.clear_energy(); });
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    il1s_[c]->set_mode(mode);
+    dl1s_[c]->set_mode(mode);
   }
-  il1_->set_mode(mode);
-  dl1_->set_mode(mode);
   if (l2_) {
     l2_->set_mode(mode);
   }
-  mode_switch_energy_j_ += il1_->total_energy_j() + dl1_->total_energy_j() +
-                           (l2_ ? l2_->total_energy_j() : 0.0);
-  il1_->clear_energy();
-  dl1_->clear_energy();
-  if (l2_) {
-    l2_->clear_energy();
-  }
+  double transition_j = 0.0;
+  for_each_cache(
+      [&transition_j](cache::Cache& c) { transition_j += c.total_energy_j(); });
+  mode_switch_energy_j_ += transition_j;
+  for_each_cache([](cache::Cache& c) { c.clear_energy(); });
   config_.mode = mode;
+  if (arbiter_) {
+    arbiter_->set_vcc(
+        (mode == power::Mode::kHp ? config_.hp : config_.ule).vcc);
+  }
   ++mode_switches_;
-  rebuild_core();
+  rebuild_cores();
 }
 
 void System::flush() {
-  il1_->flush();
-  dl1_->flush();
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    il1s_[c]->flush();
+    dl1s_[c]->flush();
+  }
   if (l2_) {
     l2_->flush();
   }
 }
 
 double System::chip_leakage_w() const noexcept {
-  return il1_->leakage_power() + dl1_->leakage_power() +
-         (l2_ ? l2_->leakage_power() : 0.0) + core_->core_leakage_w();
+  double leak = l2_ ? l2_->leakage_power() : 0.0;
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    leak += il1s_[c]->leakage_power() + dl1s_[c]->leakage_power() +
+            cores_[c]->core_leakage_w();
+  }
+  return leak;
 }
 
 cpu::RunResult System::run_workload(const std::string& name,
@@ -182,11 +273,136 @@ cpu::RunResult System::run_workload(const std::string& name,
 }
 
 cpu::RunResult System::run_trace(const trace::Tracer& tracer) {
-  return core_->run(tracer);
+  return cores_[0]->run(tracer);
+}
+
+MulticoreResult System::run_mix(const std::vector<std::string>& workloads,
+                                std::uint64_t seed, std::size_t scale) {
+  expects(!workloads.empty(), "run_mix needs at least one workload");
+  const std::size_t n = cores_.size();
+
+  MulticoreResult out;
+  out.core_workloads.reserve(n);
+  std::vector<wl::WorkloadResult> runs;
+  runs.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::string& name = workloads[c % workloads.size()];
+    const wl::WorkloadInfo& info = wl::find_workload(name);
+    // Per-core workload seed: core 0 keeps `seed` so a one-name mix on a
+    // one-core chip reproduces run_workload bit-for-bit; higher cores get
+    // distinct streams even when the mix repeats a name.
+    runs.push_back(info.run(seed + c, scale));
+    ensure(runs.back().self_check, "workload self-check failed: " + name);
+    out.core_workloads.push_back(name);
+  }
+
+  // Shared levels are cleared once for the whole mix (the arbiter clears
+  // its contention counters and the level it fronts together).
+  for (cache::MemoryLevel* level : shared_levels()) {
+    level->clear_level_counters();
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    cores_[c]->begin_run();
+  }
+
+  // Deterministic round-robin interleaver: one record per core per round,
+  // with the start core rotating so the arbiter's uncontended priority
+  // slot circulates (round-robin arbitration fairness).
+  std::vector<cpu::Core::RunState> states(n);
+  std::vector<std::size_t> pos(n, 0);
+  std::size_t remaining = 0;
+  for (const auto& run : runs) {
+    remaining += run.tracer.records().size();
+  }
+  std::uint64_t round = 0;
+  while (remaining > 0) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t c = (round + k) % n;
+      const auto& records = runs[c].tracer.records();
+      if (pos[c] >= records.size()) {
+        continue;
+      }
+      if (arbiter_) {
+        arbiter_->begin_request(c);
+      }
+      cores_[c]->step(records[pos[c]], states[c]);
+      ++pos[c];
+      --remaining;
+    }
+    if (arbiter_) {
+      arbiter_->new_round();
+    }
+    ++round;
+  }
+
+  // Per-core roll-up. A one-core chip folds the shared levels into its
+  // single result — bit-identical to run_workload; with several cores the
+  // shared levels are accounted once, below.
+  const bool single = n == 1;
+  out.per_core.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    out.per_core.push_back(cores_[c]->finish_run(states[c], single));
+  }
+  if (single) {
+    out.aggregate = out.per_core[0];
+    return out;
+  }
+
+  cpu::RunResult& agg = out.aggregate;
+  for (std::size_t c = 0; c < n; ++c) {
+    const cpu::RunResult& r = out.per_core[c];
+    agg.instructions += r.instructions;
+    agg.cycles = std::max(agg.cycles, r.cycles);
+    agg.seconds = std::max(agg.seconds, r.seconds);
+    agg.energy.merge(r.energy);
+    accumulate_cache_stats(agg.il1, r.il1);
+    accumulate_cache_stats(agg.dl1, r.dl1);
+  }
+  // Early-finishing cores stay powered until the slowest core retires
+  // (nothing models per-core power gating): charge each core's private
+  // static power over its idle tail so the aggregate really is total chip
+  // energy, not just the sum of per-core active windows.
+  for (std::size_t c = 0; c < n; ++c) {
+    const double idle_s = agg.seconds - out.per_core[c].seconds;
+    if (idle_s <= 0.0) {
+      continue;
+    }
+    const double l1_edc_leak_w =
+        il1s_[c]->edc_leakage_power() + dl1s_[c]->edc_leakage_power();
+    const double l1_leak_w = il1s_[c]->leakage_power() +
+                             dl1s_[c]->leakage_power() - l1_edc_leak_w;
+    agg.energy.add("l1.leakage", l1_leak_w * idle_s);
+    agg.energy.add("l1.edc", l1_edc_leak_w * idle_s);
+    agg.energy.add("arrays.leakage", cores_[c]->arrays_leakage_w() * idle_s);
+    agg.energy.add("core.leakage", cores_[c]->logic_leakage_w() * idle_s);
+  }
+  // Per-core L1 snapshots under "C<i>." names, then the shared levels.
+  for (std::size_t c = 0; c < n; ++c) {
+    for (cache::LevelStats stats :
+         {il1s_[c]->level_stats(), dl1s_[c]->level_stats()}) {
+      stats.name = "C" + std::to_string(c) + "." + stats.name;
+      agg.levels.push_back(std::move(stats));
+    }
+  }
+  for (cache::MemoryLevel* level : shared_levels()) {
+    const cache::LevelStats stats = level->level_stats();
+    cpu::add_shared_level_energy(agg.energy, stats, agg.seconds);
+    agg.levels.push_back(stats);
+  }
+  if (arbiter_ && arbiter_->arbitration_energy_j() != 0.0) {
+    agg.energy.add(
+        "contention." + cpu::level_energy_prefix(arbiter_->level_name()),
+        arbiter_->arbitration_energy_j());
+  }
+  return out;
 }
 
 double System::l1_area_um2() const noexcept {
-  return il1_->total_area_um2() + dl1_->total_area_um2();
+  double area = 0.0;
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    area += il1s_[c]->total_area_um2() + dl1s_[c]->total_area_um2();
+  }
+  return area;
 }
 
 double System::cache_area_um2() const noexcept {

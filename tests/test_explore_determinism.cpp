@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "hvc/explore/engine.hpp"
+#include "hvc/yield/cache_yield.hpp"
+#include "hvc/yield/methodology.hpp"
 
 namespace hvc::explore {
 namespace {
@@ -73,6 +75,80 @@ TEST(ExploreDeterminism, SeedChangesPerPointResults) {
   spec.seed = 2;
   const std::string second = run_sweep(spec, 2).to_csv();
   EXPECT_NE(first, second);
+}
+
+// Multi-core sweep over cores x workload_mix: the byte-identity guarantee
+// must hold for the interleaved/arbitrated runs too (every multicore run
+// is a pure function of its point: round-robin stepping, counter-based
+// seeds, no wall clock anywhere).
+constexpr const char* kMulticoreSpec = R"({
+  "name": "multicore_determinism",
+  "kind": "simulation",
+  "seed": 7,
+  "axes": {
+    "scenario": ["A"],
+    "design": ["proposed"],
+    "l2": ["none", "baseline"],
+    "l2_size_kb": [32],
+    "cores": [1, 2, 3],
+    "mode": ["hp"],
+    "workload_mix": ["adpcm_c", "adpcm_c+epic_d"]
+  }
+})";
+
+TEST(ExploreDeterminism, MulticoreCsvIdenticalAcrossThreadCounts) {
+  const SweepSpec spec = SweepSpec::parse(kMulticoreSpec);
+  EXPECT_EQ(spec.point_count(), 12u);
+  const std::string csv_1 = run_sweep(spec, 1).to_csv();
+  const std::string csv_2 = run_sweep(spec, 2).to_csv();
+  const std::string csv_8 = run_sweep(spec, 8).to_csv();
+  EXPECT_EQ(csv_1, csv_2);
+  EXPECT_EQ(csv_1, csv_8);
+}
+
+TEST(ExploreDeterminism, MulticoreColumnsReportCoresAndContention) {
+  const SweepSpec spec = SweepSpec::parse(kMulticoreSpec);
+  const SweepResult result = run_sweep(spec, 4);
+  const std::size_t cores_col = result.column("cores");
+  const std::size_t mix_col = result.column("workload_mix");
+  const std::size_t contention_col = result.column("contention_cycles");
+  bool saw_contention = false;
+  for (const auto& row : result.rows) {
+    EXPECT_FALSE(row[cores_col].empty());
+    EXPECT_FALSE(row[mix_col].empty());
+    if (row[cores_col] != "1" && row[contention_col] != "0") {
+      saw_contention = true;
+    }
+  }
+  EXPECT_TRUE(saw_contention);
+}
+
+TEST(ExploreDeterminism, SeededMcShardMergeEquivalentWithNewAxes) {
+  // The sharded Monte-Carlo yield contract must survive the multicore
+  // sweep flow: take the cell sizing a cores x workload_mix sweep uses
+  // (scenario A's proposed 8T ULE cell) and verify that splitting the
+  // chip population across shards reproduces the single-shard count
+  // exactly — the merge the engine's workers rely on.
+  const yield::CacheCellPlan plan = yield::run_methodology(
+      SweepSpec::parse(kMulticoreSpec).scenarios.front());
+  const auto words = yield::ule_way_words(32, 32, 7, 7, 1);
+  const double pf = plan.proposed_8t.pf;
+  const std::size_t chips = 800;
+  const std::uint64_t seed = SweepSpec::parse(kMulticoreSpec).seed;
+
+  const yield::McYieldResult full =
+      yield::mc_cache_yield_seeded(pf, words, chips, seed, 0);
+  yield::McYieldResult merged;
+  for (std::size_t first = 0; first < chips; first += 160) {
+    const yield::McYieldResult shard =
+        yield::mc_cache_yield_seeded(pf, words, 160, seed, first);
+    merged.chips += shard.chips;
+    merged.chips_ok += shard.chips_ok;
+    merged.faults_sampled += shard.faults_sampled;
+  }
+  EXPECT_EQ(merged.chips, full.chips);
+  EXPECT_EQ(merged.chips_ok, full.chips_ok);
+  EXPECT_EQ(merged.faults_sampled, full.faults_sampled);
 }
 
 TEST(ExploreDeterminism, RowsCarryPointIndexInOrder) {

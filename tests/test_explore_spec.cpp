@@ -245,6 +245,94 @@ TEST(SweepSpec, RejectsBadNumericAxes) {
                ConfigError);
 }
 
+TEST(SweepSpec, MulticoreAxesExpandAndRoundTrip) {
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {
+      "cores": [1, 2, 4],
+      "workload_mix": ["gsm_c", "gsm_c+adpcm_c"]
+    }
+  })");
+  EXPECT_EQ(spec.cores, (std::vector<std::size_t>{1, 2, 4}));
+  EXPECT_EQ(spec.workload_mixes,
+            (std::vector<std::string>{"gsm_c", "gsm_c+adpcm_c"}));
+  EXPECT_TRUE(spec.workloads.empty());
+  EXPECT_EQ(spec.point_count(), 6u);
+
+  const auto points = expand_points(spec);
+  ASSERT_EQ(points.size(), 6u);
+  // cores is outer, mix inner (documented order).
+  EXPECT_EQ(points[0].cores, 1u);
+  EXPECT_EQ(points[0].workload_mix, "gsm_c");
+  EXPECT_EQ(points[0].core_workloads(),
+            (std::vector<std::string>{"gsm_c"}));
+  EXPECT_EQ(points[3].cores, 2u);
+  EXPECT_EQ(points[3].workload_mix, "gsm_c+adpcm_c");
+  EXPECT_EQ(points[3].core_workloads(),
+            (std::vector<std::string>{"gsm_c", "adpcm_c"}));
+  EXPECT_TRUE(points[0].workload.empty());
+
+  // parse(dump()) reproduces the sweep, mixes included.
+  const SweepSpec round = SweepSpec::from_json(spec.to_json());
+  EXPECT_EQ(round.cores, spec.cores);
+  EXPECT_EQ(round.workload_mixes, spec.workload_mixes);
+  EXPECT_EQ(round.point_count(), spec.point_count());
+}
+
+TEST(SweepSpec, DefaultedMulticoreAxesKeepLegacyPointIndices) {
+  // A pre-multicore spec must expand to the same points in the same order
+  // (index == seed stream identity).
+  const SweepSpec spec = SweepSpec::parse(kFig3Spec);
+  for (const auto& point : expand_points(spec)) {
+    EXPECT_EQ(point.cores, 1u);
+    EXPECT_TRUE(point.workload_mix.empty());
+  }
+  EXPECT_EQ(spec.point_count(),
+            2u * 2u * wl::names_of(wl::BenchClass::kBig).size());
+}
+
+TEST(SweepSpec, RejectsBadMulticoreAxes) {
+  // Non-integer / out-of-range core counts.
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["gsm_c"], "cores": [1.5]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["gsm_c"], "cores": [0]}
+  })"),
+               ConfigError);
+  // Unknown name and class markers inside a mix.
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload_mix": ["gsm_c+nope"]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload_mix": ["@big+gsm_c"]}
+  })"),
+               ConfigError);
+  // workload and workload_mix are mutually exclusive; mixes don't apply
+  // to methodology sweeps.
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload": ["gsm_c"], "workload_mix": ["gsm_c"]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "methodology",
+    "axes": {"cores": [2]}
+  })"),
+               ConfigError);
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "kind": "simulation",
+    "axes": {"workload_mix": ["gsm_c", "gsm_c"]}
+  })"),
+               ConfigError);
+}
+
 TEST(SweepSpec, RejectsBadScalars) {
   EXPECT_THROW(SweepSpec::parse(R"({"kind": "methodology", "seed": -1})"),
                ConfigError);

@@ -84,7 +84,13 @@ void print_scenarios() {
       "hierarchy (axes \"l2\", \"l2_size_kb\"):\n"
       "  none      two-level chip: IL1+DL1 -> memory (the paper's shape)\n"
       "  baseline  shared L2 with fault-free-sized 10T ULE ways\n"
-      "  proposed  shared L2 with 8T ULE ways + the scenario's EDC\n");
+      "  proposed  shared L2 with 8T ULE ways + the scenario's EDC\n"
+      "multi-core (axes \"cores\", \"workload_mix\"):\n"
+      "  cores         cores per chip (private IL1/DL1s, round-robin\n"
+      "                arbitration for the shared L2 / memory port)\n"
+      "  workload_mix  per-core mixes as '+'-separated registry names\n"
+      "                (\"gsm_c+adpcm_c\"; core c runs entry c mod length;\n"
+      "                mutually exclusive with \"workload\")\n");
 }
 
 [[nodiscard]] Options parse_args(int argc, char** argv) {
