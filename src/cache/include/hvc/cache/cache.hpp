@@ -185,6 +185,18 @@ class Cache : public MemoryLevel {
   /// Total hit latency at the current mode, including the EDC cycle.
   [[nodiscard]] std::size_t hit_latency() const noexcept;
 
+  /// The internally-owned memory terminal of the MainMemory& convenience
+  /// constructor (the paper's two-level shape), or nullptr when this cache
+  /// misses into an externally-owned level. Lets reporting surface the
+  /// wrapped terminal's traffic as a "MEM" row even though no explicit
+  /// hierarchy was configured.
+  [[nodiscard]] const MainMemoryLevel* owned_terminal() const noexcept {
+    return owned_terminal_.get();
+  }
+  [[nodiscard]] MainMemoryLevel* owned_terminal() noexcept {
+    return owned_terminal_.get();
+  }
+
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] const power::CacheEnergyModel& energy_model() const noexcept;
   [[nodiscard]] double total_area_um2() const noexcept;

@@ -87,7 +87,11 @@ struct RunResult {
   cache::CacheStats il1;
   cache::CacheStats dl1;
   /// Per-level snapshot of the whole hierarchy for this run: IL1, DL1,
-  /// then every shared level (L2, MEM, ...) in MemoryPorts order.
+  /// then every shared level (L2, MEM, ...) in MemoryPorts order. For the
+  /// two-level shape — no shared levels, each L1 wrapping its own memory
+  /// terminal — the two terminals' traffic is merged into one appended
+  /// "MEM" row, so memory accesses are reported for every hierarchy
+  /// shape (the indices of the existing rows are untouched).
   std::vector<cache::LevelStats> levels;
 
   /// Stats of the level named `name` ("L2", "MEM", ...); nullptr when the
@@ -123,6 +127,12 @@ class Core {
   /// deltas for this run only (internally snapshotted).
   [[nodiscard]] RunResult run(const trace::Tracer& tracer);
 
+  /// Streaming replay: pulls records from `source` one at a time, so the
+  /// memory held during the run is the source's own window (an on-disk
+  /// trace of any length replays in O(1) memory). The source is reset()
+  /// first; replaying the same source twice gives bit-identical results.
+  [[nodiscard]] RunResult run(trace::TraceSource& source);
+
   // --- incremental replay (multi-core interleaving) ---
   // run() is begin_run() + step() per record + finish_run(); a round-robin
   // interleaver (sim::System::run_mix) drives several cores' states through
@@ -137,9 +147,13 @@ class Core {
     double core_dynamic = 0.0;
   };
 
-  /// Clears this core's own L1 stats/energy for a fresh replay. Shared
-  /// levels are NOT cleared here: run() clears them itself, and a
-  /// multi-core driver clears them once for all cores.
+  /// Clears this core's own L1 stats/energy for a fresh replay and
+  /// re-seeds the load-use/redirect Bernoulli stream, so every run starts
+  /// at the same RNG phase: back-to-back runs on one System reproduce a
+  /// fresh System, and rebuilding cores mid-sequence (mode switches)
+  /// cannot silently shift the stream. Shared levels are NOT cleared
+  /// here: run() clears them itself, and a multi-core driver clears them
+  /// once for all cores.
   void begin_run();
 
   /// Replays one trace record against the pipeline/energy model.
@@ -176,6 +190,10 @@ class Core {
     std::size_t il1_hit = 0;
     std::size_t dl1_hit = 0;
   };
+
+  /// Seed of the load-use/redirect Bernoulli stream; begin_run() re-seeds
+  /// with it so every replay starts at the same phase.
+  static constexpr std::uint64_t kBernoulliSeed = 0xC0DE;
 
   CoreParams params_;
   MemoryPorts ports_;

@@ -47,7 +47,7 @@ Core::Core(CoreParams params, cache::Cache& il1, cache::Cache& dl1,
 Core::Core(CoreParams params, MemoryPorts ports, power::OperatingPoint op,
            const tech::TechNode& node)
     : params_(params), ports_(std::move(ports)), op_(op), node_(node),
-      rng_(0xC0DE) {
+      rng_(kBernoulliSeed) {
   expects(ports_.il1 != nullptr && ports_.dl1 != nullptr,
           "core needs both L1 ports connected");
   // Register file: 32 x 32-bit, 10T (works at any Vcc).
@@ -78,11 +78,23 @@ double Core::arrays_leakage_w() const noexcept {
 }
 
 void Core::begin_run() {
+  // Restart the load-use/redirect Bernoulli stream at a fixed phase.
+  // Without this, a second run on the same System continues mid-stream
+  // and diverges from a fresh System — silent nondeterminism that would
+  // poison any trace-vs-live differential comparison.
+  rng_ = Rng(kBernoulliSeed);
   // Snapshot cache energy so this run reports deltas.
   ports_.il1->clear_energy();
   ports_.dl1->clear_energy();
   ports_.il1->clear_stats();
   ports_.dl1->clear_stats();
+  // Two-level shape: the L1s wrap their own memory terminals; clear them
+  // so the merged "MEM" row of finish_run() reports this run's traffic.
+  for (cache::Cache* l1 : {ports_.il1, ports_.dl1}) {
+    if (cache::MainMemoryLevel* terminal = l1->owned_terminal()) {
+      terminal->clear_level_counters();
+    }
+  }
 
   consts_.core_energy_per_instr =
       params_.core_cap_per_instr_f * op_.vcc * op_.vcc;
@@ -145,12 +157,19 @@ void Core::step(const trace::Record& record, RunState& state) {
 }
 
 RunResult Core::run(const trace::Tracer& tracer) {
+  trace::MemoryTraceSource source(tracer);
+  return run(source);
+}
+
+RunResult Core::run(trace::TraceSource& source) {
+  source.reset();
   begin_run();
   for (cache::MemoryLevel* level : ports_.shared) {
     level->clear_level_counters();
   }
   RunState state;
-  for (const auto& record : tracer.records()) {
+  trace::Record record;
+  while (source.next(record)) {
     step(record, state);
   }
   return finish_run(state);
@@ -195,13 +214,28 @@ RunResult Core::finish_run(const RunState& state, bool include_shared) const {
 
   result.il1 = il1_.stats();
   result.dl1 = dl1_.stats();
-  result.levels.reserve(2 + (include_shared ? ports_.shared.size() : 0));
+  result.levels.reserve(3 + (include_shared ? ports_.shared.size() : 0));
   result.levels.push_back(il1_.level_stats());
   result.levels.push_back(dl1_.level_stats());
   if (include_shared) {
     for (cache::MemoryLevel* level : ports_.shared) {
       result.levels.push_back(level->level_stats());
     }
+  }
+  // Two-level shape: no shared levels, each L1 wrapping its own memory
+  // terminal. Merge the two terminals' traffic into one appended "MEM"
+  // row (zero energy — the terminal has no energy model) so the memory
+  // column is never silently empty for the paper's baseline shape.
+  const cache::MainMemoryLevel* il1_mem = il1_.owned_terminal();
+  const cache::MainMemoryLevel* dl1_mem = dl1_.owned_terminal();
+  if (ports_.shared.empty() && il1_mem != nullptr && dl1_mem != nullptr) {
+    cache::LevelStats mem = il1_mem->level_stats();
+    const cache::LevelStats dmem = dl1_mem->level_stats();
+    mem.accesses += dmem.accesses;
+    mem.hits += dmem.hits;
+    mem.fills += dmem.fills;
+    mem.writebacks += dmem.writebacks;
+    result.levels.push_back(std::move(mem));
   }
   return result;
 }

@@ -27,7 +27,10 @@
 // Numeric axes (hp_vcc, ule_vcc, scrub_interval_s, l2_size_kb, cores)
 // take either an explicit list ([0.3, 0.35]) or an inclusive grid
 // ({"from": 0.28, "to": 0.5, "step": 0.02}). The workload axis accepts
-// registry names plus the classes "@small", "@big" and "@all". The
+// registry names, the classes "@small", "@big" and "@all", and recorded
+// traces as "trace:<path>" (.hvct files captured with hvc_trace record;
+// streamed from disk per point, so sweeps fan out over recorded — or
+// externally captured — traces without re-running codec kernels). The
 // hierarchy axes sweep the memory-hierarchy shape: "l2" takes "none" (the
 // paper's two-level chip), "baseline" (10T shared L2) or "proposed"
 // (8T+EDC shared L2), and "l2_size_kb" its capacity ("none" has no L2 to
@@ -35,7 +38,8 @@
 // The multi-core axes: "cores" counts the chip's cores (each with private
 // IL1/DL1, sharing the L2 — or the memory port — behind a round-robin
 // arbiter), and "workload_mix" lists per-core mixes as '+'-separated
-// registry names ("gsm_c+adpcm_c"; core c runs entry c mod mix length).
+// registry names or trace refs ("gsm_c+trace:gsm.hvct"; core c runs
+// entry c mod mix length).
 // "workload" and "workload_mix" are mutually exclusive — a simulation
 // spec names exactly one of them. Unknown keys anywhere are errors: a
 // spec is an experiment record, so typos must not silently change it.

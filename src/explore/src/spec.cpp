@@ -5,6 +5,7 @@
 #include <set>
 
 #include "hvc/common/error.hpp"
+#include "hvc/trace/trace_file.hpp"
 #include "hvc/workloads/workload.hpp"
 
 namespace hvc::explore {
@@ -85,9 +86,15 @@ namespace {
       append(wl::names_of(wl::BenchClass::kSmall));
     } else if (wl::has_workload(entry)) {
       names.push_back(entry);
+    } else if (trace::is_trace_ref(entry)) {
+      // Recorded traces sweep like any workload; the file itself is only
+      // opened (and validated) when a point runs, so specs stay portable
+      // records of an experiment even before the trace exists.
+      names.push_back(entry);
     } else {
       throw ConfigError("axis \"workload\": unknown workload \"" + entry +
-                        "\" (use a registry name or @small/@big/@all)");
+                        "\" (use a registry name, trace:<path>, or "
+                        "@small/@big/@all)");
     }
   }
   // Duplicates would silently double-count averages downstream.
@@ -121,10 +128,14 @@ namespace {
     const std::vector<std::string>& entries) {
   for (const auto& entry : entries) {
     for (const auto& name : split_mix(entry)) {
-      if (name.empty() || !wl::has_workload(name)) {
+      // Mix slots take registry names or trace:<path> refs ('+' splits
+      // the mix, so trace paths containing '+' cannot be mixed).
+      if (name.empty() ||
+          (!wl::has_workload(name) && !trace::is_trace_ref(name))) {
         throw ConfigError("axis \"workload_mix\": mix \"" + entry +
-                          "\" needs '+'-separated registry names (classes "
-                          "like @big are not allowed inside a mix)");
+                          "\" needs '+'-separated registry names or "
+                          "trace:<path> refs (classes like @big are not "
+                          "allowed inside a mix)");
       }
     }
   }

@@ -120,9 +120,10 @@ class System {
  public:
   System(const SystemConfig& config, const yield::CacheCellPlan& cells);
 
-  /// Runs a workload by registry name and returns timing/energy results.
-  /// Single-core path (replays on core 0; with num_cores > 1 prefer
-  /// run_mix, which interleaves all cores).
+  /// Runs a workload by registry name — or a recorded trace named
+  /// "trace:<path>" (seed/scale do not apply to recorded traces) — and
+  /// returns timing/energy results. Single-core path (replays on core 0;
+  /// with num_cores > 1 prefer run_mix, which interleaves all cores).
   [[nodiscard]] cpu::RunResult run_workload(const std::string& name,
                                             std::uint64_t seed = 1,
                                             std::size_t scale = 1);
@@ -130,15 +131,37 @@ class System {
   /// Runs an already-captured trace (on core 0).
   [[nodiscard]] cpu::RunResult run_trace(const trace::Tracer& tracer);
 
+  /// Streaming replay on core 0: records are pulled one at a time, so
+  /// memory stays bounded by the source's window for traces of any
+  /// length. The source is reset() first.
+  [[nodiscard]] cpu::RunResult run_trace(trace::TraceSource& source);
+
+  /// The workload seed of core `core` for a mix run at base `seed`:
+  /// core 0 keeps the bare seed (a one-name mix on a one-core chip
+  /// reproduces run_workload bit-for-bit); higher cores mix the core id
+  /// in with Rng::mix64, so adjacent sweep seeds never replay each
+  /// other's per-core streams (seed s core 1 != seed s+1 core 0).
+  [[nodiscard]] static std::uint64_t core_workload_seed(
+      std::uint64_t seed, std::size_t core) noexcept;
+
   /// Multi-core run: core c replays `workloads[c % workloads.size()]`
-  /// (seeded `seed + c`, so core 0 of a one-name mix reproduces
-  /// run_workload exactly), stepped by a deterministic round-robin
-  /// interleaver whose start core rotates every round — the shared-level
-  /// arbiter's priority slot circulates fairly. Works for any num_cores
-  /// (num_cores == 1 is bit-identical to run_workload).
+  /// (a registry name seeded core_workload_seed(seed, c), or a
+  /// "trace:<path>" recorded trace streamed from disk), stepped by a
+  /// deterministic round-robin interleaver whose start core rotates
+  /// every round — the shared-level arbiter's priority slot circulates
+  /// fairly. Works for any num_cores (num_cores == 1 is bit-identical
+  /// to run_workload).
   [[nodiscard]] MulticoreResult run_mix(
       const std::vector<std::string>& workloads, std::uint64_t seed = 1,
       std::size_t scale = 1);
+
+  /// The interleaving engine behind run_mix: one already-built trace
+  /// source per core, pulled one record per core per round (bounded
+  /// memory for N-core mixes of arbitrarily long traces). Sources are
+  /// reset() first; `names` labels MulticoreResult::core_workloads.
+  [[nodiscard]] MulticoreResult run_mix_sources(
+      const std::vector<trace::TraceSource*>& sources,
+      std::vector<std::string> names = {});
 
   /// Switches the whole chip between HP and ULE mode: gates/ungates cache
   /// ways (with the writeback/re-encode costs) and re-points the core at

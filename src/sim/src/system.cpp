@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "hvc/common/error.hpp"
+#include "hvc/trace/trace_file.hpp"
 
 namespace hvc::sim {
 
@@ -266,6 +267,10 @@ double System::chip_leakage_w() const noexcept {
 
 cpu::RunResult System::run_workload(const std::string& name,
                                     std::uint64_t seed, std::size_t scale) {
+  if (trace::is_trace_ref(name)) {
+    trace::TraceFileSource source(trace::trace_ref_path(name));
+    return run_trace(source);
+  }
   const wl::WorkloadInfo& info = wl::find_workload(name);
   const wl::WorkloadResult workload = info.run(seed, scale);
   ensure(workload.self_check, "workload self-check failed: " + name);
@@ -276,26 +281,70 @@ cpu::RunResult System::run_trace(const trace::Tracer& tracer) {
   return cores_[0]->run(tracer);
 }
 
+cpu::RunResult System::run_trace(trace::TraceSource& source) {
+  return cores_[0]->run(source);
+}
+
+std::uint64_t System::core_workload_seed(std::uint64_t seed,
+                                         std::size_t core) noexcept {
+  // Core 0 keeps the bare seed for bit-compatibility with run_workload.
+  // Higher cores MIX the core id in instead of adding it: `seed + c`
+  // would make core 1 at seed s replay core 0's stream at seed s+1 —
+  // correlated streams across adjacent sweep seeds.
+  return core == 0 ? seed : Rng::mix64(seed, core);
+}
+
 MulticoreResult System::run_mix(const std::vector<std::string>& workloads,
                                 std::uint64_t seed, std::size_t scale) {
   expects(!workloads.empty(), "run_mix needs at least one workload");
   const std::size_t n = cores_.size();
 
-  MulticoreResult out;
-  out.core_workloads.reserve(n);
+  std::vector<std::string> names;
+  names.reserve(n);
+  // In-memory workload captures must stay alive for the whole run (the
+  // MemoryTraceSources borrow their record vectors), so reserve up front.
   std::vector<wl::WorkloadResult> runs;
   runs.reserve(n);
+  std::vector<std::unique_ptr<trace::TraceSource>> owned;
+  owned.reserve(n);
+  std::vector<trace::TraceSource*> sources;
+  sources.reserve(n);
   for (std::size_t c = 0; c < n; ++c) {
     const std::string& name = workloads[c % workloads.size()];
-    const wl::WorkloadInfo& info = wl::find_workload(name);
-    // Per-core workload seed: core 0 keeps `seed` so a one-name mix on a
-    // one-core chip reproduces run_workload bit-for-bit; higher cores get
-    // distinct streams even when the mix repeats a name.
-    runs.push_back(info.run(seed + c, scale));
-    ensure(runs.back().self_check, "workload self-check failed: " + name);
-    out.core_workloads.push_back(name);
+    if (trace::is_trace_ref(name)) {
+      // Recorded trace streamed from disk: every core gets its own
+      // bounded read window, so N-core mixes of arbitrarily long traces
+      // never materialize a record vector.
+      owned.push_back(std::make_unique<trace::TraceFileSource>(
+          trace::trace_ref_path(name)));
+    } else {
+      const wl::WorkloadInfo& info = wl::find_workload(name);
+      runs.push_back(info.run(core_workload_seed(seed, c), scale));
+      ensure(runs.back().self_check, "workload self-check failed: " + name);
+      owned.push_back(
+          std::make_unique<trace::MemoryTraceSource>(runs.back().tracer));
+    }
+    sources.push_back(owned.back().get());
+    names.push_back(name);
   }
+  return run_mix_sources(sources, std::move(names));
+}
 
+MulticoreResult System::run_mix_sources(
+    const std::vector<trace::TraceSource*>& sources,
+    std::vector<std::string> names) {
+  const std::size_t n = cores_.size();
+  expects(sources.size() == n, "run_mix needs one trace source per core");
+  expects(names.empty() || names.size() == n,
+          "per-core names must match the core count");
+
+  MulticoreResult out;
+  out.core_workloads = std::move(names);
+
+  for (trace::TraceSource* source : sources) {
+    expects(source != nullptr, "null trace source");
+    source->reset();
+  }
   // Shared levels are cleared once for the whole mix (the arbiter clears
   // its contention counters and the level it fronts together).
   for (cache::MemoryLevel* level : shared_levels()) {
@@ -305,29 +354,30 @@ MulticoreResult System::run_mix(const std::vector<std::string>& workloads,
     cores_[c]->begin_run();
   }
 
-  // Deterministic round-robin interleaver: one record per core per round,
-  // with the start core rotating so the arbiter's uncontended priority
-  // slot circulates (round-robin arbitration fairness).
+  // Deterministic round-robin interleaver: one record pulled per core per
+  // round, with the start core rotating so the arbiter's uncontended
+  // priority slot circulates (round-robin arbitration fairness). Pull
+  // failure retires a core; the loop ends when every source is dry.
   std::vector<cpu::Core::RunState> states(n);
-  std::vector<std::size_t> pos(n, 0);
-  std::size_t remaining = 0;
-  for (const auto& run : runs) {
-    remaining += run.tracer.records().size();
-  }
+  std::vector<char> done(n, 0);
+  std::size_t active = n;
   std::uint64_t round = 0;
-  while (remaining > 0) {
+  trace::Record record;
+  while (active > 0) {
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t c = (round + k) % n;
-      const auto& records = runs[c].tracer.records();
-      if (pos[c] >= records.size()) {
+      if (done[c] != 0) {
+        continue;
+      }
+      if (!sources[c]->next(record)) {
+        done[c] = 1;
+        --active;
         continue;
       }
       if (arbiter_) {
         arbiter_->begin_request(c);
       }
-      cores_[c]->step(records[pos[c]], states[c]);
-      ++pos[c];
-      --remaining;
+      cores_[c]->step(record, states[c]);
     }
     if (arbiter_) {
       arbiter_->new_round();
@@ -380,7 +430,13 @@ MulticoreResult System::run_mix(const std::vector<std::string>& workloads,
   for (std::size_t c = 0; c < n; ++c) {
     for (cache::LevelStats stats :
          {il1s_[c]->level_stats(), dl1s_[c]->level_stats()}) {
-      stats.name = "C" + std::to_string(c) + "." + stats.name;
+      // Built up stepwise: the one-line operator+ chain trips a GCC 12
+      // -Wrestrict false positive (PR105329) under -Werror.
+      std::string prefixed = "C";
+      prefixed += std::to_string(c);
+      prefixed += '.';
+      prefixed += stats.name;
+      stats.name = std::move(prefixed);
       agg.levels.push_back(std::move(stats));
     }
   }

@@ -46,6 +46,98 @@ struct TraceStats {
 
 class Tracer;
 
+/// Pull interface over a stream of trace records. The CPU timing model
+/// (cpu::Core::run, sim::System::run_trace/run_mix) consumes traces
+/// through this interface only, one record at a time, so a replay's
+/// memory footprint is bounded by the source's own window — an on-disk
+/// trace of any length replays without materializing a std::vector of
+/// every record (see TraceFileSource in trace_file.hpp).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Pulls the next record into `out`; returns false at end of trace
+  /// (and leaves `out` untouched).
+  virtual bool next(Record& out) = 0;
+
+  /// Exact number of records the source will deliver after a reset(), or
+  /// 0 when unknown. Drivers use it for progress/reservation only, never
+  /// for termination — next() returning false ends a replay.
+  [[nodiscard]] virtual std::uint64_t size_hint() const noexcept = 0;
+
+  /// Rewinds to the first record (replay-many).
+  virtual void reset() = 0;
+};
+
+// ---------------------------------------------------------------------
+// .hvct on-disk trace format, version 1 (implemented in trace_file.hpp)
+// ---------------------------------------------------------------------
+// A .hvct file is header + payload + footer, all integers little-endian:
+//
+//   header (12 bytes):
+//     bytes 0-3   magic "HVCT"
+//     bytes 4-5   u16 format version (currently 1)
+//     bytes 6-7   u16 flags (must be 0 in version 1)
+//     bytes 8-11  u32 reserved (0)
+//
+//   payload: one entry per record, in trace order:
+//     tag byte:   bits 0-1  kind (0 = ifetch, 1 = load, 2 = store,
+//                           3 = branch)
+//                 bit 2     taken (branch records only; must be 0 for
+//                           every other kind)
+//                 bits 3-7  reserved, must be 0
+//     address:    LEB128 varint of the zigzag-encoded signed delta from
+//                 the previous address of the same stream class. Two
+//                 delta chains run through the payload: ifetch/branch
+//                 records delta against the last *code* address,
+//                 load/store records against the last *data* address;
+//                 both chains start at 0. Sequential fetch streams and
+//                 strided data streams therefore encode in 2-3 bytes
+//                 per record (vs 17 in-memory).
+//
+//   footer (72 bytes):
+//     bytes 0-3   magic "HVCF"
+//     bytes 4-7   u32 reserved (0)
+//     bytes 8-15  u64 record count
+//     bytes 16-71 TraceStats: u64 instructions, loads, stores, branches,
+//                 taken_branches, data_footprint_bytes,
+//                 code_footprint_bytes — exactly Tracer::stats() of the
+//                 recorded stream, so replay tools can report a trace's
+//                 shape without decoding the payload.
+//
+// Integrity: readers validate both magics, the version, zero flags/
+// reserved bits, that the payload decodes to exactly `record count`
+// records ending exactly at the footer boundary, and that the stats
+// kind-counts sum to the record count. Any mismatch throws ConfigError.
+// ---------------------------------------------------------------------
+
+/// TraceSource over an in-memory record vector (or a Tracer's capture).
+/// The records are borrowed, not copied — the owner must outlive the
+/// source. This is the adapter that keeps every existing workload path
+/// working unchanged on the streaming interface.
+class MemoryTraceSource final : public TraceSource {
+ public:
+  explicit MemoryTraceSource(const std::vector<Record>& records) noexcept
+      : records_(&records) {}
+  explicit MemoryTraceSource(const Tracer& tracer) noexcept;
+
+  bool next(Record& out) override {
+    if (pos_ >= records_->size()) {
+      return false;
+    }
+    out = (*records_)[pos_++];
+    return true;
+  }
+  [[nodiscard]] std::uint64_t size_hint() const noexcept override {
+    return records_->size();
+  }
+  void reset() override { pos_ = 0; }
+
+ private:
+  const std::vector<Record>* records_;
+  std::size_t pos_ = 0;
+};
+
 /// A synthetic basic block: `instructions` sequential 4-byte instructions
 /// ending in a branch slot. Executing it emits its fetch stream.
 class Block {

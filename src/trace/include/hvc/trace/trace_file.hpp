@@ -1,0 +1,138 @@
+// Streaming on-disk trace capture/replay (.hvct files).
+//
+// The full format specification lives next to TraceSource in trace.hpp;
+// in short: a 12-byte header, a payload of tag-byte + zigzag-varint
+// address deltas (separate delta chains for the code and data streams),
+// and a 72-byte footer carrying the record count and the TraceStats of
+// the stream. TraceWriter and TraceFileSource are both windowed: neither
+// ever holds more than one fixed-size I/O buffer in memory, so traces of
+// arbitrary length can be recorded once and replayed many times without
+// re-running the codec kernels or materializing a record vector.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hvc/trace/trace.hpp"
+
+namespace hvc::trace {
+
+/// Current .hvct format version (see the spec block in trace.hpp).
+inline constexpr std::uint16_t kTraceFormatVersion = 1;
+/// Fixed header/footer sizes of version 1.
+inline constexpr std::size_t kTraceHeaderBytes = 12;
+inline constexpr std::size_t kTraceFooterBytes = 72;
+/// Default I/O window for writer and reader (the only per-stream memory
+/// either holds besides O(1) decode state).
+inline constexpr std::size_t kTraceIoBufferBytes = 64 * 1024;
+
+/// True when a workload-axis entry names a recorded trace instead of a
+/// registry kernel: "trace:<path>".
+[[nodiscard]] bool is_trace_ref(std::string_view name) noexcept;
+
+/// The path of a "trace:<path>" reference; throws ConfigError when the
+/// entry is not a trace reference or the path is empty.
+[[nodiscard]] std::string trace_ref_path(std::string_view name);
+
+/// Header + footer summary of a .hvct file (no payload decode).
+struct TraceInfo {
+  std::uint16_t version = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t records = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  TraceStats stats;
+};
+
+/// Buffered .hvct writer. append() encodes into a fixed-size window that
+/// is flushed to disk when full; finish() writes the footer and closes.
+/// A file is valid only after finish() — a writer destroyed mid-stream
+/// leaves a footerless file every reader rejects.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path,
+                       std::size_t buffer_bytes = kTraceIoBufferBytes);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Encodes one record (kind tag + per-stream address delta).
+  void append(const Record& record);
+
+  /// Flushes, writes the footer and closes the file. Idempotent.
+  void finish();
+
+  /// Running stats of everything appended so far (footprints included).
+  [[nodiscard]] TraceStats stats() const;
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return records_;
+  }
+
+ private:
+  void put_byte(std::uint8_t byte);
+  void put_varint(std::uint64_t value);
+  void flush_buffer();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t records_ = 0;
+  std::uint64_t last_code_ = 0;
+  std::uint64_t last_data_ = 0;
+  // Incremental TraceStats (footprints tracked as lo/hi watermarks).
+  std::uint64_t instructions_ = 0, loads_ = 0, stores_ = 0, branches_ = 0,
+                taken_branches_ = 0;
+  std::uint64_t data_lo_ = ~0ULL, data_hi_ = 0;
+  std::uint64_t code_lo_ = ~0ULL, code_hi_ = 0;
+  bool finished_ = false;
+};
+
+/// Streaming reader over a .hvct file: validates header/footer up front,
+/// then decodes one record per next() out of a fixed-size refill window.
+/// reset() seeks back to the payload start, so one source replays many
+/// times (sweeps) without reopening the file.
+class TraceFileSource final : public TraceSource {
+ public:
+  explicit TraceFileSource(const std::string& path,
+                           std::size_t buffer_bytes = kTraceIoBufferBytes);
+  ~TraceFileSource() override;
+  TraceFileSource(const TraceFileSource&) = delete;
+  TraceFileSource& operator=(const TraceFileSource&) = delete;
+
+  bool next(Record& out) override;
+  [[nodiscard]] std::uint64_t size_hint() const noexcept override {
+    return info_.records;
+  }
+  void reset() override;
+
+  [[nodiscard]] const TraceInfo& info() const noexcept { return info_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  [[nodiscard]] std::uint8_t take_byte();
+  [[nodiscard]] std::uint64_t take_varint();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  TraceInfo info_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
+  std::uint64_t payload_consumed_ = 0;  ///< bytes handed out of the buffer
+  std::uint64_t emitted_ = 0;
+  std::uint64_t last_code_ = 0;
+  std::uint64_t last_data_ = 0;
+};
+
+/// Reads and validates a file's header + footer only (hvc_trace info).
+[[nodiscard]] TraceInfo read_trace_info(const std::string& path);
+
+/// Records an entire source (or an in-memory capture) to `path`; returns
+/// the written stats. The source is reset() first.
+TraceStats write_trace(const std::string& path, TraceSource& source);
+TraceStats write_trace(const std::string& path, const Tracer& tracer);
+
+}  // namespace hvc::trace

@@ -5,6 +5,9 @@
 
 namespace hvc::trace {
 
+MemoryTraceSource::MemoryTraceSource(const Tracer& tracer) noexcept
+    : MemoryTraceSource(tracer.records()) {}
+
 Block Tracer::block(std::size_t instructions) {
   expects(instructions >= 1, "a block needs at least one instruction");
   const Block b(next_code_, instructions);

@@ -1,0 +1,433 @@
+#include "hvc/trace/trace_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::trace {
+
+namespace {
+
+constexpr char kHeaderMagic[4] = {'H', 'V', 'C', 'T'};
+constexpr char kFooterMagic[4] = {'H', 'V', 'C', 'F'};
+constexpr std::string_view kTraceRefPrefix = "trace:";
+
+// Tag-byte layout (spec block in trace.hpp).
+constexpr std::uint8_t kKindMask = 0x03;
+constexpr std::uint8_t kTakenBit = 0x04;
+constexpr std::uint8_t kReservedMask = 0xF8;
+
+[[nodiscard]] std::uint64_t zigzag_encode(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+[[nodiscard]] std::int64_t zigzag_decode(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+void store_u16(std::uint8_t* out, std::uint16_t value) noexcept {
+  out[0] = static_cast<std::uint8_t>(value);
+  out[1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void store_u32(std::uint8_t* out, std::uint32_t value) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void store_u64(std::uint8_t* out, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+[[nodiscard]] std::uint16_t load_u16(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint16_t>(in[0] |
+                                    (static_cast<std::uint16_t>(in[1]) << 8));
+}
+
+[[nodiscard]] std::uint64_t load_u64(const std::uint8_t* in) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+[[nodiscard]] ConfigError bad_trace(const std::string& path,
+                                    const std::string& what) {
+  return ConfigError("trace file \"" + path + "\": " + what);
+}
+
+/// Decodes the fixed-size footer (record count + stats).
+void parse_footer(const std::string& path,
+                  const std::uint8_t (&raw)[kTraceFooterBytes],
+                  TraceInfo& info) {
+  if (std::memcmp(raw, kFooterMagic, 4) != 0) {
+    throw bad_trace(path, "missing footer (truncated or unfinished write?)");
+  }
+  if (load_u16(raw + 4) != 0 || load_u16(raw + 6) != 0) {
+    throw bad_trace(path, "non-zero reserved footer bytes");
+  }
+  info.records = load_u64(raw + 8);
+  info.stats.instructions = load_u64(raw + 16);
+  info.stats.loads = load_u64(raw + 24);
+  info.stats.stores = load_u64(raw + 32);
+  info.stats.branches = load_u64(raw + 40);
+  info.stats.taken_branches = load_u64(raw + 48);
+  info.stats.data_footprint_bytes = load_u64(raw + 56);
+  info.stats.code_footprint_bytes = load_u64(raw + 64);
+  const std::uint64_t kinds = info.stats.instructions + info.stats.loads +
+                              info.stats.stores + info.stats.branches;
+  if (kinds != info.records) {
+    throw bad_trace(path, "footer stats do not sum to the record count");
+  }
+  if (info.stats.taken_branches > info.stats.branches) {
+    throw bad_trace(path, "footer counts more taken branches than branches");
+  }
+}
+
+/// Opens `path` and validates header + footer; leaves the stream
+/// positioned at the payload start. Throws (and closes) on any problem.
+[[nodiscard]] std::FILE* open_and_validate(const std::string& path,
+                                           TraceInfo& info) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw ConfigError("cannot open trace file \"" + path + "\"");
+  }
+  try {
+    if (std::fseek(file, 0, SEEK_END) != 0) {
+      throw bad_trace(path, "seek failed");
+    }
+    // `long` is 64-bit on every supported target (Linux/LP64); traces
+    // beyond 2 GiB would need ftello/fseeko on ILP32 platforms.
+    const long size = std::ftell(file);
+    if (size < 0 ||
+        static_cast<std::size_t>(size) <
+            kTraceHeaderBytes + kTraceFooterBytes) {
+      throw bad_trace(path, "too short to be a .hvct trace");
+    }
+    info.file_bytes = static_cast<std::uint64_t>(size);
+    info.payload_bytes =
+        info.file_bytes - kTraceHeaderBytes - kTraceFooterBytes;
+
+    std::uint8_t header[kTraceHeaderBytes];
+    std::rewind(file);
+    if (std::fread(header, 1, sizeof header, file) != sizeof header) {
+      throw bad_trace(path, "short header read");
+    }
+    if (std::memcmp(header, kHeaderMagic, 4) != 0) {
+      throw bad_trace(path, "bad magic (not a .hvct trace)");
+    }
+    info.version = load_u16(header + 4);
+    info.flags = load_u16(header + 6);
+    if (info.version != kTraceFormatVersion) {
+      throw bad_trace(path, "unsupported format version " +
+                                std::to_string(info.version));
+    }
+    if (info.flags != 0) {
+      throw bad_trace(path, "unsupported flags");
+    }
+
+    std::uint8_t footer[kTraceFooterBytes];
+    if (std::fseek(file, -static_cast<long>(kTraceFooterBytes), SEEK_END) !=
+            0 ||
+        std::fread(footer, 1, sizeof footer, file) != sizeof footer) {
+      throw bad_trace(path, "short footer read");
+    }
+    parse_footer(path, footer, info);
+    // Every record is at least a tag byte plus one varint byte.
+    if (info.payload_bytes < 2 * info.records) {
+      throw bad_trace(path, "payload too small for its record count");
+    }
+    if (std::fseek(file, static_cast<long>(kTraceHeaderBytes), SEEK_SET) !=
+        0) {
+      throw bad_trace(path, "seek to payload failed");
+    }
+  } catch (...) {
+    std::fclose(file);
+    throw;
+  }
+  return file;
+}
+
+}  // namespace
+
+bool is_trace_ref(std::string_view name) noexcept {
+  return name.size() > kTraceRefPrefix.size() &&
+         name.substr(0, kTraceRefPrefix.size()) == kTraceRefPrefix;
+}
+
+std::string trace_ref_path(std::string_view name) {
+  if (name.substr(0, kTraceRefPrefix.size()) != kTraceRefPrefix ||
+      name.size() == kTraceRefPrefix.size()) {
+    throw ConfigError("\"" + std::string(name) +
+                      "\" is not a trace reference (expected trace:<path>)");
+  }
+  return std::string(name.substr(kTraceRefPrefix.size()));
+}
+
+// ---------------------------------------------------------------------
+// TraceWriter
+// ---------------------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string& path, std::size_t buffer_bytes)
+    : path_(path) {
+  expects(buffer_bytes >= 16, "trace writer window must hold one record");
+  buffer_.reserve(buffer_bytes);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw ConfigError("cannot create trace file \"" + path + "\"");
+  }
+  std::uint8_t header[kTraceHeaderBytes] = {};
+  std::memcpy(header, kHeaderMagic, 4);
+  store_u16(header + 4, kTraceFormatVersion);
+  store_u16(header + 6, 0);   // flags
+  store_u32(header + 8, 0);   // reserved
+  if (std::fwrite(header, 1, sizeof header, file_) != sizeof header) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw ConfigError("cannot write trace header to \"" + path + "\"");
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  // No implicit finish(): a file without a footer is deliberately invalid,
+  // so a writer unwound by an exception cannot leave a plausible trace.
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void TraceWriter::put_byte(std::uint8_t byte) {
+  if (buffer_.size() == buffer_.capacity()) {
+    flush_buffer();
+  }
+  buffer_.push_back(byte);
+}
+
+void TraceWriter::put_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    put_byte(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  put_byte(static_cast<std::uint8_t>(value));
+}
+
+void TraceWriter::flush_buffer() {
+  if (buffer_.empty()) {
+    return;
+  }
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+      buffer_.size()) {
+    throw ConfigError("write to trace file \"" + path_ + "\" failed");
+  }
+  buffer_.clear();
+}
+
+void TraceWriter::append(const Record& record) {
+  expects(!finished_, "append after finish()");
+  std::uint8_t tag = 0;
+  std::uint64_t* last = nullptr;
+  switch (record.kind) {
+    case Kind::kIfetch:
+      tag = 0;
+      last = &last_code_;
+      ++instructions_;
+      code_lo_ = std::min(code_lo_, record.addr);
+      code_hi_ = std::max(code_hi_, record.addr + 4);
+      break;
+    case Kind::kLoad:
+      tag = 1;
+      last = &last_data_;
+      ++loads_;
+      data_lo_ = std::min(data_lo_, record.addr);
+      data_hi_ = std::max(data_hi_, record.addr + 4);
+      break;
+    case Kind::kStore:
+      tag = 2;
+      last = &last_data_;
+      ++stores_;
+      data_lo_ = std::min(data_lo_, record.addr);
+      data_hi_ = std::max(data_hi_, record.addr + 4);
+      break;
+    case Kind::kBranch:
+      tag = 3;
+      last = &last_code_;
+      ++branches_;
+      if (record.taken) {
+        tag |= kTakenBit;
+        ++taken_branches_;
+      }
+      break;
+  }
+  put_byte(tag);
+  put_varint(zigzag_encode(static_cast<std::int64_t>(record.addr - *last)));
+  *last = record.addr;
+  ++records_;
+}
+
+TraceStats TraceWriter::stats() const {
+  TraceStats s;
+  s.instructions = instructions_;
+  s.loads = loads_;
+  s.stores = stores_;
+  s.branches = branches_;
+  s.taken_branches = taken_branches_;
+  if (data_hi_ > data_lo_) {
+    s.data_footprint_bytes = data_hi_ - data_lo_;
+  }
+  if (code_hi_ > code_lo_) {
+    s.code_footprint_bytes = code_hi_ - code_lo_;
+  }
+  return s;
+}
+
+void TraceWriter::finish() {
+  if (finished_) {
+    return;
+  }
+  flush_buffer();
+  const TraceStats s = stats();
+  std::uint8_t footer[kTraceFooterBytes] = {};
+  std::memcpy(footer, kFooterMagic, 4);
+  store_u32(footer + 4, 0);  // reserved
+  store_u64(footer + 8, records_);
+  store_u64(footer + 16, s.instructions);
+  store_u64(footer + 24, s.loads);
+  store_u64(footer + 32, s.stores);
+  store_u64(footer + 40, s.branches);
+  store_u64(footer + 48, s.taken_branches);
+  store_u64(footer + 56, s.data_footprint_bytes);
+  store_u64(footer + 64, s.code_footprint_bytes);
+  const bool wrote =
+      std::fwrite(footer, 1, sizeof footer, file_) == sizeof footer;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  finished_ = true;
+  if (!wrote || !closed) {
+    throw ConfigError("cannot finish trace file \"" + path_ + "\"");
+  }
+}
+
+// ---------------------------------------------------------------------
+// TraceFileSource
+// ---------------------------------------------------------------------
+
+TraceFileSource::TraceFileSource(const std::string& path,
+                                 std::size_t buffer_bytes)
+    : path_(path) {
+  expects(buffer_bytes >= 1, "trace reader window must be non-empty");
+  buffer_.resize(buffer_bytes);
+  file_ = open_and_validate(path, info_);
+}
+
+TraceFileSource::~TraceFileSource() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+std::uint8_t TraceFileSource::take_byte() {
+  if (buf_pos_ == buf_len_) {
+    const std::uint64_t left = info_.payload_bytes - payload_consumed_;
+    if (left == 0) {
+      throw bad_trace(path_, "payload ends before its record count");
+    }
+    buf_len_ = std::fread(
+        buffer_.data(), 1,
+        static_cast<std::size_t>(
+            std::min<std::uint64_t>(buffer_.size(), left)),
+        file_);
+    buf_pos_ = 0;
+    if (buf_len_ == 0) {
+      throw bad_trace(path_, "payload read failed");
+    }
+  }
+  ++payload_consumed_;
+  return buffer_[buf_pos_++];
+}
+
+std::uint64_t TraceFileSource::take_varint() {
+  std::uint64_t value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = take_byte();
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+  }
+  throw bad_trace(path_, "varint longer than 64 bits");
+}
+
+bool TraceFileSource::next(Record& out) {
+  if (emitted_ == info_.records) {
+    if (payload_consumed_ != info_.payload_bytes) {
+      throw bad_trace(path_, "payload bytes left over after the last record");
+    }
+    return false;
+  }
+  const std::uint8_t tag = take_byte();
+  if ((tag & kReservedMask) != 0) {
+    throw bad_trace(path_, "corrupt record tag (reserved bits set)");
+  }
+  const std::uint8_t kind = tag & kKindMask;
+  const bool taken = (tag & kTakenBit) != 0;
+  if (taken && kind != 3) {
+    throw bad_trace(path_, "taken flag on a non-branch record");
+  }
+  const std::int64_t delta = zigzag_decode(take_varint());
+  std::uint64_t* last = (kind == 1 || kind == 2) ? &last_data_ : &last_code_;
+  *last += static_cast<std::uint64_t>(delta);
+  out.kind = static_cast<Kind>(kind);
+  out.taken = taken;
+  out.addr = *last;
+  ++emitted_;
+  return true;
+}
+
+void TraceFileSource::reset() {
+  if (std::fseek(file_, static_cast<long>(kTraceHeaderBytes), SEEK_SET) !=
+      0) {
+    throw bad_trace(path_, "seek to payload failed");
+  }
+  buf_pos_ = 0;
+  buf_len_ = 0;
+  payload_consumed_ = 0;
+  emitted_ = 0;
+  last_code_ = 0;
+  last_data_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// Convenience entry points
+// ---------------------------------------------------------------------
+
+TraceInfo read_trace_info(const std::string& path) {
+  TraceInfo info;
+  std::FILE* file = open_and_validate(path, info);
+  std::fclose(file);
+  return info;
+}
+
+TraceStats write_trace(const std::string& path, TraceSource& source) {
+  TraceWriter writer(path);
+  source.reset();
+  Record record;
+  while (source.next(record)) {
+    writer.append(record);
+  }
+  writer.finish();
+  return writer.stats();
+}
+
+TraceStats write_trace(const std::string& path, const Tracer& tracer) {
+  MemoryTraceSource source(tracer);
+  return write_trace(path, source);
+}
+
+}  // namespace hvc::trace

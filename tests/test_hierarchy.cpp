@@ -281,9 +281,21 @@ TEST(SystemHierarchy, L2SystemRunsEndToEnd) {
   const cache::LevelStats& mem = *with_l2.level("MEM");
   EXPECT_GT(l2.hits, 0u);
   EXPECT_LT(mem.fills, l2.accesses);
-  // The two-level run keeps its historical shape: IL1+DL1 levels only.
-  ASSERT_EQ(two_level.levels.size(), 2u);
+  // The two-level run keeps its historical level indices (IL1, DL1) and
+  // energy categories, with the wrapped memory terminals' traffic now
+  // surfaced as one appended "MEM" row (the reporting hole that left the
+  // paper's baseline shape with an empty memory column).
+  ASSERT_EQ(two_level.levels.size(), 3u);
+  EXPECT_EQ(two_level.levels[0].name, "IL1");
+  EXPECT_EQ(two_level.levels[1].name, "DL1");
+  EXPECT_EQ(two_level.levels[2].name, "MEM");
+  const cache::LevelStats& two_level_mem = *two_level.level("MEM");
+  EXPECT_EQ(two_level_mem.fills,
+            two_level.il1.fills + two_level.dl1.fills);
+  EXPECT_EQ(two_level_mem.writebacks,
+            two_level.il1.writebacks + two_level.dl1.writebacks);
   EXPECT_EQ(two_level.energy.get("l2.dynamic"), 0.0);
+  EXPECT_EQ(two_level.energy.get("mem.dynamic"), 0.0);
 }
 
 TEST(SystemHierarchy, L2ModeSwitchAccountsEnergy) {

@@ -72,6 +72,9 @@ void print_workloads() {
     std::printf("  %-10s @%s\n", name.c_str(),
                 hvc::wl::to_string(info.bench_class).c_str());
   }
+  std::printf(
+      "recorded traces: \"trace:<path>\" replays a .hvct file captured\n"
+      "with `hvc_trace record` (also valid inside \"workload_mix\").\n");
 }
 
 void print_scenarios() {
