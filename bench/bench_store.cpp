@@ -1,0 +1,150 @@
+// RESULT STORE — throughput of the .hvcs memo table on the paths that
+// gate a resumed sweep: warm-hit lookups (get + CRC re-verification),
+// cold appends (put with its two checksummed writes), and the open-time
+// slab scan that rebuilds the index. The warm-hit rate is the headline:
+// it bounds how fast `hvc_explore --store` can answer an already-swept
+// point compared to re-simulating it.
+#include "bench_common.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hvc/store/store.hpp"
+
+namespace {
+
+using namespace hvc;
+using namespace hvc::bench;
+
+constexpr std::uint64_t kRecords = 4096;
+/// Roughly the payload size of one encoded sweep row (~20 cells of
+/// formatted numbers).
+constexpr std::size_t kPayloadBytes = 256;
+
+[[nodiscard]] store::Key key_for(std::uint64_t i) {
+  return store::Key{i + 1, (i + 1) * 0x9e3779b97f4a7c15ULL};
+}
+
+[[nodiscard]] std::vector<std::uint8_t> payload_for(std::uint64_t i) {
+  std::vector<std::uint8_t> payload(kPayloadBytes);
+  std::uint64_t x = i * 0x2545f4914f6cdd1dULL + 1;
+  for (std::size_t b = 0; b < payload.size(); ++b) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    payload[b] = static_cast<std::uint8_t>(x);
+  }
+  return payload;
+}
+
+/// One populated store file shared by the read-side benchmarks.
+struct PopulatedStore {
+  std::string path = "bench_store.hvcs";
+
+  PopulatedStore() {
+    std::remove(path.c_str());
+    store::ResultStore store(path, store::OpenOptions{});
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+      const std::vector<std::uint8_t> payload = payload_for(i);
+      store.put(key_for(i), payload.data(), payload.size());
+    }
+    store.close();
+  }
+};
+
+[[nodiscard]] const PopulatedStore& populated() {
+  static PopulatedStore fixture;
+  return fixture;
+}
+
+/// Warm-hit lookups: the per-point cost a resumed sweep pays instead of
+/// a simulation (pread + CRC32 over header and payload).
+void BM_StoreWarmGet(benchmark::State& state) {
+  store::ResultStore store(populated().path,
+                           store::OpenOptions{.read_only = true});
+  std::uint64_t i = 0;
+  std::uint64_t lookups = 0;
+  for (auto _ : state) {
+    const auto payload = store.get(key_for(i % kRecords));
+    benchmark::DoNotOptimize(payload->size());
+    ++i;
+    ++lookups;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(lookups));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(lookups * kPayloadBytes));
+}
+BENCHMARK(BM_StoreWarmGet);
+
+/// Index-only membership test (no I/O): the warm/cold classification
+/// every point goes through at sweep start.
+void BM_StoreContains(benchmark::State& state) {
+  store::ResultStore store(populated().path,
+                           store::OpenOptions{.read_only = true});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.contains(key_for(i % (2 * kRecords))));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreContains);
+
+/// Cold-append throughput: payload write + checksummed header write per
+/// record, no sync until the end (the engine's commit pattern).
+void BM_StorePut(benchmark::State& state) {
+  const std::string path = populated().path + ".put";
+  std::uint64_t committed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove(path.c_str());
+    {
+      store::ResultStore store(path, store::OpenOptions{});
+      state.ResumeTiming();
+      for (std::uint64_t i = 0; i < kRecords; ++i) {
+        const std::vector<std::uint8_t> payload = payload_for(i);
+        benchmark::DoNotOptimize(
+            store.put(key_for(i), payload.data(), payload.size()));
+      }
+      committed += kRecords;
+      state.PauseTiming();
+      store.close();
+    }
+    state.ResumeTiming();
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(committed));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(committed * kPayloadBytes));
+}
+BENCHMARK(BM_StorePut)->Unit(benchmark::kMillisecond);
+
+/// Open-time slab scan: CRC-validating every record to rebuild the
+/// index — the fixed cost of every warm open and every recovery.
+void BM_StoreOpenScan(benchmark::State& state) {
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    store::ResultStore store(populated().path,
+                             store::OpenOptions{.read_only = true});
+    benchmark::DoNotOptimize(store.records());
+    records += store.records();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      records * (kPayloadBytes + store::kRecordHeaderBytes)));
+}
+BENCHMARK(BM_StoreOpenScan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hvc::bench::print_header(
+      "RESULT STORE", "warm-hit lookups, cold appends and open-time scans");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::remove(populated().path.c_str());
+  return 0;
+}

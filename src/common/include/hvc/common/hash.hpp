@@ -1,0 +1,74 @@
+// Deterministic hashing and checksumming for on-disk formats.
+//
+// Two primitives, both fixed for all time once a file format ships them:
+//   crc32()  — the IEEE CRC-32 (zlib polynomial, reflected), used as the
+//              per-record payload checksum of the persistent result store.
+//              Cheap, streamable, and catches the torn/short writes a
+//              crashed writer leaves behind.
+//   Hash128  — an incremental 128-bit mixing hash for *keys*: canonical
+//              identities of (spec point × seed × schema version) in the
+//              result store. Built from two independent SplitMix64-style
+//              lanes over length-framed input, so distinct field sequences
+//              cannot collide by concatenation ("ab","c" vs "a","bc").
+//              Not cryptographic — collision resistance is adequate for
+//              memoization keys, not for adversarial input.
+//
+// Both are pure functions of their input bytes: no locale, no pointers,
+// no per-process state. Like the .hvct reader/writer, Hash128 assumes a
+// little-endian host (every supported target); crc32 is byte-oriented and
+// host-independent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hvc {
+
+/// IEEE CRC-32 (polynomial 0xEDB88320, reflected) of `bytes` bytes,
+/// continuing from `seed` (pass a previous result to stream).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t bytes,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// Incremental 128-bit hash with explicit field framing.
+///
+/// Usage: default-construct, feed fields with the typed update methods,
+/// then read digest(). Every update is framed (type tag and/or length),
+/// so the digest identifies the *sequence of fields*, not just the
+/// concatenated bytes.
+class Hash128 {
+ public:
+  struct Digest {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    [[nodiscard]] bool operator==(const Digest&) const noexcept = default;
+  };
+
+  Hash128() noexcept = default;
+
+  /// Absorbs a raw 64-bit value (absorbed as one little-endian chunk).
+  void update_u64(std::uint64_t value) noexcept;
+
+  /// Absorbs a double by bit pattern. -0.0 and 0.0 hash differently; NaN
+  /// payloads are preserved — callers feed canonical computed values.
+  void update_double(double value) noexcept;
+
+  /// Absorbs a string as length + contents (length framing prevents
+  /// concatenation collisions between adjacent string fields).
+  void update_string(std::string_view text) noexcept;
+
+  /// Absorbs raw bytes with length framing (same contract as strings).
+  void update_bytes(const void* data, std::size_t bytes) noexcept;
+
+  /// The digest of everything absorbed so far (the hasher can keep going).
+  [[nodiscard]] Digest digest() const noexcept;
+
+ private:
+  void absorb(std::uint64_t chunk) noexcept;
+
+  std::uint64_t lane0_ = 0x6a09e667f3bcc908ULL;  ///< sqrt(2) fraction
+  std::uint64_t lane1_ = 0xbb67ae8584caa73bULL;  ///< sqrt(3) fraction
+  std::uint64_t chunks_ = 0;  ///< total chunks absorbed (finalization pin)
+};
+
+}  // namespace hvc

@@ -1,0 +1,96 @@
+#include "hvc/common/hash.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace hvc {
+
+namespace {
+
+/// The reflected IEEE CRC-32 table, generated once at load time.
+[[nodiscard]] const std::array<std::uint32_t, 256>& crc32_table() noexcept {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// One SplitMix64 finalization round (the same mixer Rng::mix64 uses);
+/// a bijection on 64-bit words, so distinct chunks stay distinct.
+[[nodiscard]] std::uint64_t mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed) noexcept {
+  const auto& table = crc32_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+void Hash128::absorb(std::uint64_t chunk) noexcept {
+  ++chunks_;
+  // Two lanes with different injection constants and a cross-feed: lane1
+  // sees lane0's running state, so the pair behaves like one wide state.
+  lane0_ = mix(lane0_ ^ (chunk + 0x9e3779b97f4a7c15ULL * chunks_));
+  lane1_ = mix(lane1_ + std::rotl(chunk, 29) + lane0_);
+}
+
+void Hash128::update_u64(std::uint64_t value) noexcept {
+  absorb(0x01);  // field tag: u64
+  absorb(value);
+}
+
+void Hash128::update_double(double value) noexcept {
+  absorb(0x02);  // field tag: double
+  absorb(std::bit_cast<std::uint64_t>(value));
+}
+
+void Hash128::update_string(std::string_view text) noexcept {
+  absorb(0x03);  // field tag: string
+  update_bytes(text.data(), text.size());
+}
+
+void Hash128::update_bytes(const void* data, std::size_t bytes) noexcept {
+  absorb(static_cast<std::uint64_t>(bytes));
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (bytes >= 8) {
+    std::uint64_t chunk = 0;
+    std::memcpy(&chunk, p, 8);  // little-endian hosts only (LP64 targets)
+    absorb(chunk);
+    p += 8;
+    bytes -= 8;
+  }
+  if (bytes > 0) {
+    std::uint64_t chunk = 0;
+    std::memcpy(&chunk, p, bytes);
+    absorb(chunk);
+  }
+}
+
+Hash128::Digest Hash128::digest() const noexcept {
+  // Finalize a copy so the hasher itself can keep absorbing.
+  Digest d;
+  d.lo = mix(lane0_ ^ mix(chunks_));
+  d.hi = mix(lane1_ + std::rotl(lane0_, 32));
+  return d;
+}
+
+}  // namespace hvc

@@ -21,6 +21,10 @@
 #include "hvc/common/json.hpp"
 #include "hvc/explore/spec.hpp"
 
+namespace hvc::store {
+class ResultStore;
+}
+
 namespace hvc::explore {
 
 /// The finished sweep: one formatted row per point, in point order.
@@ -29,6 +33,10 @@ struct SweepResult {
   SweepKind kind = SweepKind::kSimulation;
   std::vector<std::string> columns;
   std::vector<std::vector<std::string>> rows;
+  /// Memoization outcome when a result store was attached (0/0 without
+  /// one): points answered from the store vs. points simulated.
+  std::size_t warm_points = 0;
+  std::size_t cold_points = 0;
 
   [[nodiscard]] std::size_t points() const noexcept { return rows.size(); }
   /// Index of a column by name; throws ConfigError when absent.
@@ -43,7 +51,16 @@ struct SweepResult {
 /// Runs every point of the sweep across `threads` workers (1 = inline on
 /// the calling thread). Throws ConfigError/PreconditionError on bad specs;
 /// any point failure aborts the sweep with that point's exception.
+///
+/// With a non-null `store`, every point is first looked up by its
+/// canonical key (see hvc/explore/result_store.hpp): warm points are
+/// answered from the store byte-identically to recomputation, cold points
+/// are simulated and committed as they complete — so a killed sweep
+/// resumes from its last committed point, and only the cold points pay
+/// for Fig. 2 sizing runs. The store must be writable; the caller closes
+/// it (clearing the dirty flag) after the sweep.
 [[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
-                                    std::size_t threads);
+                                    std::size_t threads,
+                                    store::ResultStore* store = nullptr);
 
 }  // namespace hvc::explore

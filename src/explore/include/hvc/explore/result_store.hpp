@@ -1,0 +1,58 @@
+// Canonical result keys and row payloads: the glue between the sweep
+// engine and the crash-safe store::ResultStore.
+//
+// A sweep point's key is a 128-bit Hash128 of everything that determines
+// its row — the result schema (version + column names), the spec-level
+// inputs (target yield, workload seed, scale, the point's derived system
+// seed) and the point's axis values — and deliberately NOT its index in
+// the sweep: the "point" column is positional metadata backfilled at
+// read time, so an edited spec whose points shift indices still reuses
+// every unchanged point (with a pinned "system_seed"; without one the
+// per-point derived seed folds the index in, which is correct, because
+// the fault maps genuinely differ).
+//
+// Trace-ref workloads ("trace:<path>") are keyed by the path string: the
+// store cannot see into the file, so re-recording a trace under the same
+// path must be paired with a fresh store (or different path).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hvc/explore/spec.hpp"
+#include "hvc/store/store.hpp"
+
+namespace hvc::explore {
+
+/// Version of the row schema *semantics*. The column list is hashed into
+/// every key already; bump this when a column keeps its name but changes
+/// meaning, so stale stores miss instead of serving wrong rows.
+inline constexpr std::uint64_t kResultSchemaVersion = 1;
+
+/// The app_tag stamped into .hvcs headers by hvc_explore, so a result
+/// store is never confused with some other ResultStore user's file.
+[[nodiscard]] std::uint64_t result_store_app_tag() noexcept;
+
+/// The canonical key of one sweep point (see the file comment for what
+/// it covers). `columns` is the sweep's column list, index column first.
+[[nodiscard]] store::Key result_key(const SweepSpec& spec,
+                                    const SweepPoint& point,
+                                    const std::vector<std::string>& columns);
+
+/// Row payload codec: every cell EXCEPT the leading "point" index cell,
+/// length-framed. decode_row throws ConfigError on malformed payloads.
+[[nodiscard]] std::vector<std::uint8_t> encode_row(
+    const std::vector<std::string>& cells);
+[[nodiscard]] std::vector<std::string> decode_row(
+    const std::uint8_t* data, std::size_t bytes);
+
+/// Opens (or creates) a result store for hvc_explore with the right
+/// app_tag. `resume` permits recovery of a store whose writer died —
+/// without it a dirty store is an error telling the user to pass
+/// --resume.
+[[nodiscard]] std::unique_ptr<store::ResultStore> open_result_store(
+    const std::string& path, bool resume);
+
+}  // namespace hvc::explore

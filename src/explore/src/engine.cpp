@@ -10,6 +10,7 @@
 #include "hvc/common/io.hpp"
 #include "hvc/common/thread_pool.hpp"
 #include "hvc/edc/code.hpp"
+#include "hvc/explore/result_store.hpp"
 #include "hvc/sim/report.hpp"
 #include "hvc/sim/system.hpp"
 #include "hvc/tech/sram_cell.hpp"
@@ -346,7 +347,8 @@ Json SweepResult::to_json() const {
   return out;
 }
 
-SweepResult run_sweep(const SweepSpec& spec, std::size_t threads) {
+SweepResult run_sweep(const SweepSpec& spec, std::size_t threads,
+                      store::ResultStore* store) {
   const std::vector<SweepPoint> points = expand_points(spec);
   expects(!points.empty(), "sweep has no points");
 
@@ -356,21 +358,78 @@ SweepResult run_sweep(const SweepSpec& spec, std::size_t threads) {
   result.columns = spec.kind == SweepKind::kSimulation
                        ? simulation_columns()
                        : methodology_columns();
-
-  // Phase 1: every unique sizing run, shared read-only afterwards.
-  const PlanCache plans(spec, points, threads);
-
-  // Phase 2: evaluate points into index-addressed slots; whichever thread
-  // claims a point, its output depends only on (spec, point).
   result.rows.resize(points.size());
-  parallel_for(0, points.size(), threads,
-               [&spec, &points, &plans, &result](std::size_t i) {
+
+  // Phase 0 (store attached only): classify every point warm or cold by
+  // its canonical key. Warm rows decode straight out of the store — the
+  // stored payload omits the positional "point" cell, which is
+  // backfilled from the current sweep's index — so only cold points pay
+  // for sizing runs and simulation below.
+  std::vector<std::size_t> cold;
+  std::vector<store::Key> keys;
+  if (store != nullptr) {
+    keys.resize(points.size());
+    cold.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      keys[i] = result_key(spec, points[i], result.columns);
+      const auto payload = store->get(keys[i]);
+      if (!payload) {
+        cold.push_back(i);
+        continue;
+      }
+      std::vector<std::string> cells =
+          decode_row(payload->data(), payload->size());
+      if (cells.size() + 1 != result.columns.size()) {
+        throw ConfigError(
+            "stored row width does not match the sweep schema");
+      }
+      auto& row = result.rows[i];
+      row.reserve(result.columns.size());
+      row.push_back(
+          format_number(static_cast<std::uint64_t>(points[i].index)));
+      for (auto& cell : cells) {
+        row.push_back(std::move(cell));
+      }
+    }
+    result.warm_points = points.size() - cold.size();
+    result.cold_points = cold.size();
+  } else {
+    cold.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      cold[i] = i;
+    }
+  }
+
+  // Phase 1: every unique sizing run the COLD points need, shared
+  // read-only afterwards (warm points already carry their results).
+  std::vector<SweepPoint> cold_points;
+  cold_points.reserve(cold.size());
+  for (const std::size_t i : cold) {
+    cold_points.push_back(points[i]);
+  }
+  const PlanCache plans(spec, cold_points, threads);
+
+  // Phase 2: evaluate cold points into index-addressed slots; whichever
+  // thread claims a point, its output depends only on (spec, point).
+  // With a store, each row is committed as it completes (put() is one
+  // internal critical section), so a killed sweep resumes from its last
+  // committed point instead of restarting.
+  parallel_for(0, cold.size(), threads,
+               [&spec, &points, &plans, &result, &cold, &keys,
+                store](std::size_t k) {
+                 const std::size_t i = cold[k];
                  const SweepPoint& point = points[i];
                  const yield::CacheCellPlan& plan = plans.plan(spec, point);
-                 result.rows[i] =
+                 std::vector<std::string> row =
                      spec.kind == SweepKind::kSimulation
                          ? simulate_point(spec, point, plan)
                          : methodology_point(spec, point, plan);
+                 if (store != nullptr) {
+                   const std::vector<std::uint8_t> payload = encode_row(
+                       {row.begin() + 1, row.end()});
+                   store->put(keys[i], payload.data(), payload.size());
+                 }
+                 result.rows[i] = std::move(row);
                });
   return result;
 }

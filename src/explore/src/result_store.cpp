@@ -1,0 +1,118 @@
+#include "hvc/explore/result_store.hpp"
+
+#include <cstring>
+
+#include "hvc/common/error.hpp"
+#include "hvc/common/hash.hpp"
+#include "hvc/common/rng.hpp"
+
+namespace hvc::explore {
+
+std::uint64_t result_store_app_tag() noexcept {
+  Hash128 h;
+  h.update_string("hvc_explore result store");
+  h.update_u64(kResultSchemaVersion);
+  return h.digest().lo;
+}
+
+store::Key result_key(const SweepSpec& spec, const SweepPoint& point,
+                      const std::vector<std::string>& columns) {
+  Hash128 h;
+  // Schema identity: version + kind + the exact column list, so adding a
+  // column (or reordering) retires every old key at once.
+  h.update_u64(kResultSchemaVersion);
+  h.update_string(to_string(spec.kind));
+  h.update_u64(columns.size());
+  for (const auto& column : columns) {
+    h.update_string(column);
+  }
+  // Inputs shared by both kinds: the sizing loop's target.
+  h.update_double(spec.target_yield);
+  h.update_string(yield::to_string(point.scenario));
+  h.update_double(point.hp_vcc);
+  h.update_double(point.ule_vcc);
+  if (spec.kind == SweepKind::kMethodology) {
+    const Hash128::Digest digest = h.digest();
+    return {digest.lo, digest.hi};
+  }
+  // Simulation inputs, mirroring simulate_point()'s SystemConfig exactly.
+  h.update_u64(point.proposed ? 1 : 0);
+  h.update_string(point.l2_design);
+  if (point.l2_design != "none") {
+    // An L2-less point ignores the size axis (the spec collapses it),
+    // so the key must too.
+    h.update_double(point.l2_size_kb);
+  }
+  h.update_u64(point.cores);
+  h.update_string(point.mode == power::Mode::kHp ? "hp" : "ule");
+  h.update_string(point.workload);
+  h.update_string(point.workload_mix);
+  h.update_double(point.scrub_interval_s);
+  h.update_u64(spec.workload_seed);
+  h.update_u64(spec.scale);
+  // The derived per-system seed — the same expression simulate_point()
+  // feeds SystemConfig::seed — not the raw index: with a pinned
+  // system_seed, identical points at different indices share a key.
+  h.update_u64(spec.system_seed ? *spec.system_seed
+                                : Rng::mix64(spec.seed, point.index));
+  const Hash128::Digest digest = h.digest();
+  return {digest.lo, digest.hi};
+}
+
+std::vector<std::uint8_t> encode_row(const std::vector<std::string>& cells) {
+  const auto put_u32 = [](std::vector<std::uint8_t>& out,
+                          std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  };
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(cells.size()));
+  for (const auto& cell : cells) {
+    put_u32(out, static_cast<std::uint32_t>(cell.size()));
+    out.insert(out.end(), cell.begin(), cell.end());
+  }
+  return out;
+}
+
+std::vector<std::string> decode_row(const std::uint8_t* data,
+                                    std::size_t bytes) {
+  std::size_t pos = 0;
+  const auto take_u32 = [&]() -> std::uint32_t {
+    if (pos + 4 > bytes) {
+      throw ConfigError("stored row payload is truncated");
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 4;
+    return value;
+  };
+  const std::uint32_t count = take_u32();
+  std::vector<std::string> cells;
+  cells.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = take_u32();
+    if (pos + len > bytes) {
+      throw ConfigError("stored row payload is truncated");
+    }
+    cells.emplace_back(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+  }
+  if (pos != bytes) {
+    throw ConfigError("stored row payload has trailing bytes");
+  }
+  return cells;
+}
+
+std::unique_ptr<store::ResultStore> open_result_store(const std::string& path,
+                                                      bool resume) {
+  store::OpenOptions options;
+  options.create = true;
+  options.recover = resume;
+  options.app_tag = result_store_app_tag();
+  return std::make_unique<store::ResultStore>(path, options);
+}
+
+}  // namespace hvc::explore

@@ -1,0 +1,118 @@
+// Positioned-I/O file abstraction for the result store.
+//
+// ResultStore performs all I/O through this interface so the
+// fault-injection suite can interpose on every syscall boundary: the
+// production PosixFile forwards to pread/pwrite/ftruncate/fsync, and
+// FaultInjectingFile wraps any File and fails (ENOSPC) or truncates
+// (short write) the Nth mutating operation — deterministically, so every
+// write boundary of a store session can be exercised in turn.
+//
+// The interface is deliberately tiny and positional (no seek state): the
+// store never relies on a file cursor, which keeps the crash-ordering
+// argument local to each call site.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace hvc::store {
+
+/// Positional file handle. All methods throw ConfigError (with errno
+/// text) on I/O failure; short reads at end-of-file are returned, short
+/// writes are errors — a File either persists every byte or throws.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads up to `bytes` at `offset`; returns the bytes read (< bytes
+  /// only at end-of-file).
+  virtual std::size_t read_at(std::uint64_t offset, void* out,
+                              std::size_t bytes) = 0;
+
+  /// Writes exactly `bytes` at `offset` (extending the file as needed).
+  virtual void write_at(std::uint64_t offset, const void* data,
+                        std::size_t bytes) = 0;
+
+  /// Truncates (or extends with zeros) to `bytes`.
+  virtual void truncate(std::uint64_t bytes) = 0;
+
+  /// Flushes file data + metadata to stable storage (fsync).
+  virtual void sync() = 0;
+
+  [[nodiscard]] virtual std::uint64_t size() = 0;
+};
+
+/// Production File over a POSIX descriptor, holding a BSD advisory lock
+/// for its lifetime: exclusive when writable (single-writer discipline),
+/// shared when read-only. The lock evaporates with the descriptor, so a
+/// SIGKILLed writer never wedges the store.
+class PosixFile final : public File {
+ public:
+  /// Opens `path`. Writable handles may create the file; read-only
+  /// handles require it to exist. Throws ConfigError when the file
+  /// cannot be opened or another process holds a conflicting lock.
+  PosixFile(const std::string& path, bool writable, bool create);
+  ~PosixFile() override;
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  std::size_t read_at(std::uint64_t offset, void* out,
+                      std::size_t bytes) override;
+  void write_at(std::uint64_t offset, const void* data,
+                std::size_t bytes) override;
+  void truncate(std::uint64_t bytes) override;
+  void sync() override;
+  [[nodiscard]] std::uint64_t size() override;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Deterministic fault injector for the crash-safety suite. Wraps a real
+/// File and fails the Nth mutating operation (write_at/truncate/sync),
+/// optionally persisting a prefix of the failing write first (a torn /
+/// short write), then refuses all further mutation — modelling a writer
+/// that dies or a filesystem that runs out of space mid-record.
+class FaultInjectingFile final : public File {
+ public:
+  enum class Mode {
+    kFailCleanly,   ///< the failing op persists nothing (ENOSPC up front)
+    kShortWrite,    ///< the failing write persists `short_bytes` first
+  };
+
+  /// Fails the `fail_after`-th mutating op (1-based; 0 = never fail).
+  FaultInjectingFile(std::unique_ptr<File> inner, std::uint64_t fail_after,
+                     Mode mode = Mode::kFailCleanly,
+                     std::size_t short_bytes = 0);
+
+  std::size_t read_at(std::uint64_t offset, void* out,
+                      std::size_t bytes) override;
+  void write_at(std::uint64_t offset, const void* data,
+                std::size_t bytes) override;
+  void truncate(std::uint64_t bytes) override;
+  void sync() override;
+  [[nodiscard]] std::uint64_t size() override;
+
+  /// Mutating operations attempted so far (for sizing injection sweeps:
+  /// run once with fail_after = 0 and read this count).
+  [[nodiscard]] std::uint64_t mutations_attempted() const noexcept {
+    return attempted_;
+  }
+  [[nodiscard]] bool fault_fired() const noexcept { return fired_; }
+
+ private:
+  /// Returns true when the current mutation must fail.
+  bool trip();
+
+  std::unique_ptr<File> inner_;
+  std::uint64_t fail_after_;
+  Mode mode_;
+  std::size_t short_bytes_;
+  std::uint64_t attempted_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace hvc::store

@@ -1,0 +1,183 @@
+// Crash-safe persistent result store (.hvcs files).
+//
+// An on-disk memo table mapping 128-bit canonical keys to immutable byte
+// payloads, built for the sweep engine: warm points are answered from the
+// store, cold points are appended, and a killed writer never corrupts a
+// committed record. The design follows the eddy cache idiom (versioned +
+// flagged header, append-only checksummed slab, kill-the-writer fault
+// tests).
+//
+// File layout (format version 1, little-endian):
+//
+//   header (32 bytes)
+//     0   u8[4]  magic "HVCS"
+//     4   u16    format version (1)
+//     6   u16    flags (bit 0 = dirty: set while a writer is live,
+//                cleared on clean close; any other bit is unsupported)
+//     8   u64    app_tag (schema tag of the embedding layer; a store
+//                only opens under the tag it was created with)
+//     16  u8[16] reserved, zero
+//
+//   records, packed end to end (the slab)
+//     0   u64    key lo   ─ 128-bit canonical key (hvc::Hash128 of the
+//     8   u64    key hi   ─ spec point × seed × schema version)
+//     16  u32    payload bytes
+//     20  u32    payload CRC-32 (IEEE)
+//     24  u32    reserved, zero
+//     28  u32    header CRC-32 of record bytes [0, 28)
+//     32  u8[payload bytes]
+//
+// Crash-safety protocol. put() writes the payload first, then the record
+// header carrying both checksums, and publishes the record to the
+// in-memory index only after both writes return — so the slab prefix up
+// to the last fully-checksummed record is always a valid store. On open
+// the index is rebuilt by scanning the slab; a scan that ends in a torn
+// or truncated record marks the tail. A dirty store (the previous writer
+// died) may be opened with OpenOptions::recover, which truncates the
+// torn tail and resumes appending; a CLEANLY-closed store with a torn
+// tail means external corruption and is always rejected (fsck --repair
+// can still salvage the valid prefix).
+//
+// Durability: committed records survive writer death (SIGKILL, crash)
+// immediately; surviving power loss additionally needs sync(), which
+// close() performs. Concurrency: one writer (flock exclusive) or many
+// readers (flock shared) per file across processes; within a process a
+// ResultStore is internally locked, so N sweep threads may share one
+// open handle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hvc/store/file.hpp"
+
+namespace hvc::store {
+
+/// Current .hvcs format version.
+inline constexpr std::uint16_t kStoreFormatVersion = 1;
+/// Fixed sizes of format version 1.
+inline constexpr std::size_t kStoreHeaderBytes = 32;
+inline constexpr std::size_t kRecordHeaderBytes = 32;
+
+/// A 128-bit canonical record key.
+struct Key {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  [[nodiscard]] bool operator==(const Key&) const noexcept = default;
+};
+
+struct KeyHash {
+  [[nodiscard]] std::size_t operator()(const Key& key) const noexcept {
+    return static_cast<std::size_t>(key.lo ^ (key.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+struct OpenOptions {
+  bool read_only = false;
+  /// Writers may create a missing file (ignored for read-only opens).
+  bool create = true;
+  /// Permits opening a dirty store: the torn tail (if any) is truncated
+  /// and the previous writer's uncommitted bytes are discarded. Without
+  /// it a dirty store is rejected so the caller must opt into recovery
+  /// (hvc_explore --resume).
+  bool recover = false;
+  /// Schema tag baked into the header at creation and required to match
+  /// on every later open (0 = unchecked scratch store).
+  std::uint64_t app_tag = 0;
+};
+
+enum class FsckStatus {
+  kClean,        ///< valid header, clean flag, every record checks out
+  kRecoverable,  ///< dirty flag set (writer died); prefix is intact
+  kCorrupt,      ///< bad header, or a cleanly-closed file with a bad tail
+};
+
+[[nodiscard]] const char* to_string(FsckStatus status) noexcept;
+
+/// What fsck/repair found (and, for repair, left behind).
+struct FsckReport {
+  FsckStatus status = FsckStatus::kCorrupt;
+  bool dirty = false;
+  std::uint64_t records = 0;      ///< fully-validated records
+  std::uint64_t valid_bytes = 0;  ///< header + validated slab prefix
+  std::uint64_t file_bytes = 0;
+  std::uint64_t app_tag = 0;
+  std::string detail;  ///< human-readable finding ("torn record at ...")
+};
+
+class ResultStore {
+ public:
+  /// Opens (or creates) the store at `path` through a PosixFile.
+  ResultStore(const std::string& path, const OpenOptions& options);
+
+  /// Opens through a caller-supplied File (fault-injection tests).
+  /// `label` stands in for the path in error messages.
+  ResultStore(std::unique_ptr<File> file, std::string label,
+              const OpenOptions& options);
+
+  /// Best-effort close() — errors are swallowed, leaving the dirty flag
+  /// for the next open to recover, which is always safe.
+  ~ResultStore();
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  [[nodiscard]] bool contains(const Key& key) const;
+
+  /// The payload committed under `key`, re-verified against its CRC on
+  /// every read, or nullopt when absent.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
+      const Key& key) const;
+
+  /// Commits a new record and returns true; returns false without
+  /// writing when the key is already present (keys are write-once — the
+  /// same key always names the same bytes, so the first commit wins).
+  /// The check-and-append is one critical section, so concurrent workers
+  /// racing to publish the same point commit it exactly once.
+  bool put(const Key& key, const void* payload, std::size_t bytes);
+
+  /// Flushes all committed records to stable storage.
+  void sync();
+
+  /// Syncs, clears the dirty flag, syncs again. After close() the store
+  /// only answers contains()/records()-style queries. Idempotent.
+  void close();
+
+  [[nodiscard]] std::size_t records() const;
+  [[nodiscard]] std::uint64_t file_bytes() const;
+  /// Torn-tail bytes truncated during open-time recovery (0 when none).
+  [[nodiscard]] std::uint64_t recovered_bytes() const noexcept {
+    return recovered_bytes_;
+  }
+  [[nodiscard]] std::uint64_t app_tag() const noexcept { return app_tag_; }
+
+  /// Read-only integrity check; never modifies the file.
+  [[nodiscard]] static FsckReport fsck(const std::string& path);
+
+  /// Salvages the valid record prefix: truncates a torn tail and clears
+  /// the dirty flag. Throws when the header itself is unusable.
+  static FsckReport repair(const std::string& path);
+
+ private:
+  void open_validate(const OpenOptions& options);
+  void write_fresh_header();
+  void set_dirty(bool dirty);
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<File> file_;
+  std::string label_;
+  bool writable_ = false;
+  bool closed_ = false;
+  std::uint64_t app_tag_ = 0;
+  std::uint64_t end_ = 0;  ///< offset one past the last committed record
+  std::uint64_t recovered_bytes_ = 0;
+  std::unordered_map<Key, std::pair<std::uint64_t, std::uint32_t>, KeyHash>
+      index_;  ///< key -> (payload offset, payload bytes)
+};
+
+}  // namespace hvc::store

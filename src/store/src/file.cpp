@@ -1,0 +1,184 @@
+#include "hvc/store/file.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "hvc/common/error.hpp"
+
+namespace hvc::store {
+
+namespace {
+
+[[nodiscard]] ConfigError io_error(const std::string& path,
+                                   const std::string& what, int err) {
+  return ConfigError("store file \"" + path + "\": " + what + ": " +
+                     std::strerror(err));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// PosixFile
+// ---------------------------------------------------------------------
+
+PosixFile::PosixFile(const std::string& path, bool writable, bool create)
+    : path_(path) {
+  int flags = writable ? O_RDWR : O_RDONLY;
+  if (writable && create) {
+    flags |= O_CREAT;
+  }
+  fd_ = ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw io_error(path, "cannot open", errno);
+  }
+  // Advisory single-writer/multi-reader lock; non-blocking so a live
+  // writer is reported immediately instead of hanging the sweep.
+  if (::flock(fd_, (writable ? LOCK_EX : LOCK_SH) | LOCK_NB) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    if (err == EWOULDBLOCK) {
+      throw ConfigError("store file \"" + path + "\" is locked by " +
+                        (writable ? "another process"
+                                  : "a live writer") +
+                        " (single-writer discipline)");
+    }
+    throw io_error(path, "cannot lock", err);
+  }
+}
+
+PosixFile::~PosixFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // releases the flock
+  }
+}
+
+std::size_t PosixFile::read_at(std::uint64_t offset, void* out,
+                               std::size_t bytes) {
+  std::size_t done = 0;
+  auto* p = static_cast<std::uint8_t*>(out);
+  while (done < bytes) {
+    const ssize_t n = ::pread(fd_, p + done, bytes - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw io_error(path_, "read failed", errno);
+    }
+    if (n == 0) {
+      break;  // end of file
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+void PosixFile::write_at(std::uint64_t offset, const void* data,
+                         std::size_t bytes) {
+  std::size_t done = 0;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (done < bytes) {
+    const ssize_t n = ::pwrite(fd_, p + done, bytes - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw io_error(path_, "write failed", errno);
+    }
+    if (n == 0) {
+      throw io_error(path_, "write made no progress (disk full?)", ENOSPC);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void PosixFile::truncate(std::uint64_t bytes) {
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+    throw io_error(path_, "truncate failed", errno);
+  }
+}
+
+void PosixFile::sync() {
+  if (::fsync(fd_) != 0) {
+    throw io_error(path_, "fsync failed", errno);
+  }
+}
+
+std::uint64_t PosixFile::size() {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    throw io_error(path_, "stat failed", errno);
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+// ---------------------------------------------------------------------
+// FaultInjectingFile
+// ---------------------------------------------------------------------
+
+FaultInjectingFile::FaultInjectingFile(std::unique_ptr<File> inner,
+                                       std::uint64_t fail_after, Mode mode,
+                                       std::size_t short_bytes)
+    : inner_(std::move(inner)),
+      fail_after_(fail_after),
+      mode_(mode),
+      short_bytes_(short_bytes) {
+  expects(inner_ != nullptr, "fault injector needs an inner file");
+}
+
+bool FaultInjectingFile::trip() {
+  if (fired_) {
+    return true;  // a dead writer stays dead
+  }
+  ++attempted_;
+  if (fail_after_ != 0 && attempted_ == fail_after_) {
+    fired_ = true;
+    return true;
+  }
+  return false;
+}
+
+std::size_t FaultInjectingFile::read_at(std::uint64_t offset, void* out,
+                                        std::size_t bytes) {
+  return inner_->read_at(offset, out, bytes);
+}
+
+void FaultInjectingFile::write_at(std::uint64_t offset, const void* data,
+                                  std::size_t bytes) {
+  if (trip()) {
+    if (mode_ == Mode::kShortWrite && short_bytes_ > 0 &&
+        short_bytes_ < bytes) {
+      // The torn-write case: a prefix reaches the disk, then the writer
+      // dies. Persist it through the inner file before failing.
+      inner_->write_at(offset, data, short_bytes_);
+    }
+    throw ConfigError("injected fault: write failed: " +
+                      std::string(std::strerror(ENOSPC)));
+  }
+  inner_->write_at(offset, data, bytes);
+}
+
+void FaultInjectingFile::truncate(std::uint64_t bytes) {
+  if (trip()) {
+    throw ConfigError("injected fault: truncate failed");
+  }
+  inner_->truncate(bytes);
+}
+
+void FaultInjectingFile::sync() {
+  if (trip()) {
+    throw ConfigError("injected fault: fsync failed");
+  }
+  inner_->sync();
+}
+
+std::uint64_t FaultInjectingFile::size() { return inner_->size(); }
+
+}  // namespace hvc::store

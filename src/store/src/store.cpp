@@ -1,0 +1,503 @@
+#include "hvc/store/store.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "hvc/common/error.hpp"
+#include "hvc/common/hash.hpp"
+
+namespace hvc::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'V', 'C', 'S'};
+constexpr std::uint16_t kDirtyFlag = 0x0001;
+constexpr std::uint16_t kKnownFlags = kDirtyFlag;
+constexpr std::uint64_t kFlagsOffset = 6;
+
+void store_u16(std::uint8_t* out, std::uint16_t value) noexcept {
+  out[0] = static_cast<std::uint8_t>(value);
+  out[1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void store_u32(std::uint8_t* out, std::uint32_t value) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void store_u64(std::uint8_t* out, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+[[nodiscard]] std::uint16_t load_u16(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint16_t>(
+      in[0] | (static_cast<std::uint16_t>(in[1]) << 8));
+}
+
+[[nodiscard]] std::uint32_t load_u32(const std::uint8_t* in) noexcept {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+[[nodiscard]] std::uint64_t load_u64(const std::uint8_t* in) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+[[nodiscard]] ConfigError bad_store(const std::string& label,
+                                    const std::string& what) {
+  return ConfigError("result store \"" + label + "\": " + what);
+}
+
+struct Header {
+  std::uint16_t version = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t app_tag = 0;
+  [[nodiscard]] bool dirty() const noexcept {
+    return (flags & kDirtyFlag) != 0;
+  }
+};
+
+void encode_header(std::uint8_t (&raw)[kStoreHeaderBytes],
+                   const Header& header) noexcept {
+  std::memset(raw, 0, sizeof raw);
+  std::memcpy(raw, kMagic, 4);
+  store_u16(raw + 4, header.version);
+  store_u16(raw + 6, header.flags);
+  store_u64(raw + 8, header.app_tag);
+}
+
+/// Parses + validates the fixed header; throws bad_store on any problem.
+[[nodiscard]] Header decode_header(
+    const std::string& label, const std::uint8_t (&raw)[kStoreHeaderBytes]) {
+  if (std::memcmp(raw, kMagic, 4) != 0) {
+    throw bad_store(label, "bad magic (not a .hvcs result store)");
+  }
+  Header header;
+  header.version = load_u16(raw + 4);
+  header.flags = load_u16(raw + 6);
+  header.app_tag = load_u64(raw + 8);
+  if (header.version != kStoreFormatVersion) {
+    throw bad_store(label, "unsupported format version " +
+                               std::to_string(header.version));
+  }
+  if ((header.flags & ~kKnownFlags) != 0) {
+    throw bad_store(label, "unsupported header flags");
+  }
+  for (std::size_t i = 16; i < kStoreHeaderBytes; ++i) {
+    if (raw[i] != 0) {
+      throw bad_store(label, "non-zero reserved header bytes");
+    }
+  }
+  return header;
+}
+
+}  // namespace
+
+const char* to_string(FsckStatus status) noexcept {
+  switch (status) {
+    case FsckStatus::kClean:
+      return "clean";
+    case FsckStatus::kRecoverable:
+      return "recoverable";
+    case FsckStatus::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Result of walking the slab: the validated prefix and its index.
+struct ScanOutcome {
+  std::uint64_t valid_end = kStoreHeaderBytes;
+  std::unordered_map<Key, std::pair<std::uint64_t, std::uint32_t>, KeyHash>
+      index;
+  bool torn = false;
+  std::string detail;  ///< why the scan stopped early
+};
+
+/// Walks every record, validating both CRCs, and stops at the first sign
+/// of a torn or truncated append. Everything before the stop point is a
+/// committed record; everything after is tail.
+[[nodiscard]] ScanOutcome scan_slab(File& file, std::uint64_t file_size) {
+  ScanOutcome out;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t offset = kStoreHeaderBytes;
+  const auto stop = [&](std::string why) {
+    out.torn = true;
+    out.detail = std::move(why) + " at offset " + std::to_string(offset);
+  };
+  while (offset < file_size) {
+    if (offset + kRecordHeaderBytes > file_size) {
+      stop("truncated record header");
+      break;
+    }
+    std::uint8_t raw[kRecordHeaderBytes];
+    if (file.read_at(offset, raw, sizeof raw) != sizeof raw) {
+      stop("short record header read");
+      break;
+    }
+    if (crc32(raw, 28) != load_u32(raw + 28)) {
+      stop("record header checksum mismatch");
+      break;
+    }
+    if (load_u32(raw + 24) != 0) {
+      stop("non-zero reserved record bytes");
+      break;
+    }
+    const Key key{load_u64(raw), load_u64(raw + 8)};
+    const std::uint32_t payload_bytes = load_u32(raw + 16);
+    const std::uint32_t payload_crc = load_u32(raw + 20);
+    if (offset + kRecordHeaderBytes + payload_bytes > file_size) {
+      stop("truncated record payload");
+      break;
+    }
+    payload.resize(payload_bytes);
+    if (file.read_at(offset + kRecordHeaderBytes, payload.data(),
+                     payload_bytes) != payload_bytes) {
+      stop("short record payload read");
+      break;
+    }
+    if (crc32(payload.data(), payload.size()) != payload_crc) {
+      stop("record payload checksum mismatch");
+      break;
+    }
+    // A single writer checks contains() before appending, so a duplicate
+    // key cannot be a committed record — treat it like a torn tail.
+    if (!out.index.emplace(key, std::make_pair(offset, payload_bytes))
+             .second) {
+      stop("duplicate record key");
+      break;
+    }
+    offset += kRecordHeaderBytes + payload_bytes;
+  }
+  out.valid_end = out.torn ? offset : file_size;
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// ResultStore
+// ---------------------------------------------------------------------
+
+ResultStore::ResultStore(const std::string& path, const OpenOptions& options)
+    : file_(std::make_unique<PosixFile>(path, !options.read_only,
+                                        !options.read_only && options.create)),
+      label_(path),
+      writable_(!options.read_only) {
+  open_validate(options);
+}
+
+ResultStore::ResultStore(std::unique_ptr<File> file, std::string label,
+                         const OpenOptions& options)
+    : file_(std::move(file)),
+      label_(std::move(label)),
+      writable_(!options.read_only) {
+  expects(file_ != nullptr, "result store needs a file");
+  open_validate(options);
+}
+
+ResultStore::~ResultStore() {
+  try {
+    close();
+  } catch (...) {
+    // Leaving the dirty flag set is always safe: the next open recovers.
+  }
+}
+
+void ResultStore::write_fresh_header() {
+  Header header;
+  header.version = kStoreFormatVersion;
+  // Born dirty: the flag only clears on a clean close, so a writer that
+  // dies before its first record already reads as "needs recovery".
+  header.flags = writable_ ? kDirtyFlag : 0;
+  header.app_tag = app_tag_;
+  std::uint8_t raw[kStoreHeaderBytes];
+  encode_header(raw, header);
+  file_->write_at(0, raw, sizeof raw);
+  file_->sync();
+}
+
+void ResultStore::set_dirty(bool dirty) {
+  std::uint8_t raw[2];
+  store_u16(raw, dirty ? kDirtyFlag : 0);
+  file_->write_at(kFlagsOffset, raw, sizeof raw);
+}
+
+void ResultStore::open_validate(const OpenOptions& options) {
+  const std::uint64_t size = file_->size();
+  app_tag_ = options.app_tag;
+
+  if (size == 0) {
+    if (!writable_) {
+      throw bad_store(label_, "store is empty");
+    }
+    write_fresh_header();
+    end_ = kStoreHeaderBytes;
+    return;
+  }
+  if (size < kStoreHeaderBytes) {
+    // The creating writer died inside its first header write.
+    if (!writable_ || !options.recover) {
+      throw bad_store(label_,
+                      "incomplete header (creating writer died?); "
+                      "reopen with recovery (--resume) or repair it");
+    }
+    recovered_bytes_ = size;
+    file_->truncate(0);
+    write_fresh_header();
+    end_ = kStoreHeaderBytes;
+    return;
+  }
+
+  std::uint8_t raw[kStoreHeaderBytes];
+  if (file_->read_at(0, raw, sizeof raw) != sizeof raw) {
+    throw bad_store(label_, "short header read");
+  }
+  const Header header = decode_header(label_, raw);
+  if (options.app_tag != 0 && header.app_tag != options.app_tag) {
+    throw bad_store(label_,
+                    "schema tag mismatch (store was written by a "
+                    "different result schema)");
+  }
+  app_tag_ = header.app_tag;
+
+  const ScanOutcome scan = scan_slab(*file_, size);
+  if (!header.dirty() && scan.torn) {
+    // A clean close syncs every record before clearing the flag, so a
+    // bad tail under a clean flag can only mean external damage.
+    // Refuse — fsck --repair salvages the valid prefix.
+    throw bad_store(label_, "corrupt: " + scan.detail +
+                                " in a cleanly-closed store (run "
+                                "`hvc_explore store fsck --repair`)");
+  }
+  if (header.dirty()) {
+    if (!writable_) {
+      throw bad_store(label_,
+                      "store was not closed cleanly (writer died?); "
+                      "open it writable with recovery first");
+    }
+    if (!options.recover) {
+      throw bad_store(label_,
+                      "store was not closed cleanly (writer died?); "
+                      "reopen with recovery (--resume) to truncate "
+                      "any torn tail and continue");
+    }
+    if (scan.torn) {
+      recovered_bytes_ = size - scan.valid_end;
+      file_->truncate(scan.valid_end);
+    }
+  }
+  end_ = scan.valid_end;
+  index_ = std::move(scan.index);
+  if (writable_) {
+    set_dirty(true);
+    file_->sync();
+  }
+}
+
+bool ResultStore::contains(const Key& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.find(key) != index_.end();
+}
+
+std::optional<std::vector<std::uint8_t>> ResultStore::get(
+    const Key& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  const auto [record_offset, payload_bytes] = it->second;
+  std::vector<std::uint8_t> record(kRecordHeaderBytes + payload_bytes);
+  if (file_->read_at(record_offset, record.data(), record.size()) !=
+      record.size()) {
+    throw bad_store(label_, "short record read (file shrank under us?)");
+  }
+  // Paranoid read path: both CRCs re-verified on every warm hit, so a
+  // store damaged after open can never silently serve a wrong row.
+  if (crc32(record.data(), 28) != load_u32(record.data() + 28) ||
+      crc32(record.data() + kRecordHeaderBytes, payload_bytes) !=
+          load_u32(record.data() + 20)) {
+    throw bad_store(label_, "record checksum mismatch on read");
+  }
+  return std::vector<std::uint8_t>(record.begin() + kRecordHeaderBytes,
+                                   record.end());
+}
+
+bool ResultStore::put(const Key& key, const void* payload,
+                      std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expects(writable_ && !closed_, "put() on a read-only or closed store");
+  expects(bytes <= 0xFFFFFFFFULL, "record payload larger than 4 GiB");
+  if (index_.find(key) != index_.end()) {
+    return false;
+  }
+
+  std::uint8_t raw[kRecordHeaderBytes];
+  std::memset(raw, 0, sizeof raw);
+  store_u64(raw, key.lo);
+  store_u64(raw + 8, key.hi);
+  store_u32(raw + 16, static_cast<std::uint32_t>(bytes));
+  store_u32(raw + 20, crc32(payload, bytes));
+  store_u32(raw + 28, crc32(raw, 28));
+
+  // Commit protocol: payload first, then the checksummed record header,
+  // then the in-memory index. Until the header write returns, the scan
+  // sees a torn tail and recovery discards it; after, the record is
+  // committed at every kill point.
+  file_->write_at(end_ + kRecordHeaderBytes, payload, bytes);
+  file_->write_at(end_, raw, sizeof raw);
+  index_.emplace(key, std::make_pair(end_, static_cast<std::uint32_t>(bytes)));
+  end_ += kRecordHeaderBytes + bytes;
+  return true;
+}
+
+void ResultStore::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expects(!closed_, "sync() on a closed store");
+  file_->sync();
+}
+
+void ResultStore::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    return;
+  }
+  if (writable_) {
+    // Records must be durable BEFORE the clean flag is: a clean header
+    // must never describe a file whose tail is still in flight.
+    file_->sync();
+    set_dirty(false);
+    file_->sync();
+  }
+  closed_ = true;
+}
+
+std::size_t ResultStore::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+std::uint64_t ResultStore::file_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return end_;
+}
+
+// ---------------------------------------------------------------------
+// fsck / repair
+// ---------------------------------------------------------------------
+
+FsckReport ResultStore::fsck(const std::string& path) {
+  PosixFile file(path, /*writable=*/false, /*create=*/false);
+  FsckReport report;
+  report.file_bytes = file.size();
+  if (report.file_bytes < kStoreHeaderBytes) {
+    report.status = FsckStatus::kCorrupt;
+    report.detail = report.file_bytes == 0 ? "empty file"
+                                           : "incomplete header";
+    return report;
+  }
+  std::uint8_t raw[kStoreHeaderBytes];
+  if (file.read_at(0, raw, sizeof raw) != sizeof raw) {
+    report.status = FsckStatus::kCorrupt;
+    report.detail = "short header read";
+    return report;
+  }
+  Header header;
+  try {
+    header = decode_header(path, raw);
+  } catch (const ConfigError& error) {
+    report.status = FsckStatus::kCorrupt;
+    report.detail = error.what();
+    return report;
+  }
+  report.dirty = header.dirty();
+  report.app_tag = header.app_tag;
+
+  const ScanOutcome scan = scan_slab(file, report.file_bytes);
+  report.records = scan.index.size();
+  report.valid_bytes = scan.valid_end;
+  if (header.dirty()) {
+    report.status = FsckStatus::kRecoverable;
+    report.detail = scan.torn
+                        ? "writer died mid-append (" + scan.detail + ")"
+                        : "writer died after its last commit (no torn "
+                          "tail)";
+  } else if (scan.torn) {
+    report.status = FsckStatus::kCorrupt;
+    report.detail = scan.detail + " in a cleanly-closed store";
+  } else {
+    report.status = FsckStatus::kClean;
+    report.detail = "all records validate";
+  }
+  return report;
+}
+
+FsckReport ResultStore::repair(const std::string& path) {
+  PosixFile file(path, /*writable=*/true, /*create=*/false);
+  const std::uint64_t size = file.size();
+  FsckReport report;
+  report.file_bytes = size;
+
+  if (size < kStoreHeaderBytes) {
+    // Nothing committed yet — rebuild an empty, clean store.
+    Header header;
+    header.version = kStoreFormatVersion;
+    std::uint8_t raw[kStoreHeaderBytes];
+    encode_header(raw, header);
+    file.truncate(0);
+    file.write_at(0, raw, sizeof raw);
+    file.sync();
+    report.status = FsckStatus::kClean;
+    report.valid_bytes = kStoreHeaderBytes;
+    report.file_bytes = kStoreHeaderBytes;
+    report.detail = "rebuilt empty store (header was incomplete)";
+    return report;
+  }
+
+  std::uint8_t raw[kStoreHeaderBytes];
+  if (file.read_at(0, raw, sizeof raw) != sizeof raw) {
+    throw bad_store(path, "short header read");
+  }
+  // Bad magic/version is unrepairable — decode_header throws.
+  const Header header = decode_header(path, raw);
+  report.dirty = header.dirty();
+  report.app_tag = header.app_tag;
+
+  const ScanOutcome scan = scan_slab(file, size);
+  const std::uint64_t torn_bytes = size - scan.valid_end;
+  if (scan.torn) {
+    file.truncate(scan.valid_end);
+  }
+  file.sync();
+  std::uint8_t flags[2];
+  store_u16(flags, 0);
+  file.write_at(kFlagsOffset, flags, sizeof flags);
+  file.sync();
+
+  report.status = FsckStatus::kClean;
+  report.records = scan.index.size();
+  report.valid_bytes = scan.valid_end;
+  report.file_bytes = scan.valid_end;
+  report.detail =
+      "kept " + std::to_string(scan.index.size()) + " records" +
+      (torn_bytes > 0
+           ? ", truncated " + std::to_string(torn_bytes) + " torn bytes"
+           : "") +
+      (header.dirty() ? ", cleared dirty flag" : "");
+  return report;
+}
+
+}  // namespace hvc::store

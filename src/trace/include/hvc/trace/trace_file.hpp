@@ -130,6 +130,38 @@ class TraceFileSource final : public TraceSource {
 /// Reads and validates a file's header + footer only (hvc_trace info).
 [[nodiscard]] TraceInfo read_trace_info(const std::string& path);
 
+/// Hostile-input classification of a .hvct file (hvc_trace fsck).
+enum class TraceFsckStatus {
+  kClean,        ///< header, payload and footer all validate
+  kRecoverable,  ///< valid header + a decodable record prefix, but the
+                 ///< footer is missing/invalid or the tail is torn —
+                 ///< repair_trace() salvages the prefix
+  kCorrupt,      ///< the header itself is unusable (wrong magic/version/
+                 ///< flags): nothing to salvage
+};
+
+[[nodiscard]] const char* to_string(TraceFsckStatus status) noexcept;
+
+struct TraceFsckReport {
+  TraceFsckStatus status = TraceFsckStatus::kCorrupt;
+  std::uint64_t records = 0;        ///< fully-decodable records
+  std::uint64_t payload_bytes = 0;  ///< bytes those records occupy
+  std::uint64_t file_bytes = 0;
+  TraceStats stats;    ///< recomputed from the decodable prefix
+  std::string detail;  ///< human-readable finding
+};
+
+/// Read-only integrity check: classifies `path` without modifying it.
+/// A clean file reports the footer's counts; a damaged one reports how
+/// much of the payload is decodable (what --repair would keep).
+[[nodiscard]] TraceFsckReport fsck_trace(const std::string& path);
+
+/// Salvages a recoverable file in place: truncates the payload to the
+/// last fully-decodable record and writes a fresh footer recomputed from
+/// the kept records, leaving a file every reader accepts. Clean files
+/// are untouched. Throws ConfigError when the header is corrupt.
+TraceFsckReport repair_trace(const std::string& path);
+
 /// Records an entire source (or an in-memory capture) to `path`; returns
 /// the written stats. The source is reset() first.
 TraceStats write_trace(const std::string& path, TraceSource& source);

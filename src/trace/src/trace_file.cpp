@@ -1,7 +1,11 @@
 #include "hvc/trace/trace_file.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "hvc/common/error.hpp"
 
@@ -61,6 +65,27 @@ void store_u64(std::uint8_t* out, std::uint64_t value) noexcept {
 [[nodiscard]] ConfigError bad_trace(const std::string& path,
                                     const std::string& what) {
   return ConfigError("trace file \"" + path + "\": " + what);
+}
+
+[[nodiscard]] ConfigError bad_trace_errno(const std::string& path,
+                                          const std::string& what) {
+  return bad_trace(path, what + ": " + std::strerror(errno));
+}
+
+/// Encodes the fixed footer (shared by finish() and repair_trace()).
+void encode_footer(std::uint8_t (&out)[kTraceFooterBytes],
+                   std::uint64_t records, const TraceStats& s) noexcept {
+  std::memset(out, 0, sizeof out);
+  std::memcpy(out, kFooterMagic, 4);
+  store_u32(out + 4, 0);  // reserved
+  store_u64(out + 8, records);
+  store_u64(out + 16, s.instructions);
+  store_u64(out + 24, s.loads);
+  store_u64(out + 32, s.stores);
+  store_u64(out + 40, s.branches);
+  store_u64(out + 48, s.taken_branches);
+  store_u64(out + 56, s.data_footprint_bytes);
+  store_u64(out + 64, s.code_footprint_bytes);
 }
 
 /// Decodes the fixed-size footer (record count + stats).
@@ -224,7 +249,9 @@ void TraceWriter::flush_buffer() {
   }
   if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
       buffer_.size()) {
-    throw ConfigError("write to trace file \"" + path_ + "\" failed");
+    // fwrite reports short writes without setting errno reliably; ferror
+    // state plus errno (ENOSPC and friends) is the best diagnosis we get.
+    throw bad_trace_errno(path_, "short write");
   }
   buffer_.clear();
 }
@@ -291,26 +318,40 @@ void TraceWriter::finish() {
   if (finished_) {
     return;
   }
-  flush_buffer();
-  const TraceStats s = stats();
-  std::uint8_t footer[kTraceFooterBytes] = {};
-  std::memcpy(footer, kFooterMagic, 4);
-  store_u32(footer + 4, 0);  // reserved
-  store_u64(footer + 8, records_);
-  store_u64(footer + 16, s.instructions);
-  store_u64(footer + 24, s.loads);
-  store_u64(footer + 32, s.stores);
-  store_u64(footer + 40, s.branches);
-  store_u64(footer + 48, s.taken_branches);
-  store_u64(footer + 56, s.data_footprint_bytes);
-  store_u64(footer + 64, s.code_footprint_bytes);
-  const bool wrote =
-      std::fwrite(footer, 1, sizeof footer, file_) == sizeof footer;
+  // Durability contract: every byte — payload window, footer, stdio
+  // buffer — must reach the kernel AND stable storage before finish()
+  // reports success. A short write or close-time flush failure (ENOSPC
+  // on a full disk is the classic) surfaces as ConfigError with errno
+  // text instead of silently "succeeding" with a torn file. Whatever
+  // fails, the FILE* is closed and the writer is finished: a failed
+  // finish leaves an invalid (footerless or torn) file, never a leak.
+  std::uint8_t footer[kTraceFooterBytes];
+  encode_footer(footer, records_, stats());
+  try {
+    flush_buffer();
+    if (std::fwrite(footer, 1, sizeof footer, file_) != sizeof footer) {
+      throw bad_trace_errno(path_, "cannot write footer");
+    }
+    // Drain stdio's buffer to the kernel...
+    if (std::fflush(file_) != 0) {
+      throw bad_trace_errno(path_, "flush failed");
+    }
+    // ...and the kernel's pages to stable storage, so a power cut after
+    // a successful finish() cannot lose a reported-complete trace.
+    if (::fsync(::fileno(file_)) != 0) {
+      throw bad_trace_errno(path_, "fsync failed");
+    }
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    finished_ = true;
+    throw;
+  }
   const bool closed = std::fclose(file_) == 0;
   file_ = nullptr;
   finished_ = true;
-  if (!wrote || !closed) {
-    throw ConfigError("cannot finish trace file \"" + path_ + "\"");
+  if (!closed) {
+    throw bad_trace_errno(path_, "close failed");
   }
 }
 
@@ -401,6 +442,331 @@ void TraceFileSource::reset() {
   emitted_ = 0;
   last_code_ = 0;
   last_data_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// fsck / repair
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Streaming byte cursor over a payload window of `file` (already
+/// positioned at the window start). Unlike TraceFileSource::take_byte it
+/// reports end-of-window instead of throwing: the scanner's job is to
+/// find where decodability stops, not to reject the file.
+class PayloadCursor {
+ public:
+  PayloadCursor(std::FILE* file, std::uint64_t window_bytes)
+      : file_(file), left_(window_bytes) {}
+
+  /// False at the end of the window or on a read error.
+  [[nodiscard]] bool next_byte(std::uint8_t& out) {
+    if (pos_ == len_) {
+      if (left_ == 0 || file_ == nullptr) {
+        return false;
+      }
+      len_ = std::fread(buffer_, 1,
+                        static_cast<std::size_t>(
+                            std::min<std::uint64_t>(sizeof buffer_, left_)),
+                        file_);
+      pos_ = 0;
+      if (len_ == 0) {
+        file_ = nullptr;  // read error: treat as end of decodable bytes
+        return false;
+      }
+      left_ -= len_;
+    }
+    ++consumed_;
+    out = buffer_[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
+
+ private:
+  std::FILE* file_;
+  std::uint64_t left_;
+  std::uint8_t buffer_[kTraceIoBufferBytes];
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+/// What a raw payload decode found: the longest prefix of fully-valid
+/// records, its stats (recomputed exactly the way TraceWriter tracks
+/// them), and why the scan stopped early, if it did.
+struct PayloadScan {
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes those records occupy
+  bool complete = false;    ///< scan consumed the whole window cleanly
+  TraceStats stats;
+  std::string detail;
+};
+
+[[nodiscard]] PayloadScan scan_payload(std::FILE* file,
+                                       std::uint64_t window_bytes) {
+  PayloadCursor cursor(file, window_bytes);
+  PayloadScan scan;
+  std::uint64_t last_code = 0, last_data = 0;
+  std::uint64_t data_lo = ~0ULL, data_hi = 0, code_lo = ~0ULL, code_hi = 0;
+  auto stop = [&](const std::string& why) {
+    scan.detail = why + " at payload offset " +
+                  std::to_string(cursor.consumed() - 1);
+  };
+  for (;;) {
+    std::uint8_t tag = 0;
+    if (!cursor.next_byte(tag)) {
+      scan.complete = true;  // ended exactly on a record boundary
+      break;
+    }
+    if ((tag & kReservedMask) != 0) {
+      stop("corrupt record tag (reserved bits set)");
+      break;
+    }
+    const std::uint8_t kind = tag & kKindMask;
+    if ((tag & kTakenBit) != 0 && kind != 3) {
+      stop("taken flag on a non-branch record");
+      break;
+    }
+    std::uint64_t raw = 0;
+    bool torn = false, overlong = false;
+    for (unsigned shift = 0;; shift += 7) {
+      if (shift >= 64) {
+        overlong = true;
+        break;
+      }
+      std::uint8_t byte = 0;
+      if (!cursor.next_byte(byte)) {
+        torn = true;
+        break;
+      }
+      raw |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        break;
+      }
+    }
+    if (torn) {
+      scan.detail = "record torn mid-varint at payload offset " +
+                    std::to_string(scan.bytes);
+      break;
+    }
+    if (overlong) {
+      stop("varint longer than 64 bits");
+      break;
+    }
+    const std::uint64_t addr =
+        ((kind == 1 || kind == 2) ? last_data : last_code) +
+        static_cast<std::uint64_t>(zigzag_decode(raw));
+    switch (kind) {
+      case 0:
+        ++scan.stats.instructions;
+        last_code = addr;
+        code_lo = std::min(code_lo, addr);
+        code_hi = std::max(code_hi, addr + 4);
+        break;
+      case 1:
+        ++scan.stats.loads;
+        last_data = addr;
+        data_lo = std::min(data_lo, addr);
+        data_hi = std::max(data_hi, addr + 4);
+        break;
+      case 2:
+        ++scan.stats.stores;
+        last_data = addr;
+        data_lo = std::min(data_lo, addr);
+        data_hi = std::max(data_hi, addr + 4);
+        break;
+      case 3:
+        ++scan.stats.branches;
+        last_code = addr;
+        if ((tag & kTakenBit) != 0) {
+          ++scan.stats.taken_branches;
+        }
+        break;
+    }
+    ++scan.records;
+    scan.bytes = cursor.consumed();
+  }
+  if (data_hi > data_lo) {
+    scan.stats.data_footprint_bytes = data_hi - data_lo;
+  }
+  if (code_hi > code_lo) {
+    scan.stats.code_footprint_bytes = code_hi - code_lo;
+  }
+  return scan;
+}
+
+[[nodiscard]] bool stats_equal(const TraceStats& a,
+                               const TraceStats& b) noexcept {
+  return a.instructions == b.instructions && a.loads == b.loads &&
+         a.stores == b.stores && a.branches == b.branches &&
+         a.taken_branches == b.taken_branches &&
+         a.data_footprint_bytes == b.data_footprint_bytes &&
+         a.code_footprint_bytes == b.code_footprint_bytes;
+}
+
+}  // namespace
+
+const char* to_string(TraceFsckStatus status) noexcept {
+  switch (status) {
+    case TraceFsckStatus::kClean:
+      return "clean";
+    case TraceFsckStatus::kRecoverable:
+      return "recoverable";
+    case TraceFsckStatus::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+TraceFsckReport fsck_trace(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw ConfigError("cannot open trace file \"" + path + "\"");
+  }
+  TraceFsckReport report;
+  try {
+    if (std::fseek(file, 0, SEEK_END) != 0) {
+      throw bad_trace(path, "seek failed");
+    }
+    const long size = std::ftell(file);
+    if (size < 0) {
+      throw bad_trace(path, "cannot size file");
+    }
+    report.file_bytes = static_cast<std::uint64_t>(size);
+
+    // Header: without a valid one there is nothing to salvage.
+    std::uint8_t header[kTraceHeaderBytes];
+    std::rewind(file);
+    if (report.file_bytes < kTraceHeaderBytes ||
+        std::fread(header, 1, sizeof header, file) != sizeof header) {
+      report.status = TraceFsckStatus::kCorrupt;
+      report.detail = "too short to hold a .hvct header";
+      std::fclose(file);
+      return report;
+    }
+    if (std::memcmp(header, kHeaderMagic, 4) != 0) {
+      report.status = TraceFsckStatus::kCorrupt;
+      report.detail = "bad magic (not a .hvct trace)";
+      std::fclose(file);
+      return report;
+    }
+    if (load_u16(header + 4) != kTraceFormatVersion) {
+      report.status = TraceFsckStatus::kCorrupt;
+      report.detail = "unsupported format version " +
+                      std::to_string(load_u16(header + 4));
+      std::fclose(file);
+      return report;
+    }
+    if (load_u16(header + 6) != 0) {
+      report.status = TraceFsckStatus::kCorrupt;
+      report.detail = "unsupported flags";
+      std::fclose(file);
+      return report;
+    }
+
+    // Footer, if the tail looks like one; otherwise the whole remainder
+    // is treated as (possibly torn) payload.
+    bool footer_present = false;
+    bool footer_valid = false;
+    TraceInfo footer_info;
+    std::string footer_problem = "missing footer";
+    std::uint64_t window = report.file_bytes - kTraceHeaderBytes;
+    if (report.file_bytes >= kTraceHeaderBytes + kTraceFooterBytes) {
+      std::uint8_t footer[kTraceFooterBytes];
+      if (std::fseek(file, -static_cast<long>(kTraceFooterBytes),
+                     SEEK_END) != 0 ||
+          std::fread(footer, 1, sizeof footer, file) != sizeof footer) {
+        throw bad_trace(path, "short footer read");
+      }
+      footer_present = std::memcmp(footer, kFooterMagic, 4) == 0;
+      if (footer_present) {
+        window -= kTraceFooterBytes;
+        try {
+          parse_footer(path, footer, footer_info);
+          footer_valid = true;
+        } catch (const ConfigError& error) {
+          footer_problem = error.what();
+        }
+      }
+    }
+
+    // Decode the payload window from the start; the longest valid record
+    // prefix is what a repair would keep.
+    if (std::fseek(file, static_cast<long>(kTraceHeaderBytes), SEEK_SET) !=
+        0) {
+      throw bad_trace(path, "seek to payload failed");
+    }
+    const PayloadScan scan = scan_payload(file, window);
+    std::fclose(file);
+    file = nullptr;
+
+    report.records = scan.records;
+    report.payload_bytes = scan.bytes;
+    report.stats = scan.stats;
+    if (footer_valid && scan.complete &&
+        footer_info.records == scan.records &&
+        stats_equal(footer_info.stats, scan.stats)) {
+      report.status = TraceFsckStatus::kClean;
+      report.detail = "header, payload and footer validate";
+      return report;
+    }
+    report.status = TraceFsckStatus::kRecoverable;
+    if (!scan.complete) {
+      report.detail = scan.detail;
+    } else if (!footer_valid) {
+      report.detail = footer_problem;
+    } else {
+      report.detail =
+          "footer disagrees with the payload (footer claims " +
+          std::to_string(footer_info.records) + " records, payload holds " +
+          std::to_string(scan.records) + ")";
+    }
+    return report;
+  } catch (...) {
+    if (file != nullptr) {
+      std::fclose(file);
+    }
+    throw;
+  }
+}
+
+TraceFsckReport repair_trace(const std::string& path) {
+  TraceFsckReport report = fsck_trace(path);
+  if (report.status == TraceFsckStatus::kClean) {
+    return report;
+  }
+  if (report.status == TraceFsckStatus::kCorrupt) {
+    throw bad_trace(path, "unrepairable (" + report.detail + ")");
+  }
+
+  // Keep the decodable record prefix: write a footer recomputed from it
+  // directly after the last good record, cut everything past the footer,
+  // and make the result durable before reporting success.
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    throw bad_trace_errno(path, "cannot open for repair");
+  }
+  std::uint8_t footer[kTraceFooterBytes];
+  encode_footer(footer, report.records, report.stats);
+  const auto footer_at =
+      static_cast<off_t>(kTraceHeaderBytes + report.payload_bytes);
+  const auto new_size = footer_at + static_cast<off_t>(kTraceFooterBytes);
+  if (::pwrite(fd, footer, sizeof footer, footer_at) !=
+          static_cast<ssize_t>(sizeof footer) ||
+      ::ftruncate(fd, new_size) != 0 || ::fsync(fd) != 0) {
+    const ConfigError error = bad_trace_errno(path, "repair write failed");
+    ::close(fd);
+    throw error;
+  }
+  ::close(fd);
+
+  const std::string salvaged = report.detail;
+  report.status = TraceFsckStatus::kClean;
+  report.file_bytes = static_cast<std::uint64_t>(new_size);
+  report.detail = "repaired: kept " + std::to_string(report.records) +
+                  " records, dropped damaged tail (" + salvaged + ")";
+  return report;
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,462 @@
+// Crash-safe result store (.hvcs): format round-trip, write-once keys,
+// dirty-flag discipline, open-time validation, fsck/repair, the row
+// codec + canonical keys, and the two differential pins that matter to
+// the sweep engine: warm (memoized) sweeps are byte-identical to cold
+// recomputation, and N threads sharing one store produce the same file
+// and CSV as one thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hvc/common/error.hpp"
+#include "hvc/explore/engine.hpp"
+#include "hvc/explore/result_store.hpp"
+#include "hvc/store/store.hpp"
+
+namespace hvc::store {
+namespace {
+
+[[nodiscard]] std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "hvc_store_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+[[nodiscard]] std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+[[nodiscard]] std::vector<std::uint8_t> payload_of(const std::string& text) {
+  return {text.begin(), text.end()};
+}
+
+void put_text(ResultStore& store, const Key& key, const std::string& text) {
+  ASSERT_TRUE(store.put(key, text.data(), text.size()));
+}
+
+// ---------------------------------------------------------------------
+// Round-trip and write-once semantics
+// ---------------------------------------------------------------------
+
+TEST(Store, PutGetRoundTripAndReopen) {
+  const std::string path = temp_path("roundtrip.hvcs");
+  const Key a{1, 2}, b{3, 4};
+  {
+    ResultStore store(path, OpenOptions{.app_tag = 42});
+    EXPECT_FALSE(store.contains(a));
+    put_text(store, a, "row one");
+    put_text(store, b, "");
+    EXPECT_TRUE(store.contains(a));
+    EXPECT_EQ(store.records(), 2u);
+    ASSERT_TRUE(store.get(a).has_value());
+    EXPECT_EQ(*store.get(a), payload_of("row one"));
+    EXPECT_EQ(store.get(b)->size(), 0u);
+    EXPECT_FALSE(store.get(Key{9, 9}).has_value());
+    store.close();
+  }
+  // Clean close cleared the dirty flag: a plain reopen (no recover)
+  // succeeds and serves the same bytes.
+  ResultStore store(path, OpenOptions{.read_only = true, .app_tag = 42});
+  EXPECT_EQ(store.records(), 2u);
+  EXPECT_EQ(store.recovered_bytes(), 0u);
+  EXPECT_EQ(*store.get(a), payload_of("row one"));
+}
+
+TEST(Store, KeysAreWriteOnceFirstCommitWins) {
+  const std::string path = temp_path("write_once.hvcs");
+  ResultStore store(path, OpenOptions{});
+  const Key key{7, 7};
+  EXPECT_TRUE(store.put(key, "first", 5));
+  EXPECT_FALSE(store.put(key, "second", 6));
+  EXPECT_EQ(store.records(), 1u);
+  EXPECT_EQ(*store.get(key), payload_of("first"));
+}
+
+TEST(Store, AppTagMismatchIsRejected) {
+  const std::string path = temp_path("app_tag.hvcs");
+  {
+    ResultStore store(path, OpenOptions{.app_tag = 1});
+    store.close();
+  }
+  EXPECT_THROW(ResultStore(path, OpenOptions{.app_tag = 2}), ConfigError);
+  EXPECT_NO_THROW(ResultStore(path, OpenOptions{.app_tag = 1}));
+}
+
+TEST(Store, ReadOnlyOpenRefusesPutAndMissingFile) {
+  const std::string missing = temp_path("missing.hvcs");
+  EXPECT_THROW(ResultStore(missing, OpenOptions{.read_only = true}),
+               ConfigError);
+  const std::string path = temp_path("read_only.hvcs");
+  {
+    ResultStore store(path, OpenOptions{});
+    put_text(store, Key{1, 1}, "x");
+    store.close();
+  }
+  ResultStore store(path, OpenOptions{.read_only = true});
+  EXPECT_THROW((void)store.put(Key{2, 2}, "y", 1), PreconditionError);
+}
+
+TEST(Store, SecondWriterIsLockedOut) {
+  const std::string path = temp_path("flock.hvcs");
+  ResultStore first(path, OpenOptions{});
+  // flock is per-open-file-description, so a second writable open in the
+  // same process conflicts exactly like another process would.
+  EXPECT_THROW(ResultStore(path, OpenOptions{}), ConfigError);
+  // Readers are shut out while a writer is live too (exclusive lock).
+  EXPECT_THROW(ResultStore(path, OpenOptions{.read_only = true}),
+               ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Dirty-flag discipline and open-time validation
+// ---------------------------------------------------------------------
+
+/// Snapshot of the file while a writer is live: header dirty, N records
+/// committed — byte-wise what a SIGKILLed writer leaves behind.
+[[nodiscard]] std::vector<char> dirty_snapshot(const std::string& path,
+                                               std::size_t records) {
+  std::vector<char> bytes;
+  {
+    ResultStore store(path, OpenOptions{});
+    for (std::size_t i = 0; i < records; ++i) {
+      const std::string text = "record " + std::to_string(i);
+      EXPECT_TRUE(
+          store.put(Key{i + 1, 2 * i + 1}, text.data(), text.size()));
+    }
+    store.sync();
+    bytes = slurp(path);
+  }  // destructor closes cleanly; the snapshot stays dirty
+  return bytes;
+}
+
+TEST(Store, DirtyStoreNeedsExplicitRecovery) {
+  const std::string path = temp_path("dirty.hvcs");
+  const std::vector<char> dirty = dirty_snapshot(path, 3);
+  spit(path, dirty);
+  EXPECT_THROW(ResultStore(path, OpenOptions{}), ConfigError);
+
+  ResultStore store(path, OpenOptions{.recover = true});
+  EXPECT_EQ(store.records(), 3u);
+  EXPECT_EQ(store.recovered_bytes(), 0u);  // no torn tail, just the flag
+  EXPECT_EQ(*store.get(Key{1, 1}), payload_of("record 0"));
+}
+
+TEST(Store, TornTailIsTruncatedOnRecovery) {
+  const std::string path = temp_path("torn.hvcs");
+  std::vector<char> dirty = dirty_snapshot(path, 2);
+  // A record header promising a payload that never made it to disk.
+  dirty.insert(dirty.end(), 20, '\x5a');
+  spit(path, dirty);
+
+  {
+    ResultStore store(path, OpenOptions{.recover = true});
+    EXPECT_EQ(store.records(), 2u);
+    EXPECT_EQ(store.recovered_bytes(), 20u);
+    EXPECT_EQ(*store.get(Key{2, 3}), payload_of("record 1"));
+    // Appending after recovery lands where the torn tail was cut.
+    put_text(store, Key{100, 100}, "after recovery");
+    store.close();
+  }  // the writer's exclusive flock dies with it
+  ResultStore reopened(path, OpenOptions{.read_only = true});
+  EXPECT_EQ(reopened.records(), 3u);
+}
+
+TEST(Store, CleanFileWithTornTailIsCorruptNotRecoverable) {
+  const std::string path = temp_path("clean_torn.hvcs");
+  {
+    ResultStore store(path, OpenOptions{});
+    put_text(store, Key{1, 1}, "x");
+    store.close();
+  }
+  std::vector<char> bytes = slurp(path);
+  bytes.push_back('\x01');
+  spit(path, bytes);
+  // A cleanly-closed file can only grow a bad tail through external
+  // corruption — recovery must not paper over that.
+  EXPECT_THROW(ResultStore(path, OpenOptions{}), ConfigError);
+  EXPECT_THROW(ResultStore(path, OpenOptions{.recover = true}), ConfigError);
+  EXPECT_EQ(ResultStore::fsck(path).status, FsckStatus::kCorrupt);
+}
+
+TEST(Store, FlippedPayloadByteFailsGetReverification) {
+  const std::string path = temp_path("bitrot.hvcs");
+  {
+    ResultStore store(path, OpenOptions{});
+    put_text(store, Key{1, 1}, "precious bytes");
+    store.close();
+  }
+  ResultStore store(path, OpenOptions{.read_only = true});
+  // Corrupt one payload byte behind the open handle's back.
+  std::vector<char> bytes = slurp(path);
+  bytes[kStoreHeaderBytes + kRecordHeaderBytes] ^= 0x01;
+  spit(path, bytes);
+  EXPECT_THROW((void)store.get(Key{1, 1}), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// fsck / repair
+// ---------------------------------------------------------------------
+
+TEST(Store, FsckClassifiesCleanDirtyAndCorrupt) {
+  const std::string clean = temp_path("fsck_clean.hvcs");
+  {
+    ResultStore store(clean, OpenOptions{.app_tag = 9});
+    put_text(store, Key{1, 1}, "x");
+    store.close();
+  }
+  const FsckReport clean_report = ResultStore::fsck(clean);
+  EXPECT_EQ(clean_report.status, FsckStatus::kClean);
+  EXPECT_EQ(clean_report.records, 1u);
+  EXPECT_EQ(clean_report.app_tag, 9u);
+  EXPECT_FALSE(clean_report.dirty);
+
+  const std::string dirty = temp_path("fsck_dirty.hvcs");
+  std::vector<char> snapshot = dirty_snapshot(dirty, 2);
+  snapshot.insert(snapshot.end(), 7, '\x33');  // torn tail on top
+  spit(dirty, snapshot);
+  const FsckReport dirty_report = ResultStore::fsck(dirty);
+  EXPECT_EQ(dirty_report.status, FsckStatus::kRecoverable);
+  EXPECT_TRUE(dirty_report.dirty);
+  EXPECT_EQ(dirty_report.records, 2u);
+  EXPECT_LT(dirty_report.valid_bytes, dirty_report.file_bytes);
+
+  const std::string corrupt = temp_path("fsck_corrupt.hvcs");
+  spit(corrupt, {'n', 'o', 'p', 'e', 0, 0, 0, 0});
+  EXPECT_EQ(ResultStore::fsck(corrupt).status, FsckStatus::kCorrupt);
+}
+
+TEST(Store, RepairSalvagesThePrefixAndCleansTheFlag) {
+  const std::string path = temp_path("repair.hvcs");
+  std::vector<char> snapshot = dirty_snapshot(path, 3);
+  snapshot.insert(snapshot.end(), 40, '\x77');
+  spit(path, snapshot);
+
+  const FsckReport repaired = ResultStore::repair(path);
+  EXPECT_EQ(repaired.status, FsckStatus::kClean);
+  EXPECT_EQ(repaired.records, 3u);
+  EXPECT_EQ(repaired.file_bytes, repaired.valid_bytes);
+
+  // The repaired file is a first-class clean store.
+  EXPECT_EQ(ResultStore::fsck(path).status, FsckStatus::kClean);
+  ResultStore store(path, OpenOptions{.read_only = true});
+  EXPECT_EQ(store.records(), 3u);
+  EXPECT_EQ(*store.get(Key{1, 1}), payload_of("record 0"));
+}
+
+// ---------------------------------------------------------------------
+// Row codec and canonical keys
+// ---------------------------------------------------------------------
+
+TEST(StoreCodec, RowRoundTripIncludingEmptyAndCommaCells) {
+  const std::vector<std::string> cells = {"1.25", "", "a,b\"c", "0"};
+  const std::vector<std::uint8_t> payload = explore::encode_row(cells);
+  EXPECT_EQ(explore::decode_row(payload.data(), payload.size()), cells);
+}
+
+TEST(StoreCodec, MalformedPayloadsThrow) {
+  const std::vector<std::uint8_t> payload =
+      explore::encode_row({"abc", "de"});
+  // Truncated anywhere inside the frame.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW((void)explore::decode_row(payload.data(), cut),
+                 ConfigError)
+        << "cut at " << cut;
+  }
+  // Trailing garbage past the declared cells.
+  std::vector<std::uint8_t> padded = payload;
+  padded.push_back(0);
+  EXPECT_THROW((void)explore::decode_row(padded.data(), padded.size()),
+               ConfigError);
+}
+
+TEST(StoreCodec, KeysAreStableAndDistinguishPoints) {
+  const explore::SweepSpec spec = explore::SweepSpec::parse(R"({
+    "kind": "simulation",
+    "seed": 5,
+    "axes": {
+      "scenario": ["A"],
+      "design": ["baseline", "proposed"],
+      "mode": ["ule"],
+      "workload": ["adpcm_c"]
+    }
+  })");
+  const std::vector<std::string> columns = {"point", "design", "epi"};
+  const std::vector<explore::SweepPoint> points = explore::expand_points(spec);
+  ASSERT_EQ(points.size(), 2u);
+  const Key first = explore::result_key(spec, points[0], columns);
+  EXPECT_EQ(first, explore::result_key(spec, points[0], columns));
+  EXPECT_NE(first, explore::result_key(spec, points[1], columns));
+  // The schema (column list) is part of the key: renaming a column must
+  // miss rather than serve rows with the wrong shape.
+  EXPECT_NE(first,
+            explore::result_key(spec, points[0], {"point", "design", "cpi"}));
+}
+
+// ---------------------------------------------------------------------
+// Engine differential: warm == cold == storeless
+// ---------------------------------------------------------------------
+
+constexpr const char* kSweepSpec = R"({
+  "name": "store_differential",
+  "kind": "simulation",
+  "seed": 11,
+  "axes": {
+    "scenario": ["A"],
+    "design": ["baseline", "proposed"],
+    "mode": ["ule"],
+    "workload": ["adpcm_c", "epic_d"]
+  }
+})";
+
+TEST(StoreEngine, WarmSweepIsByteIdenticalToColdAndStoreless) {
+  const explore::SweepSpec spec = explore::SweepSpec::parse(kSweepSpec);
+  const std::string plain = explore::run_sweep(spec, 2).to_csv();
+
+  const std::string path = temp_path("engine.hvcs");
+  auto store = explore::open_result_store(path, /*resume=*/false);
+  const explore::SweepResult cold = explore::run_sweep(spec, 2, store.get());
+  EXPECT_EQ(cold.warm_points, 0u);
+  EXPECT_EQ(cold.cold_points, spec.point_count());
+  store->close();
+  store.reset();
+
+  auto reopened = explore::open_result_store(path, /*resume=*/false);
+  const explore::SweepResult warm =
+      explore::run_sweep(spec, 2, reopened.get());
+  EXPECT_EQ(warm.warm_points, spec.point_count());
+  EXPECT_EQ(warm.cold_points, 0u);
+
+  EXPECT_EQ(cold.to_csv(), plain);
+  EXPECT_EQ(warm.to_csv(), plain);
+}
+
+TEST(StoreEngine, PartialStoreServesItsPointsAndComputesTheRest) {
+  // Run a 2-point slice of the sweep into the store, then the full
+  // 4-point sweep: the 2 shared points must come back warm. Keys ignore
+  // point indices only under a pinned system_seed (otherwise the
+  // per-point derived seed — correctly — makes shifted points distinct),
+  // so this spec pins one.
+  constexpr const char* kPinnedSpec = R"({
+    "name": "store_partial",
+    "kind": "simulation",
+    "seed": 11,
+    "system_seed": 1234,
+    "axes": {
+      "scenario": ["A"],
+      "design": ["baseline", "proposed"],
+      "mode": ["ule"],
+      "workload": ["adpcm_c", "epic_d"]
+    }
+  })";
+  const std::string path = temp_path("partial.hvcs");
+  explore::SweepSpec slice = explore::SweepSpec::parse(kPinnedSpec);
+  slice.workloads = {"adpcm_c"};
+  {
+    auto store = explore::open_result_store(path, false);
+    (void)explore::run_sweep(slice, 1, store.get());
+    store->close();
+  }
+  const explore::SweepSpec full = explore::SweepSpec::parse(kPinnedSpec);
+  auto store = explore::open_result_store(path, false);
+  const explore::SweepResult result =
+      explore::run_sweep(full, 2, store.get());
+  EXPECT_EQ(result.warm_points, 2u);
+  EXPECT_EQ(result.cold_points, 2u);
+  EXPECT_EQ(result.to_csv(), explore::run_sweep(full, 2).to_csv());
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: N threads, one store
+// ---------------------------------------------------------------------
+
+TEST(StoreConcurrency, RacingPutsCommitEveryKeyExactlyOnce) {
+  const std::string path = temp_path("hammer.hvcs");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 200;
+  std::atomic<int> wins{0};
+  {
+    ResultStore store(path, OpenOptions{});
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      // Every thread tries every key: exactly one committer may win each.
+      threads.emplace_back([&store, &wins, t] {
+        for (std::uint64_t k = 0; k < kKeys; ++k) {
+          const std::string text = "key " + std::to_string(k);
+          if (store.put(Key{k, ~k}, text.data(), text.size())) {
+            wins.fetch_add(1, std::memory_order_relaxed);
+          }
+          (void)t;
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    EXPECT_EQ(store.records(), kKeys);
+    store.close();
+  }
+  EXPECT_EQ(wins.load(), static_cast<int>(kKeys));
+  ResultStore store(path, OpenOptions{.read_only = true});
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(*store.get(Key{k, ~k}), payload_of("key " + std::to_string(k)))
+        << "key " << k;
+  }
+}
+
+TEST(StoreConcurrency, SharedStoreSweepMatchesSingleThreadByteForByte) {
+  const explore::SweepSpec spec = explore::SweepSpec::parse(kSweepSpec);
+
+  const std::string serial_path = temp_path("serial.hvcs");
+  std::string serial_csv;
+  {
+    auto store = explore::open_result_store(serial_path, false);
+    serial_csv = explore::run_sweep(spec, 1, store.get()).to_csv();
+    store->close();
+  }
+  const std::string threaded_path = temp_path("threaded.hvcs");
+  std::string threaded_csv;
+  {
+    auto store = explore::open_result_store(threaded_path, false);
+    threaded_csv = explore::run_sweep(spec, 8, store.get()).to_csv();
+    store->close();
+  }
+  EXPECT_EQ(serial_csv, threaded_csv);
+
+  // The stores hold identical record sets (commit order may differ, so
+  // compare through the index, not the raw bytes).
+  ResultStore serial(serial_path, OpenOptions{.read_only = true,
+                                              .app_tag =
+                                                  explore::result_store_app_tag()});
+  ResultStore threaded(threaded_path,
+                       OpenOptions{.read_only = true,
+                                   .app_tag = explore::result_store_app_tag()});
+  ASSERT_EQ(serial.records(), threaded.records());
+  const std::vector<std::string> columns =
+      explore::run_sweep(spec, 1).columns;
+  for (const explore::SweepPoint& point : explore::expand_points(spec)) {
+    const Key key = explore::result_key(spec, point, columns);
+    const auto a = serial.get(key);
+    const auto b = threaded.get(key);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b) << "point " << point.index;
+  }
+}
+
+}  // namespace
+}  // namespace hvc::store

@@ -250,6 +250,147 @@ TEST_F(TraceFileErrors, InconsistentFooterCountsThrow) {
 }
 
 // ---------------------------------------------------------------------
+// fsck / repair (hostile-input classification and salvage)
+// ---------------------------------------------------------------------
+
+class TraceFsck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("fsck.hvct");
+    capture_ = record_workload("adpcm_c", path_);
+    bytes_ = slurp(path_);
+    info_ = read_trace_info(path_);
+  }
+
+  std::string path_;
+  wl::WorkloadResult capture_;
+  std::vector<char> bytes_;
+  TraceInfo info_;
+};
+
+TEST_F(TraceFsck, CleanFileReportsCleanAndRepairIsANoOp) {
+  const TraceFsckReport report = fsck_trace(path_);
+  EXPECT_EQ(report.status, TraceFsckStatus::kClean);
+  EXPECT_EQ(report.records, info_.records);
+  EXPECT_EQ(report.payload_bytes, info_.payload_bytes);
+  EXPECT_EQ(report.file_bytes, info_.file_bytes);
+  expect_same_stats(report.stats, info_.stats);
+
+  EXPECT_EQ(repair_trace(path_).status, TraceFsckStatus::kClean);
+  EXPECT_EQ(slurp(path_), bytes_) << "repair modified a clean file";
+}
+
+TEST_F(TraceFsck, TruncatedTailIsRecoverableAndRepairSalvagesThePrefix) {
+  // Cut the footer plus a payload tail: the image a killed writer (or a
+  // cut-short copy) leaves behind, with the last record likely torn
+  // mid-varint. The strict reader must reject it, fsck must classify it,
+  // and repair must hand back a file every reader accepts.
+  spit(path_, std::vector<char>(
+                  bytes_.begin(),
+                  bytes_.end() - static_cast<std::ptrdiff_t>(
+                                     kTraceFooterBytes + 25)));
+  EXPECT_THROW(TraceFileSource{path_}, ConfigError);
+
+  const TraceFsckReport report = fsck_trace(path_);
+  EXPECT_EQ(report.status, TraceFsckStatus::kRecoverable);
+  EXPECT_GT(report.records, 0u);
+  EXPECT_LT(report.records, info_.records);
+
+  const TraceFsckReport repaired = repair_trace(path_);
+  EXPECT_EQ(repaired.status, TraceFsckStatus::kClean);
+  EXPECT_EQ(repaired.records, report.records);
+  EXPECT_EQ(fsck_trace(path_).status, TraceFsckStatus::kClean);
+
+  // The salvaged file replays exactly the first N records of the
+  // original capture — same kinds, taken flags and absolute addresses.
+  TraceFileSource source(path_);
+  const std::vector<Record> kept = drain(source);
+  const std::vector<Record>& original = capture_.tracer.records();
+  ASSERT_EQ(kept.size(), report.records);
+  expect_same_records(
+      kept, {original.begin(),
+             original.begin() + static_cast<std::ptrdiff_t>(kept.size())});
+}
+
+TEST_F(TraceFsck, LyingFooterIsRecoverableAndRepairRestoresTheTruth) {
+  // A footer whose counts disagree with the payload (here: record count
+  // inflated, so the kind-sum check fails). The payload itself is fully
+  // decodable, so repair recomputes the original footer bit-for-bit.
+  const std::size_t footer = bytes_.size() - kTraceFooterBytes;
+  patch_u64(bytes_, footer + 8, info_.records + 7);
+  spit(path_, bytes_);
+
+  const TraceFsckReport report = fsck_trace(path_);
+  EXPECT_EQ(report.status, TraceFsckStatus::kRecoverable);
+  EXPECT_EQ(report.records, info_.records);
+
+  EXPECT_EQ(repair_trace(path_).status, TraceFsckStatus::kClean);
+  const std::vector<char> repaired = slurp(path_);
+  patch_u64(bytes_, footer + 8, info_.records);  // undo the lie
+  EXPECT_EQ(repaired, bytes_);
+}
+
+TEST_F(TraceFsck, BadHeaderIsCorruptAndUnrepairable) {
+  bytes_[0] = 'X';
+  spit(path_, bytes_);
+  EXPECT_EQ(fsck_trace(path_).status, TraceFsckStatus::kCorrupt);
+  EXPECT_THROW((void)repair_trace(path_), ConfigError);
+
+  // Sub-header files are corrupt too (there is nothing to classify).
+  spit(path_, std::vector<char>(8, 'x'));
+  EXPECT_EQ(fsck_trace(path_).status, TraceFsckStatus::kCorrupt);
+}
+
+TEST_F(TraceFsck, HeaderOnlyFileRepairsToAValidEmptyTrace) {
+  // A writer killed right after creation: 12 header bytes, no payload,
+  // no footer. Recoverable with zero records; repair yields a minimal
+  // valid trace.
+  spit(path_, std::vector<char>(bytes_.begin(),
+                                bytes_.begin() + kTraceHeaderBytes));
+  const TraceFsckReport report = fsck_trace(path_);
+  EXPECT_EQ(report.status, TraceFsckStatus::kRecoverable);
+  EXPECT_EQ(report.records, 0u);
+
+  EXPECT_EQ(repair_trace(path_).status, TraceFsckStatus::kClean);
+  TraceFileSource source(path_);
+  EXPECT_TRUE(drain(source).empty());
+}
+
+// ---------------------------------------------------------------------
+// Writer durability (injected write failures)
+// ---------------------------------------------------------------------
+
+TEST(TraceWriterDurability, EnospcSurfacesAsConfigErrorWithErrnoText) {
+  // /dev/full fails every kernel-level write with ENOSPC — the classic
+  // full-disk crash. The writer must surface that as ConfigError carrying
+  // the errno text, never report success over a torn file.
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  bool threw = false;
+  std::string message;
+  try {
+    TraceWriter writer("/dev/full");
+    Record record;
+    record.kind = Kind::kIfetch;
+    record.taken = false;
+    // Enough records to overflow the writer's window and stdio's buffer,
+    // forcing a real write() whatever the buffering; if every layer soaks
+    // it up, finish()'s fflush/fsync must still hit the wall.
+    for (std::uint64_t i = 0; i < 300000; ++i) {
+      record.addr = 0x1000 + 4 * i;
+      writer.append(record);
+    }
+    writer.finish();
+  } catch (const ConfigError& error) {
+    threw = true;
+    message = error.what();
+  }
+  EXPECT_TRUE(threw) << "full-device write reported success";
+  EXPECT_NE(message.find("No space left"), std::string::npos) << message;
+}
+
+// ---------------------------------------------------------------------
 // Trace reference helpers (explore axis syntax)
 // ---------------------------------------------------------------------
 

@@ -7,17 +7,23 @@
 // Usage:
 //   hvc_explore --spec examples/fig3.json [--threads N] [--out sweep.csv]
 //               [--format csv|json] [--seed S] [--dry-run] [--print-spec]
+//               [--store FILE [--resume]]
+//   hvc_explore store fsck [--repair] FILE
+//   hvc_explore store info FILE
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "hvc/common/io.hpp"
 #include "hvc/common/thread_pool.hpp"
 #include "hvc/explore/engine.hpp"
+#include "hvc/explore/result_store.hpp"
+#include "hvc/store/store.hpp"
 #include "hvc/workloads/workload.hpp"
 
 namespace {
@@ -34,6 +40,19 @@ void print_usage(std::FILE* stream) {
                "stdout\n"
                "  --format FMT     csv (default) or json\n"
                "  --seed S         override the spec's base seed\n"
+               "  --store FILE     crash-safe persistent result store "
+               "(.hvcs): warm\n"
+               "                   points are answered from the store, "
+               "cold points\n"
+               "                   simulated and committed as they "
+               "complete\n"
+               "  --resume         permit opening a store whose writer "
+               "died (the\n"
+               "                   torn tail, if any, is truncated; "
+               "committed\n"
+               "                   records are kept, so the sweep "
+               "continues\n"
+               "                   instead of restarting)\n"
                "  --dry-run        parse + expand only; print the point "
                "count\n"
                "  --print-spec     echo the validated spec as JSON and "
@@ -43,6 +62,16 @@ void print_usage(std::FILE* stream) {
                "  --list-scenarios print the paper scenarios (axis "
                "\"scenario\") and exit\n"
                "  --help           this message\n"
+               "\n"
+               "subcommands:\n"
+               "  store fsck [--repair] FILE   classify a result store as "
+               "clean /\n"
+               "                   recoverable / corrupt; with --repair, "
+               "truncate\n"
+               "                   the torn tail and clear the dirty "
+               "flag\n"
+               "  store info FILE  print a store's record count and "
+               "sizes\n"
                "\n"
                "Output is byte-identical for any --threads value: every\n"
                "sweep point derives its random streams from its own index\n"
@@ -56,11 +85,69 @@ struct Options {
   std::string out_path;  ///< empty = stdout
   std::string format = "csv";
   std::optional<std::uint64_t> seed_override;
+  std::string store_path;  ///< empty = no persistent store
+  bool resume = false;
   bool dry_run = false;
   bool print_spec = false;
   bool list_workloads = false;
   bool list_scenarios = false;
 };
+
+/// `hvc_explore store fsck [--repair] FILE` / `store info FILE`.
+int cmd_store(int argc, char** argv) {
+  const std::string action = argc > 2 ? argv[2] : "";
+  bool repair = false;
+  std::string path;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repair") == 0) {
+      repair = true;
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      throw std::runtime_error(std::string("unknown store argument: ") +
+                               argv[i]);
+    }
+  }
+  if ((action != "fsck" && action != "info") || path.empty()) {
+    throw std::runtime_error(
+        "usage: hvc_explore store fsck [--repair] FILE | store info FILE");
+  }
+  if (action == "info") {
+    const hvc::store::FsckReport report = hvc::store::ResultStore::fsck(path);
+    std::printf("%s: .hvcs result store (%s)\n", path.c_str(),
+                hvc::store::to_string(report.status));
+    std::printf("  records      %llu\n",
+                static_cast<unsigned long long>(report.records));
+    std::printf("  valid bytes  %llu of %llu\n",
+                static_cast<unsigned long long>(report.valid_bytes),
+                static_cast<unsigned long long>(report.file_bytes));
+    std::printf("  dirty flag   %s\n", report.dirty ? "set" : "clear");
+    std::printf("  %s\n", report.detail.c_str());
+    return report.status == hvc::store::FsckStatus::kClean ? 0 : 1;
+  }
+  if (repair) {
+    const hvc::store::FsckReport report =
+        hvc::store::ResultStore::repair(path);
+    std::printf("%s: repaired: %s\n", path.c_str(), report.detail.c_str());
+    return 0;
+  }
+  const hvc::store::FsckReport report = hvc::store::ResultStore::fsck(path);
+  std::printf("%s: %s (%llu records, %llu/%llu bytes valid): %s\n",
+              path.c_str(), hvc::store::to_string(report.status),
+              static_cast<unsigned long long>(report.records),
+              static_cast<unsigned long long>(report.valid_bytes),
+              static_cast<unsigned long long>(report.file_bytes),
+              report.detail.c_str());
+  switch (report.status) {
+    case hvc::store::FsckStatus::kClean:
+      return 0;
+    case hvc::store::FsckStatus::kRecoverable:
+      return 1;
+    case hvc::store::FsckStatus::kCorrupt:
+      return 2;
+  }
+  return 2;
+}
 
 /// Prints the registry so specs can be authored without reading the
 /// source: one name per line with its bench class (the "@small"/"@big"
@@ -131,6 +218,10 @@ void print_scenarios() {
             std::string("--seed must be a decimal uint64, got: ") + text);
       }
       options.seed_override = static_cast<std::uint64_t>(parsed);
+    } else if (std::strcmp(arg, "--store") == 0) {
+      options.store_path = value_of(i);
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      options.resume = true;
     } else if (std::strcmp(arg, "--dry-run") == 0) {
       options.dry_run = true;
     } else if (std::strcmp(arg, "--print-spec") == 0) {
@@ -151,6 +242,9 @@ void print_scenarios() {
       !options.list_scenarios) {
     throw std::runtime_error("--spec is required");
   }
+  if (options.resume && options.store_path.empty()) {
+    throw std::runtime_error("--resume needs --store FILE");
+  }
   return options;
 }
 
@@ -159,6 +253,9 @@ void print_scenarios() {
 int main(int argc, char** argv) {
   using namespace hvc;
   try {
+    if (argc > 1 && std::strcmp(argv[1], "store") == 0) {
+      return cmd_store(argc, argv);
+    }
     const Options options = parse_args(argc, argv);
     if (options.list_workloads || options.list_scenarios) {
       if (options.list_workloads) {
@@ -186,8 +283,28 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    std::unique_ptr<store::ResultStore> store;
+    if (!options.store_path.empty()) {
+      store = explore::open_result_store(options.store_path, options.resume);
+      if (store->recovered_bytes() > 0) {
+        std::fprintf(stderr,
+                     "store: recovered %llu torn bytes from a killed "
+                     "writer (%zu committed records kept)\n",
+                     static_cast<unsigned long long>(
+                         store->recovered_bytes()),
+                     store->records());
+      }
+    }
     const explore::SweepResult result =
-        explore::run_sweep(spec, options.threads);
+        explore::run_sweep(spec, options.threads, store.get());
+    if (store != nullptr) {
+      store->close();  // syncs records, then clears the dirty flag
+      std::fprintf(stderr,
+                   "store: %zu warm, %zu cold points (%zu records now "
+                   "committed in %s)\n",
+                   result.warm_points, result.cold_points,
+                   store->records(), options.store_path.c_str());
+    }
     const std::string output = options.format == "csv"
                                    ? result.to_csv()
                                    : result.to_json().dump(2) + "\n";

@@ -9,6 +9,7 @@
 // Usage:
 //   hvc_trace record <workload> --out FILE [--seed S] [--scale N]
 //   hvc_trace info <file>
+//   hvc_trace fsck <file> [--repair]
 //   hvc_trace replay <file> [--scenario A|B] [--design baseline|proposed]
 //                           [--mode hp|ule] [--cores N] [--system-seed S]
 #include <cerrno>
@@ -38,6 +39,11 @@ void print_usage(std::FILE* stream) {
       "      run a registry kernel and stream its trace to a .hvct file\n"
       "  info <file>\n"
       "      print a .hvct file's header/footer summary (no full decode)\n"
+      "  fsck <file> [--repair]\n"
+      "      fully decode a .hvct file and classify it clean /\n"
+      "      recoverable / corrupt (exit 0/1/2); with --repair, truncate\n"
+      "      a recoverable file to its last decodable record and rewrite\n"
+      "      a valid footer\n"
       "  replay <file> [--scenario A|B] [--design baseline|proposed]\n"
       "                [--mode hp|ule] [--cores N] [--system-seed S]\n"
       "      replay a recorded trace through a simulated chip and print\n"
@@ -152,6 +158,45 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+int cmd_fsck(int argc, char** argv) {
+  std::string path;
+  bool repair = false;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--repair") == 0) {
+      repair = true;
+    } else if (path.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      throw std::runtime_error(std::string("unknown fsck argument: ") + arg);
+    }
+  }
+  if (path.empty()) {
+    throw std::runtime_error("fsck needs a <file>");
+  }
+
+  const hvc::trace::TraceFsckReport report =
+      repair ? hvc::trace::repair_trace(path) : hvc::trace::fsck_trace(path);
+  std::printf("%s: %s\n", path.c_str(),
+              hvc::trace::to_string(report.status));
+  std::printf("  %s\n", report.detail.c_str());
+  std::printf("  records        %llu\n",
+              static_cast<unsigned long long>(report.records));
+  std::printf("  payload bytes  %llu\n",
+              static_cast<unsigned long long>(report.payload_bytes));
+  std::printf("  file bytes     %llu\n",
+              static_cast<unsigned long long>(report.file_bytes));
+  switch (report.status) {
+    case hvc::trace::TraceFsckStatus::kClean:
+      return 0;
+    case hvc::trace::TraceFsckStatus::kRecoverable:
+      return 1;
+    case hvc::trace::TraceFsckStatus::kCorrupt:
+      return 2;
+  }
+  return 2;
+}
+
 int cmd_replay(int argc, char** argv) {
   std::string path;
   hvc::sim::SystemConfig config;
@@ -251,6 +296,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(command, "info") == 0) {
       return cmd_info(argc, argv);
+    }
+    if (std::strcmp(command, "fsck") == 0) {
+      return cmd_fsck(argc, argv);
     }
     if (std::strcmp(command, "replay") == 0) {
       return cmd_replay(argc, argv);
