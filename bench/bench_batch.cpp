@@ -1,0 +1,139 @@
+// BATCH — throughput of the block-at-a-time access API (PR 7) against
+// the record-at-a-time scalar path it replaces. Two layers:
+//   * BM_CacheAccessBatch: raw Cache::access_batch over a hit+miss mix,
+//     swept across block sizes (block=1 is the scalar-dispatch shape).
+//   * BM_ReplayBlockSize: full System::run_trace replay of a real
+//     workload trace, swept across block sizes — the end-to-end number
+//     the hvc_explore sweeps and hvc_trace replay see.
+// Every block size retires bit-identical results (tests/test_batch.cpp);
+// these benches measure only the dispatch-overhead delta.
+#include "bench_common.hpp"
+
+#include "hvc/cache/cache.hpp"
+#include "hvc/common/rng.hpp"
+#include "hvc/trace/trace.hpp"
+#include "hvc/workloads/workload.hpp"
+
+namespace {
+
+using namespace hvc;
+using namespace hvc::bench;
+
+/// Paper-shaped 8KB 7+1 cache, uncoded at HP: the configuration the
+/// inline batched hit path is built for.
+[[nodiscard]] cache::CacheConfig hp_config() {
+  cache::CacheConfig config;
+  config.ways.resize(8);
+  for (std::size_t w = 0; w < 8; ++w) {
+    config.ways[w].cell = {tech::CellKind::k6T, 1.9};
+  }
+  config.ways[7].cell = {tech::CellKind::k8T, 2.8};
+  config.ways[7].ule_way = true;
+  config.ways[7].ule_protection = edc::Protection::kSecded;
+  return config;
+}
+
+/// Mixed op stream over ~2x the cache footprint; 1 store per 4 ops, 1
+/// ifetch per 7 (same mix shape as bench_cache_access).
+[[nodiscard]] std::vector<cache::BatchOp> op_stream(std::size_t count) {
+  Rng rng(42);
+  std::vector<cache::BatchOp> ops(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ops[i].addr = (rng.below(2 * 8 * 1024) / 4) * 4;
+    ops[i].type = (i % 4 == 3)   ? cache::AccessType::kStore
+                  : (i % 7 == 0) ? cache::AccessType::kIfetch
+                                 : cache::AccessType::kLoad;
+    ops[i].store_value = static_cast<std::uint32_t>(i);
+  }
+  return ops;
+}
+
+void BM_CacheAccessBatch(benchmark::State& state) {
+  const auto block = static_cast<std::size_t>(state.range(0));
+  cache::MainMemory memory;
+  Rng rng(7);
+  cache::CacheConfig config = hp_config();
+  cache::MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  cache::Cache cache(config, terminal, rng);
+  const auto ops = op_stream(4096);
+
+  cache::AccessBatch batch;
+  batch.ops.reserve(block);
+  std::size_t i = 0;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    batch.clear();
+    for (std::size_t j = 0; j < block; ++j) {
+      const cache::BatchOp& op = ops[i];
+      batch.push(op.addr, op.type, op.store_value);
+      i = (i + 1) % ops.size();
+    }
+    cache.access_batch(batch);
+    benchmark::DoNotOptimize(batch.ops.back().latency_cycles);
+    records += block;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  state.counters["hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_CacheAccessBatch)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->ArgName("block");
+
+/// Scalar baseline on the identical stream: what block=1 dispatch cost
+/// through the virtual access() looks like (the pre-PR-7 hot loop).
+void BM_CacheAccessScalar(benchmark::State& state) {
+  cache::MainMemory memory;
+  Rng rng(7);
+  cache::CacheConfig config = hp_config();
+  cache::MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  cache::Cache cache(config, terminal, rng);
+  const auto ops = op_stream(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const cache::BatchOp& op = ops[i];
+    benchmark::DoNotOptimize(cache.access(op.addr, op.type, op.store_value));
+    i = (i + 1) % ops.size();
+  }
+  state.counters["hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_CacheAccessScalar);
+
+/// End-to-end replay throughput vs block size: one full run_trace of a
+/// BigBench trace per iteration. block=1 is the scalar path; 256 is the
+/// kReplayBlockRecords default the tools use.
+void BM_ReplayBlockSize(benchmark::State& state) {
+  const auto block = static_cast<std::size_t>(state.range(0));
+  const auto workload = wl::find_workload("gsm_c").run(1, 1);
+  trace::MemoryTraceSource source(workload.tracer);
+  sim::SystemConfig config =
+      paper_system(yield::Scenario::kA, true, power::Mode::kHp);
+  sim::System system(config, sim::cell_plan_for(config.design.scenario));
+
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    const cpu::RunResult result = system.run_trace(source, block);
+    benchmark::DoNotOptimize(result.cycles);
+    records += result.il1.accesses + result.dl1.accesses;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_ReplayBlockSize)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->ArgName("block")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hvc::bench::print_header(
+      "BATCH", "block-at-a-time access API vs record-at-a-time scalar");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -72,7 +72,8 @@ void live_injection() {
     config.ways[7].ule_protection = edc::Protection::kSecded;
     cache::MainMemory memory;
     Rng rng(99);
-    cache::Cache cache(config, memory, rng);
+    cache::MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+    cache::Cache cache(config, terminal, rng);
     cache.set_mode(power::Mode::kUle);
     for (std::uint64_t a = 0; a < 1024; a += 4) {
       memory.write_word(a, static_cast<std::uint32_t>(a + 3));
@@ -112,7 +113,8 @@ void BM_ScrubPass(benchmark::State& state) {
   config.ways[7].ule_protection = edc::Protection::kSecded;
   cache::MainMemory memory;
   Rng rng(1);
-  cache::Cache cache(config, memory, rng);
+  cache::MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  cache::Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   for (std::uint64_t a = 0; a < 1024; a += 4) {
     (void)cache.access(a, cache::AccessType::kLoad);

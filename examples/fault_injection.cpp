@@ -67,7 +67,9 @@ int main() {
        {edc::Protection::kNone, edc::Protection::kSecded}) {
     cache::MainMemory memory;
     Rng rng(2024);
-    cache::Cache cache(demo_config(protection, kDemoPf), memory, rng);
+    const cache::CacheConfig config = demo_config(protection, kDemoPf);
+    cache::MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+    cache::Cache cache(config, terminal, rng);
     cache.set_mode(power::Mode::kUle);
     const StreamResult result = stream_through(cache, memory);
     std::printf("%7s: wrong loads %zu / 512, corrections %llu, "
@@ -83,7 +85,9 @@ int main() {
        {edc::Protection::kSecded, edc::Protection::kDected}) {
     cache::MainMemory memory;
     Rng rng(2024);
-    cache::Cache cache(demo_config(protection, 0.0), memory, rng);
+    const cache::CacheConfig config = demo_config(protection, 0.0);
+    cache::MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+    cache::Cache cache(config, terminal, rng);
     cache.set_mode(power::Mode::kUle);
     memory.write_word(0x100, 0xCAFE);
     (void)cache.access(0x100, cache::AccessType::kLoad);

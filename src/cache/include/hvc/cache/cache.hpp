@@ -29,9 +29,8 @@
 
 namespace hvc::cache {
 
-enum class AccessType { kLoad, kStore, kIfetch };
-
-[[nodiscard]] std::string to_string(AccessType type);
+// AccessType / AccessResult / AccessBatch live in memory_level.hpp (the
+// shared access contract of every hierarchy level).
 
 enum class WritePolicy { kWriteBackAllocate, kWriteThroughNoAllocate };
 
@@ -54,17 +53,6 @@ struct CacheConfig {
   /// the worst voltage the way must operate at. Empty = fault-free.
   std::vector<double> way_hard_pf;
   std::uint64_t fault_seed = 12345;
-};
-
-/// Outcome of one access.
-struct AccessResult {
-  bool hit = false;
-  std::size_t way = 0;
-  std::size_t latency_cycles = 0;
-  std::uint32_t data = 0;       ///< loaded word (loads/ifetch)
-  bool writeback = false;       ///< a dirty victim was written back
-  std::size_t corrected_bits = 0;
-  bool detected_uncorrectable = false;
 };
 
 /// Event counters.
@@ -97,15 +85,48 @@ class Cache : public MemoryLevel {
   /// miss latency is whatever the next level reports per request.
   Cache(CacheConfig config, MemoryLevel& next_level, Rng& rng);
 
-  /// Convenience for the paper's two-level shape: wraps `memory` as an
-  /// internally-owned terminal level with `config.memory_latency_cycles`
-  /// access latency. Behaviour is identical to the pre-hierarchy cache.
-  Cache(CacheConfig config, MainMemory& memory, Rng& rng);
-
   /// Performs one access at the current mode. Functionally exact: loads
   /// return the value the program would see.
   AccessResult access(std::uint64_t addr, AccessType type,
-                      std::uint32_t store_value = 0);
+                      std::uint32_t store_value = 0) override;
+
+  /// Native block-at-a-time path: resolves the block's hits over the
+  /// packed per-way arrays with a hoisted per-mode context (geometry,
+  /// energy handles, codec/fault dispatch pre-resolved once per block
+  /// instead of per record) and falls back to the scalar access() for
+  /// misses, write-through passthroughs and fault-perturbed sets, so
+  /// ordering-sensitive state transitions stay exact. Pinned
+  /// bit-identical to the scalar loop — every stat, every energy
+  /// accumulation step, every latency — by tests/test_batch.cpp.
+  void access_batch(AccessBatch& batch) override;
+
+  /// One op of a conceptual batch: identical side effects to access(),
+  /// through the batch fast path. This exists because cpu::Core must
+  /// interleave IL1/DL1 ops in record order (they share a stateful next
+  /// level), so it cannot hand either cache a multi-op block; it streams
+  /// per-record ops through this entry point instead and gets the same
+  /// hoisted-context win.
+  void access_batched(std::uint64_t addr, AccessType type,
+                      std::uint32_t store_value, bool& hit,
+                      std::uint32_t& latency_cycles);
+
+ private:
+  /// Scalar re-entry for batch ops the fast path cannot replay (miss,
+  /// non-power-of-two geometry, fault-perturbed tag set).
+  void access_batched_fallback(std::uint64_t addr, AccessType type,
+                               std::uint32_t store_value, bool& hit,
+                               std::uint32_t& latency_cycles);
+  /// Out-of-line hit tails for ops that need the EDC codec or the
+  /// write-through passthrough (the inline fast path covers the plain
+  /// uncoded hit, which is the overwhelming majority at HP).
+  void batched_store_tail(std::uint64_t addr, std::uint32_t store_value,
+                          std::size_t hit_way, std::size_t set,
+                          std::size_t widx);
+  void batched_load_coded(std::uint64_t addr, std::size_t hit_way,
+                          std::size_t set, std::size_t word,
+                          std::size_t widx);
+
+ public:
 
   /// Switches operating mode. HP->ULE writes back dirty HP-way lines and
   /// invalidates them (gated-Vdd loses content); ULE->HP keeps ULE ways.
@@ -184,18 +205,6 @@ class Cache : public MemoryLevel {
 
   /// Total hit latency at the current mode, including the EDC cycle.
   [[nodiscard]] std::size_t hit_latency() const noexcept;
-
-  /// The internally-owned memory terminal of the MainMemory& convenience
-  /// constructor (the paper's two-level shape), or nullptr when this cache
-  /// misses into an externally-owned level. Lets reporting surface the
-  /// wrapped terminal's traffic as a "MEM" row even though no explicit
-  /// hierarchy was configured.
-  [[nodiscard]] const MainMemoryLevel* owned_terminal() const noexcept {
-    return owned_terminal_.get();
-  }
-  [[nodiscard]] MainMemoryLevel* owned_terminal() noexcept {
-    return owned_terminal_.get();
-  }
 
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] const power::CacheEnergyModel& energy_model() const noexcept;
@@ -290,9 +299,60 @@ class Cache : public MemoryLevel {
     energy_j_[category] += joules;
   }
 
+  /// Per-mode constants the batch path hoists out of the per-record loop:
+  /// geometry (divisions/modulos pre-reduced to shifts/masks when the
+  /// organisation is power-of-two), energy handles, per-way codec and
+  /// activity dispatch, and the per-set "tag region fault-free" map that
+  /// licenses the exact-probe shortcut. Rebuilt lazily after set_mode();
+  /// everything it caches is immutable between mode switches (fault maps
+  /// are sampled once per chip, codecs and energy models at init).
+  struct BatchCtx {
+    bool fast = false;  ///< geometry is power-of-two; fast path armed
+    power::Mode mode = power::Mode::kHp;
+    std::size_t ways = 0;
+    std::size_t sets = 0;
+    std::size_t wpl = 0;
+    std::uint64_t line_bytes = 0;
+    unsigned line_shift = 0;  ///< log2(line_bytes)
+    std::uint64_t set_mask = 0;
+    std::uint64_t word_mask = 0;  ///< low_mask(org.word_bits)
+    std::size_t hit_latency = 0;
+    bool write_through = false;
+    bool ule = false;
+    double lookup_dyn = 0.0;
+    /// Per-active-coded-way tag-decode charges, in way order (the FP
+    /// accumulation sequence of charge_lookup, replayed add by add).
+    std::vector<double> lookup_edc;
+    struct WayCtx {
+      bool active = false;
+      /// Raw views into the owning Way's storage (stable: the vectors
+      /// are sized once at construction and never reallocated).
+      const Line* lines = nullptr;
+      std::uint64_t* data_words = nullptr;
+      const edc::Codec* data_codec = nullptr;
+      std::size_t data_cw_bits = 0;
+      double word_write = 0.0;
+      double edc_encode = 0.0;
+      double edc_decode = 0.0;
+    };
+    std::vector<WayCtx> way;
+    /// LRU stamp seam (nullptr stamps => virtual policy_->touch()).
+    ReplacementPolicy::TouchSeam lru;
+    /// Per-set most-recent-hit way, probed first. Purely a performance
+    /// hint: a stale entry just falls through to the full way loop.
+    std::vector<std::uint8_t> mru_way;
+    /// tag_clean[set] == 1 when no active way has a stuck bit in this
+    /// set's stored tag codeword: the probe `valid && line_addr ==` is
+    /// then exactly find_way (tags are always stored as exact codewords —
+    /// soft errors only ever touch data words). Sets that fail this take
+    /// the scalar path.
+    std::vector<std::uint8_t> tag_clean;
+  };
+
+  [[nodiscard]] const BatchCtx& batch_ctx();
+  void rebuild_batch_ctx();
+
   CacheConfig config_;
-  /// Set only by the MainMemory& convenience constructor.
-  std::unique_ptr<MainMemoryLevel> owned_terminal_;
   MemoryLevel* next_level_;
   power::Mode mode_ = power::Mode::kHp;
   std::vector<Way> ways_;
@@ -311,6 +371,107 @@ class Cache : public MemoryLevel {
   /// Per-word decodability flags of the line in line_buf_ (write-backs
   /// skip unrecoverable words so the next level keeps its stale copy).
   std::vector<std::uint8_t> line_word_ok_;
+  /// Hoisted batch-path context; valid_ goes false on mode switches.
+  BatchCtx batch_ctx_;
+  bool batch_ctx_valid_ = false;
 };
+
+// Defined here (not in cache.cpp) so the per-record replay loops in
+// cpu::Core inline the probe and the plain-hit replay; only misses and
+// codec/write-through tails leave the caller's frame. The sequence of
+// stat increments and FP energy adds below is EXACTLY the scalar
+// access() hit sequence with its constants pre-resolved — reordering or
+// merging any of the adds breaks the bit-identity pin (test_batch).
+inline void Cache::access_batched(std::uint64_t addr, AccessType type,
+                                  std::uint32_t store_value, bool& hit,
+                                  std::uint32_t& latency_cycles) {
+  if (!batch_ctx_valid_) {
+    rebuild_batch_ctx();
+    batch_ctx_valid_ = true;
+  }
+  BatchCtx& ctx = batch_ctx_;
+  if (!ctx.fast) {
+    access_batched_fallback(addr, type, store_value, hit, latency_cycles);
+    return;
+  }
+
+  const std::uint64_t line_addr = addr >> ctx.line_shift;
+  const std::size_t set = static_cast<std::size_t>(line_addr & ctx.set_mask);
+
+  // Exact-probe shortcut: side-effect-free, so a miss (or a set the
+  // shortcut can't prove clean) re-enters through the scalar path with
+  // nothing to unwind. The per-set MRU hint is checked first — runs of
+  // accesses to the same line resolve in one compare.
+  std::size_t hit_way = ctx.ways;
+  if (ctx.tag_clean[set] != 0) {
+    const std::size_t hint = ctx.mru_way[set];
+    const Line& hinted = ctx.way[hint].lines[set];
+    if (ctx.way[hint].active && hinted.valid && hinted.line_addr == line_addr) {
+      hit_way = hint;
+    } else {
+      for (std::size_t w = 0; w < ctx.ways; ++w) {
+        if (!ctx.way[w].active) {
+          continue;
+        }
+        const Line& line = ctx.way[w].lines[set];
+        if (line.valid && line.line_addr == line_addr) {
+          hit_way = w;
+          ctx.mru_way[set] = static_cast<std::uint8_t>(w);
+          break;
+        }
+      }
+    }
+  }
+  if (hit_way == ctx.ways) {
+    access_batched_fallback(addr, type, store_value, hit, latency_cycles);
+    return;
+  }
+
+  // --- hit: the scalar sequence with the constants pre-resolved ---
+  ++stats_.accesses;
+  switch (type) {
+    case AccessType::kLoad: ++stats_.loads; break;
+    case AccessType::kStore: ++stats_.stores; break;
+    case AccessType::kIfetch: ++stats_.ifetches; break;
+  }
+  energy_j_[kEnergyDynamic] += ctx.lookup_dyn;
+  for (const double joules : ctx.lookup_edc) {
+    energy_j_[kEnergyEdc] += joules;
+  }
+  hit = true;
+  latency_cycles = static_cast<std::uint32_t>(ctx.hit_latency);
+  ++stats_.hits;
+  if (ctx.lru.stamps != nullptr) {
+    // The seam store is exactly LruPolicy::touch with the range checks
+    // proven by construction (set/way come from the probe).
+    ctx.lru.stamps[set * ctx.ways + hit_way] = ++*ctx.lru.clock;
+  } else {
+    policy_->touch(set, hit_way);
+  }
+
+  const BatchCtx::WayCtx& wc = ctx.way[hit_way];
+  const std::size_t word = static_cast<std::size_t>(
+      (addr & (ctx.line_bytes - 1)) >> 2);
+  const std::size_t widx = set * ctx.wpl + word;
+  if (type == AccessType::kStore) {
+    if (wc.data_codec != nullptr || ctx.write_through) {
+      batched_store_tail(addr, store_value, hit_way, set, widx);
+      return;
+    }
+    wc.data_words[widx] = store_value & ctx.word_mask;
+    energy_j_[kEnergyDynamic] += wc.word_write;
+    energy_j_[kEnergyEdc] += wc.edc_encode;
+    ways_[hit_way].lines[set].dirty = true;
+    return;
+  }
+
+  energy_j_[kEnergyEdc] += wc.edc_decode;
+  if (wc.data_codec == nullptr) {
+    // Uncoded read: the scalar path masks and returns the raw word with
+    // no stats/energy traffic — nothing further to replay.
+    return;
+  }
+  batched_load_coded(addr, hit_way, set, word, widx);
+}
 
 }  // namespace hvc::cache

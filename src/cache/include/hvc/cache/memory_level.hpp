@@ -4,24 +4,84 @@
 // shared L2), or main memory wrapped as the terminal level. The interface
 // carries the three paths a level must serve — line fill, dirty
 // write-back, and single-word fallback (write-through stores and
-// detected-uncorrectable reads) — plus the lifecycle operations the
-// hybrid-voltage system drives top-down (mode switch, scrub, flush,
-// reset) and a uniform per-level stats snapshot for reporting.
+// detected-uncorrectable reads) — plus the demand-access entry points the
+// CPU model drives (scalar access() and block-at-a-time access_batch()),
+// the lifecycle operations the hybrid-voltage system drives top-down
+// (mode switch, scrub, flush, reset) and a uniform per-level stats
+// snapshot for reporting.
 //
-// Latency contract: fetch_block/writeback_block/store_word return the
-// request's latency in cycles *including* every deeper level the request
-// had to reach, so an L1 miss simply adds its next level's return value.
+// Latency contract (single AccessResult-style convention for every entry
+// point, scalar and batch):
+//   * Every latency this interface returns or reports is the latency of
+//     ONE request in cycles, *including* every deeper level the request
+//     had to reach — an L1 miss simply adds its next level's return value
+//     to its own hit latency, a shared-level arbiter composes its queueing
+//     delay the same way.
+//   * fetch_block / writeback_block / store_word return that latency
+//     directly; access() reports it as AccessResult::latency_cycles; the
+//     batch path reports it per request in BatchOp::latency_cycles.
+//   * load_word is the one exception: it is the detected-uncorrectable
+//     fallback path, whose latency is already accounted by the request
+//     that triggered it, so it returns data only.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "hvc/power/cache_power.hpp"
 
 namespace hvc::cache {
 
 class MainMemory;
+
+enum class AccessType { kLoad, kStore, kIfetch };
+
+[[nodiscard]] std::string to_string(AccessType type);
+
+/// Outcome of one access (scalar entry point). The batch path reports the
+/// subset the CPU timing model consumes (hit + latency) per BatchOp; the
+/// full detail below stays available through access().
+struct AccessResult {
+  bool hit = false;
+  std::size_t way = 0;
+  std::size_t latency_cycles = 0;
+  std::uint32_t data = 0;       ///< loaded word (loads/ifetch)
+  bool writeback = false;       ///< a dirty victim was written back
+  std::size_t corrected_bits = 0;
+  bool detected_uncorrectable = false;
+};
+
+/// One decoded request of an access block: the input fields mirror the
+/// scalar access() arguments; the output fields are filled by
+/// access_batch() with the same values the scalar path would report.
+struct BatchOp {
+  std::uint64_t addr = 0;
+  AccessType type = AccessType::kLoad;
+  std::uint32_t store_value = 0;
+  // --- outputs (written by access_batch) ---
+  std::uint32_t latency_cycles = 0;
+  bool hit = false;
+};
+
+/// A block of decoded requests processed by one access_batch() call, in
+/// op order — batching changes dispatch overhead, never semantics: the
+/// ops' side effects (stats, energy accumulation order, fault and
+/// replacement state) are bit-identical to issuing each op through the
+/// scalar access() path. The vector is reusable across blocks (clear() +
+/// push() without reallocation).
+struct AccessBatch {
+  std::vector<BatchOp> ops;
+
+  BatchOp& push(std::uint64_t addr, AccessType type,
+                std::uint32_t store_value = 0) {
+    ops.push_back(BatchOp{addr, type, store_value, 0, false});
+    return ops.back();
+  }
+  void clear() noexcept { ops.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+};
 
 /// Result of one scrub pass over a level (no-op levels report zeros).
 struct ScrubReport {
@@ -66,10 +126,24 @@ class MemoryLevel {
 
   [[nodiscard]] virtual const std::string& level_name() const noexcept = 0;
 
+  /// One demand access at this level (the latency contract above). The
+  /// default synthesizes the access from the word virtuals — levels that
+  /// always service a request (memory terminals, decorators) report
+  /// hit = true; Cache overrides this with the full tag/EDC datapath.
+  virtual AccessResult access(std::uint64_t addr, AccessType type,
+                              std::uint32_t store_value = 0);
+
+  /// Block-at-a-time entry point over `batch.ops`, in order. The default
+  /// loops the scalar access() virtual, so every MemoryLevel (including
+  /// out-of-tree ones) supports batch callers unchanged; Cache overrides
+  /// it with a batch-resolved fast path that is pinned bit-identical to
+  /// the scalar loop (see tests/test_batch.cpp).
+  virtual void access_batch(AccessBatch& batch);
+
   /// Fill path: reads `count` consecutive aligned 32-bit words starting at
   /// `addr` into `out`. For cache levels the range must not cross one of
   /// this level's lines (callers fetch one line at a time). Returns the
-  /// request latency in cycles, including deeper levels on a miss.
+  /// request latency in cycles per the contract above.
   virtual std::size_t fetch_block(std::uint64_t addr, std::uint32_t* out,
                                   std::size_t count) = 0;
 
@@ -80,7 +154,8 @@ class MemoryLevel {
                                       const std::uint32_t* words,
                                       std::size_t count) = 0;
 
-  /// Single-word read: the detected-uncorrectable fallback path.
+  /// Single-word read: the detected-uncorrectable fallback path (no
+  /// latency return — see the contract above).
   [[nodiscard]] virtual std::uint32_t load_word(std::uint64_t addr) = 0;
 
   /// Single-word write (write-through stores). Returns latency in cycles.
@@ -108,6 +183,10 @@ class MainMemoryLevel final : public MemoryLevel {
   [[nodiscard]] const std::string& level_name() const noexcept override {
     return name_;
   }
+  /// Memory always hits: reports the flat access latency for loads and
+  /// stores alike (the default would report the word-read path's zero).
+  AccessResult access(std::uint64_t addr, AccessType type,
+                      std::uint32_t store_value = 0) override;
   std::size_t fetch_block(std::uint64_t addr, std::uint32_t* out,
                           std::size_t count) override;
   std::size_t writeback_block(std::uint64_t addr, const std::uint32_t* words,

@@ -23,6 +23,19 @@ class ReplacementPolicy {
 
   /// Called on every hit/fill so the policy can update recency state.
   virtual void touch(std::size_t set, std::size_t way) = 0;
+
+  /// Fast-path seam for batch replay: a policy whose touch() reduces to
+  /// one timestamp store (LRU) exposes its stamp array (sets * ways,
+  /// row-major) and clock so the cache's hit loop can update recency
+  /// without a virtual call. The store performed through the seam must
+  /// be exactly `stamps[set * ways + way] = ++*clock` — the same state
+  /// transition touch() makes. Policies with any other touch() behaviour
+  /// return {nullptr, nullptr} and keep taking the virtual call.
+  struct TouchSeam {
+    std::uint64_t* stamps = nullptr;
+    std::uint64_t* clock = nullptr;
+  };
+  [[nodiscard]] virtual TouchSeam touch_seam() noexcept { return {}; }
   /// Picks a victim among `candidates` (indices of active, valid ways are
   /// passed by the cache; invalid ways are chosen by the cache first).
   [[nodiscard]] virtual std::size_t victim(

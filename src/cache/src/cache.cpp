@@ -1,6 +1,7 @@
 #include "hvc/cache/cache.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "hvc/common/error.hpp"
 
@@ -16,27 +17,9 @@ namespace {
 }
 }  // namespace
 
-std::string to_string(AccessType type) {
-  switch (type) {
-    case AccessType::kLoad: return "load";
-    case AccessType::kStore: return "store";
-    case AccessType::kIfetch: return "ifetch";
-  }
-  return "?";
-}
-
 Cache::Cache(CacheConfig config, MemoryLevel& next_level, Rng& rng)
     : config_(std::move(config)),
       next_level_(&next_level),
-      rng_(rng.fork(0xCACE)) {
-  init();
-}
-
-Cache::Cache(CacheConfig config, MainMemory& memory, Rng& rng)
-    : config_(std::move(config)),
-      owned_terminal_(std::make_unique<MainMemoryLevel>(
-          memory, config_.memory_latency_cycles)),
-      next_level_(owned_terminal_.get()),
       rng_(rng.fork(0xCACE)) {
   init();
 }
@@ -409,6 +392,147 @@ AccessResult Cache::access(std::uint64_t addr, AccessType type,
   return result;
 }
 
+// --- block-at-a-time fast path -------------------------------------
+//
+// The batch path may hoist loop-invariant work (geometry divisions,
+// energy-model getters, codec/fault dispatch) but may NOT reorder or
+// merge per-record side effects: energy accumulates in non-associative
+// double adds, fault maps are stuck-at (value-dependent), and the next
+// level is stateful — so the fast loop replays the scalar path's side
+// effects op by op, in op order, and drops to the scalar access() for
+// everything ordering-sensitive (misses, write-through passthroughs,
+// sets whose stored tags touch stuck bits).
+
+const Cache::BatchCtx& Cache::batch_ctx() {
+  if (!batch_ctx_valid_) {
+    rebuild_batch_ctx();
+    batch_ctx_valid_ = true;
+  }
+  return batch_ctx_;
+}
+
+void Cache::rebuild_batch_ctx() {
+  BatchCtx& ctx = batch_ctx_;
+  const std::size_t sets = config_.org.sets();
+  const std::size_t wpl = config_.org.words_per_line();
+  const auto& model = energy_model();
+
+  ctx.mode = mode_;
+  ctx.ways = config_.org.ways;
+  ctx.sets = sets;
+  ctx.wpl = wpl;
+  ctx.line_bytes = config_.org.line_bytes;
+  // The shortcut probe needs power-of-two geometry for shift/mask address
+  // decode; anything else (never built by the sweeps) runs scalar.
+  ctx.fast = std::has_single_bit(ctx.line_bytes) &&
+             std::has_single_bit(static_cast<std::uint64_t>(sets));
+  if (ctx.fast) {
+    ctx.line_shift =
+        static_cast<unsigned>(std::countr_zero(ctx.line_bytes));
+    ctx.set_mask = static_cast<std::uint64_t>(sets) - 1;
+  }
+  ctx.word_mask = low_mask(config_.org.word_bits);
+  ctx.hit_latency = hit_latency();
+  ctx.write_through =
+      config_.write_policy == WritePolicy::kWriteThroughNoAllocate;
+  ctx.ule = mode_ == power::Mode::kUle;
+  ctx.lookup_dyn = model.lookup_energy();
+
+  ctx.lookup_edc.clear();
+  ctx.way.assign(ctx.ways, {});
+  for (std::size_t w = 0; w < ctx.ways; ++w) {
+    BatchCtx::WayCtx& wc = ctx.way[w];
+    wc.active = way_active(w);
+    if (wc.active && tag_codec(w) != nullptr) {
+      ctx.lookup_edc.push_back(model.edc_decode_energy(w));
+    }
+    wc.lines = ways_[w].lines.data();
+    wc.data_words = ways_[w].data_words.data();
+    wc.data_codec = data_codec(w);
+    wc.data_cw_bits = stored_data_cw_bits_[w];
+    wc.word_write = model.word_write_energy(w);
+    wc.edc_encode = model.edc_encode_energy(w);
+    wc.edc_decode = model.edc_decode_energy(w);
+  }
+  ctx.lru = policy_->touch_seam();
+  ctx.mru_way.assign(sets, 0);
+
+  // Tags are stored as exact valid codewords (writes re-encode; soft
+  // errors only ever hit data words), so the only thing that can perturb
+  // a tag read is the ULE-mode stuck-at map. A set whose stored tag
+  // region is fault-free across every active way therefore probes to
+  // exactly the scalar find_way outcome with zero codec calls and zero
+  // stats traffic; the rest take the scalar path.
+  ctx.tag_clean.assign(sets, 1);
+  if (ctx.ule) {
+    for (std::size_t set = 0; set < sets; ++set) {
+      for (std::size_t w = 0; w < ctx.ways; ++w) {
+        if (!ctx.way[w].active) {
+          continue;
+        }
+        if (ways_[w].tag_faults->any_stuck(tag_bit_base(w, set),
+                                           stored_tag_cw_bits_[w])) {
+          ctx.tag_clean[set] = 0;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Cache::access_batched_fallback(std::uint64_t addr, AccessType type,
+                                    std::uint32_t store_value, bool& hit,
+                                    std::uint32_t& latency_cycles) {
+  const AccessResult result = access(addr, type, store_value);
+  hit = result.hit;
+  latency_cycles = static_cast<std::uint32_t>(result.latency_cycles);
+}
+
+void Cache::batched_store_tail(std::uint64_t addr, std::uint32_t store_value,
+                               std::size_t hit_way, std::size_t set,
+                               std::size_t widx) {
+  const BatchCtx& ctx = batch_ctx_;
+  const BatchCtx::WayCtx& wc = ctx.way[hit_way];
+  const std::uint64_t data = store_value & ctx.word_mask;
+  wc.data_words[widx] =
+      wc.data_codec ? wc.data_codec->encode_word(data) : data;
+  energy_j_[kEnergyDynamic] += wc.word_write;
+  energy_j_[kEnergyEdc] += wc.edc_encode;
+  if (ctx.write_through) {
+    (void)next_level_->store_word(addr, store_value);
+  } else {
+    ways_[hit_way].lines[set].dirty = true;
+  }
+}
+
+void Cache::batched_load_coded(std::uint64_t addr, std::size_t hit_way,
+                               std::size_t set, std::size_t word,
+                               std::size_t widx) {
+  const BatchCtx& ctx = batch_ctx_;
+  const BatchCtx::WayCtx& wc = ctx.way[hit_way];
+  std::uint64_t raw = wc.data_words[widx];
+  if (ctx.ule) {
+    raw = ways_[hit_way].data_faults->apply_word(
+        raw, data_bit_base(hit_way, set, word), wc.data_cw_bits);
+  }
+  raw &= low_mask(wc.data_codec->codeword_bits());
+  const edc::WordDecodeResult decoded = wc.data_codec->decode_word(raw);
+  if (decoded.status == edc::DecodeStatus::kDetected) {
+    ++stats_.edc_detected;
+    // Uncorrectable data: the scalar path falls back to the next level.
+    (void)next_level_->load_word(addr);
+  } else if (decoded.status == edc::DecodeStatus::kCorrected) {
+    stats_.edc_corrections += decoded.corrected_bits;
+  }
+}
+
+void Cache::access_batch(AccessBatch& batch) {
+  for (BatchOp& op : batch.ops) {
+    access_batched(op.addr, op.type, op.store_value, op.hit,
+                   op.latency_cycles);
+  }
+}
+
 void Cache::charge_lookup() {
   const auto& model = energy_model();
   charge(kEnergyDynamic, model.lookup_energy());
@@ -491,6 +615,9 @@ void Cache::set_mode(power::Mode mode) {
   }
 
   mode_ = mode;
+  // The hoisted batch context caches mode-dependent energy handles, way
+  // activity and the tag-clean map; rebuild it lazily on next use.
+  batch_ctx_valid_ = false;
 }
 
 void Cache::enable_soft_errors(std::size_t way, double rate_per_bit) {

@@ -36,6 +36,10 @@ class LruPolicy final : public ReplacementPolicy {
     stamps_[set * ways_ + way] = ++clock_;
   }
 
+  TouchSeam touch_seam() noexcept override {
+    return {stamps_.data(), &clock_};
+  }
+
   std::size_t victim(std::size_t set,
                      const std::vector<std::size_t>& candidates) override {
     expects(!candidates.empty(), "victim needs candidates");

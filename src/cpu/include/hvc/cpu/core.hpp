@@ -87,11 +87,9 @@ struct RunResult {
   cache::CacheStats il1;
   cache::CacheStats dl1;
   /// Per-level snapshot of the whole hierarchy for this run: IL1, DL1,
-  /// then every shared level (L2, MEM, ...) in MemoryPorts order. For the
-  /// two-level shape — no shared levels, each L1 wrapping its own memory
-  /// terminal — the two terminals' traffic is merged into one appended
-  /// "MEM" row, so memory accesses are reported for every hierarchy
-  /// shape (the indices of the existing rows are untouched).
+  /// then every shared level (L2, MEM, ...) in MemoryPorts order. Every
+  /// hierarchy shape ends in an explicit terminal owned by sim::System,
+  /// so the "MEM" row is always present.
   std::vector<cache::LevelStats> levels;
 
   /// Stats of the level named `name` ("L2", "MEM", ...); nullptr when the
@@ -127,11 +125,15 @@ class Core {
   /// deltas for this run only (internally snapshotted).
   [[nodiscard]] RunResult run(const trace::Tracer& tracer);
 
-  /// Streaming replay: pulls records from `source` one at a time, so the
-  /// memory held during the run is the source's own window (an on-disk
-  /// trace of any length replays in O(1) memory). The source is reset()
-  /// first; replaying the same source twice gives bit-identical results.
-  [[nodiscard]] RunResult run(trace::TraceSource& source);
+  /// Streaming replay: pulls records from `source` in blocks of
+  /// `block_records` (1 = the legacy record-at-a-time loop), so the
+  /// memory held during the run is the source's own window plus one
+  /// block (an on-disk trace of any length replays in O(1) memory). The
+  /// source is reset() first; replaying the same source twice — or with
+  /// any other block size — gives bit-identical results.
+  [[nodiscard]] RunResult run(trace::TraceSource& source,
+                              std::size_t block_records =
+                                  trace::kReplayBlockRecords);
 
   // --- incremental replay (multi-core interleaving) ---
   // run() is begin_run() + step() per record + finish_run(); a round-robin
@@ -158,6 +160,21 @@ class Core {
 
   /// Replays one trace record against the pipeline/energy model.
   void step(const trace::Record& record, RunState& state);
+
+  /// step() with the L1 lookup routed through Cache::access_batched —
+  /// identical arithmetic, no virtual dispatch on the hit path. The
+  /// multi-core interleaver (sim::System::run_mix) steps this per
+  /// record so blocked replay keeps the exact scalar round order.
+  void step_fast(const trace::Record& record, RunState& state);
+
+  /// Replays a block of records through the batched L1 entry points
+  /// (cache::Cache::access_batched). Records are stepped strictly in
+  /// order — IL1 and DL1 share the next level and the Bernoulli stream
+  /// is consumed per record — so the result is bit-identical to
+  /// `count` step() calls; the win is the devirtualized, division-free
+  /// cache fast path under each record.
+  void step_batch(const trace::Record* records, std::size_t count,
+                  RunState& state);
 
   /// Rolls the finished state up into a RunResult. With `include_shared`
   /// the shared levels' energy/stats are folded in (single-core run());

@@ -88,13 +88,6 @@ void Core::begin_run() {
   ports_.dl1->clear_energy();
   ports_.il1->clear_stats();
   ports_.dl1->clear_stats();
-  // Two-level shape: the L1s wrap their own memory terminals; clear them
-  // so the merged "MEM" row of finish_run() reports this run's traffic.
-  for (cache::Cache* l1 : {ports_.il1, ports_.dl1}) {
-    if (cache::MainMemoryLevel* terminal = l1->owned_terminal()) {
-      terminal->clear_level_counters();
-    }
-  }
 
   consts_.core_energy_per_instr =
       params_.core_cap_per_instr_f * op_.vcc * op_.vcc;
@@ -156,21 +149,92 @@ void Core::step(const trace::Record& record, RunState& state) {
   }
 }
 
+void Core::step_fast(const trace::Record& record, RunState& state) {
+  cache::Cache& il1_ = *ports_.il1;
+  cache::Cache& dl1_ = *ports_.dl1;
+  bool hit = false;
+  std::uint32_t latency = 0;
+  switch (record.kind) {
+    case trace::Kind::kIfetch: {
+      ++state.instructions;
+      ++state.cycles;  // base CPI 1 with pipelined fetch
+      il1_.access_batched(record.addr, cache::AccessType::kIfetch, 0, hit,
+                          latency);
+      if (!hit) {
+        state.cycles += latency - consts_.il1_hit;  // miss stall
+      }
+      state.arrays_dynamic += consts_.tlb_read;  // ITLB lookup
+      state.arrays_dynamic +=
+          2.0 * consts_.rf_read + consts_.rf_write;  // operand read/writeback
+      state.core_dynamic += consts_.core_energy_per_instr;
+      break;
+    }
+    case trace::Kind::kLoad: {
+      dl1_.access_batched(record.addr, cache::AccessType::kLoad, 0, hit,
+                          latency);
+      if (!hit) {
+        state.cycles += latency - consts_.dl1_hit;
+      }
+      if (consts_.dl1_hit > 1 &&
+          rng_.bernoulli(params_.load_use_adjacent_prob)) {
+        state.cycles += consts_.dl1_hit - 1;
+      }
+      state.arrays_dynamic += consts_.tlb_read;  // DTLB
+      break;
+    }
+    case trace::Kind::kStore: {
+      dl1_.access_batched(record.addr, cache::AccessType::kStore, 0, hit,
+                          latency);
+      if (!hit) {
+        state.cycles += latency - consts_.dl1_hit;
+      }
+      state.arrays_dynamic += consts_.tlb_read;
+      break;
+    }
+    case trace::Kind::kBranch: {
+      if (record.taken && consts_.il1_hit > 1 &&
+          rng_.bernoulli(params_.redirect_on_taken)) {
+        state.cycles += consts_.il1_hit - 1;
+      }
+      break;
+    }
+  }
+}
+
+void Core::step_batch(const trace::Record* records, std::size_t count,
+                      RunState& state) {
+  // Strictly in record order: IL1 and DL1 share the next level, and the
+  // Bernoulli stream is consumed per load/branch — any per-cache
+  // sub-batching would reorder state the scalar path sees.
+  for (std::size_t i = 0; i < count; ++i) {
+    step_fast(records[i], state);
+  }
+}
+
 RunResult Core::run(const trace::Tracer& tracer) {
   trace::MemoryTraceSource source(tracer);
   return run(source);
 }
 
-RunResult Core::run(trace::TraceSource& source) {
+RunResult Core::run(trace::TraceSource& source, std::size_t block_records) {
+  expects(block_records > 0, "block_records must be at least 1");
   source.reset();
   begin_run();
   for (cache::MemoryLevel* level : ports_.shared) {
     level->clear_level_counters();
   }
   RunState state;
-  trace::Record record;
-  while (source.next(record)) {
-    step(record, state);
+  if (block_records == 1) {
+    trace::Record record;
+    while (source.next(record)) {
+      step(record, state);
+    }
+  } else {
+    std::vector<trace::Record> block(block_records);
+    std::size_t got = 0;
+    while ((got = source.next_batch(block.data(), block.size())) > 0) {
+      step_batch(block.data(), got, state);
+    }
   }
   return finish_run(state);
 }
@@ -221,21 +285,6 @@ RunResult Core::finish_run(const RunState& state, bool include_shared) const {
     for (cache::MemoryLevel* level : ports_.shared) {
       result.levels.push_back(level->level_stats());
     }
-  }
-  // Two-level shape: no shared levels, each L1 wrapping its own memory
-  // terminal. Merge the two terminals' traffic into one appended "MEM"
-  // row (zero energy — the terminal has no energy model) so the memory
-  // column is never silently empty for the paper's baseline shape.
-  const cache::MainMemoryLevel* il1_mem = il1_.owned_terminal();
-  const cache::MainMemoryLevel* dl1_mem = dl1_.owned_terminal();
-  if (ports_.shared.empty() && il1_mem != nullptr && dl1_mem != nullptr) {
-    cache::LevelStats mem = il1_mem->level_stats();
-    const cache::LevelStats dmem = dl1_mem->level_stats();
-    mem.accesses += dmem.accesses;
-    mem.hits += dmem.hits;
-    mem.fills += dmem.fills;
-    mem.writebacks += dmem.writebacks;
-    result.levels.push_back(std::move(mem));
   }
   return result;
 }

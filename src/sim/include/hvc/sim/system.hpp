@@ -131,10 +131,14 @@ class System {
   /// Runs an already-captured trace (on core 0).
   [[nodiscard]] cpu::RunResult run_trace(const trace::Tracer& tracer);
 
-  /// Streaming replay on core 0: records are pulled one at a time, so
-  /// memory stays bounded by the source's window for traces of any
-  /// length. The source is reset() first.
-  [[nodiscard]] cpu::RunResult run_trace(trace::TraceSource& source);
+  /// Streaming replay on core 0: records are pulled in blocks of
+  /// `block_records` (1 = the record-at-a-time scalar path; any block
+  /// size is bit-identical), so memory stays bounded by the source's
+  /// window plus one block for traces of any length. The source is
+  /// reset() first.
+  [[nodiscard]] cpu::RunResult run_trace(
+      trace::TraceSource& source,
+      std::size_t block_records = trace::kReplayBlockRecords);
 
   /// The workload seed of core `core` for a mix run at base `seed`:
   /// core 0 keeps the bare seed (a one-name mix on a one-core chip
@@ -153,15 +157,22 @@ class System {
   /// to run_workload).
   [[nodiscard]] MulticoreResult run_mix(
       const std::vector<std::string>& workloads, std::uint64_t seed = 1,
-      std::size_t scale = 1);
+      std::size_t scale = 1,
+      std::size_t block_records = trace::kReplayBlockRecords);
 
   /// The interleaving engine behind run_mix: one already-built trace
-  /// source per core, pulled one record per core per round (bounded
-  /// memory for N-core mixes of arbitrarily long traces). Sources are
-  /// reset() first; `names` labels MulticoreResult::core_workloads.
+  /// source per core, stepped one record per core per round (bounded
+  /// memory for N-core mixes of arbitrarily long traces). Each core's
+  /// records are pulled from its source in blocks of `block_records`
+  /// (amortizing per-record decode/dispatch) but executed strictly in
+  /// the same record-per-core round order as `block_records == 1`, so
+  /// every block size retires records — and drives the shared-level
+  /// arbiter — bit-identically. Sources are reset() first; `names`
+  /// labels MulticoreResult::core_workloads.
   [[nodiscard]] MulticoreResult run_mix_sources(
       const std::vector<trace::TraceSource*>& sources,
-      std::vector<std::string> names = {});
+      std::vector<std::string> names = {},
+      std::size_t block_records = trace::kReplayBlockRecords);
 
   /// Switches the whole chip between HP and ULE mode: gates/ungates cache
   /// ways (with the writeback/re-encode costs) and re-points the core at
@@ -219,10 +230,9 @@ class System {
   SystemConfig config_;
   cache::MainMemory memory_;
   Rng rng_;
-  /// Terminal level behind the deepest cache (built for L2 shapes and for
-  /// multi-core chips; the single-core two-level shape keeps the caches'
-  /// internally-owned terminals so its behaviour — including RNG stream
-  /// order — is bit-identical to the pre-hierarchy System).
+  /// Terminal level behind the deepest cache. Always built: the L2 (or
+  /// the L1s directly, two-level shape) misses into it, so every
+  /// hierarchy shape ends in one explicit "MEM" level owned here.
   std::unique_ptr<cache::MainMemoryLevel> memory_level_;
   std::unique_ptr<cache::Cache> l2_;
   /// Arbitration around the front shared level (multi-core only).

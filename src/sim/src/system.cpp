@@ -118,9 +118,9 @@ System::System(const SystemConfig& config, const yield::CacheCellPlan& cells)
     cc.ule = config_.ule;
     cc.fault_seed = config_.seed ^ 0x22;
     l2_ = std::make_unique<cache::Cache>(cc, *memory_level_, rng_);
-  } else if (multicore) {
-    // L2-less multi-core chip: the private L1s share the memory terminal
-    // (and contend for its port) instead of owning one each.
+  } else {
+    // L2-less chip: the private L1s miss into one shared memory terminal
+    // (multi-core chips additionally contend for its port).
     memory_level_ = std::make_unique<cache::MainMemoryLevel>(
         memory_, config_.memory_latency_cycles);
   }
@@ -154,10 +154,9 @@ System::System(const SystemConfig& config, const yield::CacheCellPlan& cells)
     if (arbiter_) {
       return std::make_unique<cache::Cache>(cc, *arbiter_, rng_);
     }
-    // Two-level shape: miss straight into memory (the cache wraps its own
-    // terminal, preserving the pre-hierarchy behaviour bit-for-bit).
+    // Two-level shape: miss straight into the shared memory terminal.
     return l2_ ? std::make_unique<cache::Cache>(cc, *l2_, rng_)
-               : std::make_unique<cache::Cache>(cc, memory_, rng_);
+               : std::make_unique<cache::Cache>(cc, *memory_level_, rng_);
   };
   // Per-core fault-map salts: core 0 keeps the pre-multicore 0x11/0xDD so
   // one-core chips are bit-identical; higher cores shift into disjoint
@@ -189,6 +188,10 @@ std::vector<cache::MemoryLevel*> System::shared_levels() noexcept {
     }
   } else if (l2_) {
     levels.push_back(l2_.get());
+    levels.push_back(memory_level_.get());
+  } else {
+    // Two-level single-core shape: the terminal both L1s miss into is
+    // the only shared level, so every hierarchy reports a "MEM" row.
     levels.push_back(memory_level_.get());
   }
   return levels;
@@ -281,8 +284,9 @@ cpu::RunResult System::run_trace(const trace::Tracer& tracer) {
   return cores_[0]->run(tracer);
 }
 
-cpu::RunResult System::run_trace(trace::TraceSource& source) {
-  return cores_[0]->run(source);
+cpu::RunResult System::run_trace(trace::TraceSource& source,
+                                 std::size_t block_records) {
+  return cores_[0]->run(source, block_records);
 }
 
 std::uint64_t System::core_workload_seed(std::uint64_t seed,
@@ -295,7 +299,8 @@ std::uint64_t System::core_workload_seed(std::uint64_t seed,
 }
 
 MulticoreResult System::run_mix(const std::vector<std::string>& workloads,
-                                std::uint64_t seed, std::size_t scale) {
+                                std::uint64_t seed, std::size_t scale,
+                                std::size_t block_records) {
   expects(!workloads.empty(), "run_mix needs at least one workload");
   const std::size_t n = cores_.size();
 
@@ -327,13 +332,14 @@ MulticoreResult System::run_mix(const std::vector<std::string>& workloads,
     sources.push_back(owned.back().get());
     names.push_back(name);
   }
-  return run_mix_sources(sources, std::move(names));
+  return run_mix_sources(sources, std::move(names), block_records);
 }
 
 MulticoreResult System::run_mix_sources(
     const std::vector<trace::TraceSource*>& sources,
-    std::vector<std::string> names) {
+    std::vector<std::string> names, std::size_t block_records) {
   const std::size_t n = cores_.size();
+  expects(block_records > 0, "block_records must be at least 1");
   expects(sources.size() == n, "run_mix needs one trace source per core");
   expects(names.empty() || names.size() == n,
           "per-core names must match the core count");
@@ -354,35 +360,100 @@ MulticoreResult System::run_mix_sources(
     cores_[c]->begin_run();
   }
 
-  // Deterministic round-robin interleaver: one record pulled per core per
-  // round, with the start core rotating so the arbiter's uncontended
-  // priority slot circulates (round-robin arbitration fairness). Pull
-  // failure retires a core; the loop ends when every source is dry.
+  // Deterministic round-robin interleaver: one record stepped per core
+  // per round, with the start core rotating so the arbiter's uncontended
+  // priority slot circulates (round-robin arbitration fairness). An
+  // empty pull retires a core; the loop ends when every source is dry.
   std::vector<cpu::Core::RunState> states(n);
   std::vector<char> done(n, 0);
   std::size_t active = n;
-  std::uint64_t round = 0;
-  trace::Record record;
-  while (active > 0) {
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t c = (round + k) % n;
-      if (done[c] != 0) {
-        continue;
-      }
-      if (!sources[c]->next(record)) {
-        done[c] = 1;
-        --active;
-        continue;
+  // Rotating start core, tracked incrementally: `(round + k) % n` with a
+  // runtime n would put an integer divide on every record.
+  std::size_t start = 0;
+  if (block_records == 1) {
+    // Scalar reference path: one virtual next() + one step() per record.
+    trace::Record record;
+    while (active > 0) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::size_t c = start + k;
+        if (c >= n) {
+          c -= n;
+        }
+        if (done[c] != 0) {
+          continue;
+        }
+        if (!sources[c]->next(record)) {
+          done[c] = 1;
+          --active;
+          continue;
+        }
+        if (arbiter_) {
+          arbiter_->begin_request(c);
+        }
+        cores_[c]->step(record, states[c]);
       }
       if (arbiter_) {
-        arbiter_->begin_request(c);
+        arbiter_->new_round();
       }
-      cores_[c]->step(record, states[c]);
+      if (++start == n) {
+        start = 0;
+      }
     }
-    if (arbiter_) {
-      arbiter_->new_round();
+  } else {
+    // Blocked path: each core refills a private record buffer through
+    // next_batch() (amortized decode, no per-record virtual dispatch)
+    // but execution stays round-major with one record per core per
+    // round — shared-level state (L2 sets, arbiter occupancy) and each
+    // core's Bernoulli stream see exactly the scalar order, so any
+    // block size is bit-identical. A core retires when its refill
+    // comes back empty: the same round its scalar next() would fail.
+    if (n == 1 && !arbiter_) {
+      // Single core, nothing shared to arbitrate: the round loop
+      // degenerates to plain record order, so drive whole blocks
+      // through step_batch with no per-record bookkeeping.
+      std::vector<trace::Record> block(block_records);
+      std::size_t got = 0;
+      while ((got = sources[0]->next_batch(block.data(), block_records)) > 0) {
+        cores_[0]->step_batch(block.data(), got, states[0]);
+      }
+      active = 0;
     }
-    ++round;
+    std::vector<std::vector<trace::Record>> blocks(n);
+    std::vector<std::size_t> len(n, 0);
+    std::vector<std::size_t> pos(n, 0);
+    for (auto& block : blocks) {
+      block.resize(block_records);
+    }
+    while (active > 0) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::size_t c = start + k;
+        if (c >= n) {
+          c -= n;
+        }
+        if (done[c] != 0) {
+          continue;
+        }
+        if (pos[c] == len[c]) {
+          len[c] = sources[c]->next_batch(blocks[c].data(), block_records);
+          pos[c] = 0;
+          if (len[c] == 0) {
+            done[c] = 1;
+            --active;
+            continue;
+          }
+        }
+        if (arbiter_) {
+          arbiter_->begin_request(c);
+        }
+        cores_[c]->step_fast(blocks[c][pos[c]++], states[c]);
+      }
+      if (arbiter_) {
+        arbiter_->new_round();
+      }
+      if (++start == n) {
+        start = 0;
+      }
+    }
   }
 
   // Per-core roll-up. A one-core chip folds the shared levels into its

@@ -12,6 +12,7 @@
 // both grow upward and never overlap.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,6 +20,11 @@
 #include "hvc/common/error.hpp"
 
 namespace hvc::trace {
+
+/// Default number of records pulled and stepped per block by the batch
+/// replay paths (cpu::Core::run, sim::System::run_mix, hvc_trace replay
+/// --block-size). 1 forces the record-at-a-time scalar path.
+inline constexpr std::size_t kReplayBlockRecords = 256;
 
 enum class Kind : std::uint8_t {
   kIfetch,  ///< one instruction fetch (one executed instruction)
@@ -59,6 +65,20 @@ class TraceSource {
   /// Pulls the next record into `out`; returns false at end of trace
   /// (and leaves `out` untouched).
   virtual bool next(Record& out) = 0;
+
+  /// Pulls up to `max` records into `out`; returns how many were
+  /// delivered (< max only at end of trace). Equivalent to `max` next()
+  /// calls — the default is exactly that loop — but overridable so
+  /// sources can amortize per-record dispatch/decode across a block
+  /// (MemoryTraceSource copies a span, TraceFileSource decodes a run of
+  /// varints without per-record virtual calls).
+  virtual std::size_t next_batch(Record* out, std::size_t max) {
+    std::size_t produced = 0;
+    while (produced < max && next(out[produced])) {
+      ++produced;
+    }
+    return produced;
+  }
 
   /// Exact number of records the source will deliver after a reset(), or
   /// 0 when unknown. Drivers use it for progress/reservation only, never
@@ -127,6 +147,12 @@ class MemoryTraceSource final : public TraceSource {
     }
     out = (*records_)[pos_++];
     return true;
+  }
+  std::size_t next_batch(Record* out, std::size_t max) override {
+    const std::size_t produced = std::min(max, records_->size() - pos_);
+    std::copy_n(records_->data() + pos_, produced, out);
+    pos_ += produced;
+    return produced;
   }
   [[nodiscard]] std::uint64_t size_hint() const noexcept override {
     return records_->size();

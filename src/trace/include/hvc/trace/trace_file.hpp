@@ -103,6 +103,9 @@ class TraceFileSource final : public TraceSource {
   TraceFileSource& operator=(const TraceFileSource&) = delete;
 
   bool next(Record& out) override;
+  /// Decodes a run of records without per-record virtual dispatch (the
+  /// decode state and refill window are shared with next()).
+  std::size_t next_batch(Record* out, std::size_t max) override;
   [[nodiscard]] std::uint64_t size_hint() const noexcept override {
     return info_.records;
   }

@@ -431,6 +431,14 @@ bool TraceFileSource::next(Record& out) {
   return true;
 }
 
+std::size_t TraceFileSource::next_batch(Record* out, std::size_t max) {
+  std::size_t produced = 0;
+  while (produced < max && next(out[produced])) {
+    ++produced;
+  }
+  return produced;
+}
+
 void TraceFileSource::reset() {
   if (std::fseek(file_, static_cast<long>(kTraceHeaderBytes), SEEK_SET) !=
       0) {

@@ -108,7 +108,7 @@ WorkloadResult run_adpcm_c(std::uint64_t seed, std::size_t scale) {
   const auto pcm = make_speech(samples, seed);
 
   trace::Tracer& t = result.tracer;
-  t.reserve(samples * 16);
+  t.reserve(samples * 36);  // measured ~35 records/sample
   trace::Array<std::int16_t> in(t, samples);
   trace::Array<std::uint8_t> out(t, samples);
   // Step/index tables live in data memory like the real program.
@@ -155,7 +155,7 @@ WorkloadResult run_adpcm_d(std::uint64_t seed, std::size_t scale) {
   const auto codes = adpcm::encode(pcm);
 
   trace::Tracer& t = result.tracer;
-  t.reserve(samples * 14);
+  t.reserve(samples * 30);  // measured ~29 records/sample
   trace::Array<std::uint8_t> in(t, samples);
   trace::Array<std::int16_t> out(t, samples);
   trace::Array<std::int32_t> step_table(t, 89);

@@ -426,7 +426,7 @@ WorkloadResult run_gsm_c(std::uint64_t seed, std::size_t scale) {
 
   // Traced replay of the encoder's memory behaviour.
   trace::Tracer& t = result.tracer;
-  t.reserve(frames * 40000);
+  t.reserve(frames * 68000);  // measured ~67.5K records/frame
   GsmTraceArrays arrays(t, frames);
   const trace::Block prologue = t.block(48);
   const trace::Block acf_block = t.block(10);
@@ -461,7 +461,7 @@ WorkloadResult run_gsm_d(std::uint64_t seed, std::size_t scale) {
   const gsm::Bitstream stream = gsm::encode(pcm, &local_recon);
 
   trace::Tracer& t = result.tracer;
-  t.reserve(frames * 8000);
+  t.reserve(frames * 12000);  // measured ~11.7K records/frame
   GsmTraceArrays arrays(t, frames);
   const trace::Block prologue = t.block(40);
   const trace::Block parse_block = t.block(12);

@@ -1,0 +1,368 @@
+// Differential pin of the batch access path (PR 7): every op issued
+// through Cache::access_batch / access_batched and every block size
+// threaded through Core::run / System::run_mix must be bit-identical —
+// all stats, every energy category as an exact double, every per-op
+// hit/latency — to the record-at-a-time scalar path. FP accumulation is
+// order-sensitive, so these tests use EXPECT_EQ on doubles throughout:
+// "close" means the batch path took a different arithmetic route.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "hvc/cache/cache.hpp"
+#include "hvc/common/rng.hpp"
+#include "hvc/sim/system.hpp"
+#include "hvc/trace/trace.hpp"
+#include "hvc/workloads/workload.hpp"
+
+namespace hvc {
+namespace {
+
+using cache::AccessType;
+
+// ---------------------------------------------------------------------
+// Cache-level differential: twin caches, one scalar, one batched.
+// ---------------------------------------------------------------------
+
+struct CacheVariant {
+  cache::CacheConfig config;
+  const char* label = "";
+};
+
+/// Paper-shaped 8KB 7+1 cache, parameterized over the axes the batch
+/// fast path special-cases: EDC codecs, hard faults (tag faults force
+/// the scalar fallback per set), and the write policy.
+[[nodiscard]] cache::CacheConfig shaped_config(edc::Protection hp_protection,
+                                               edc::Protection ule_protection,
+                                               double ule_pf,
+                                               cache::WritePolicy policy) {
+  cache::CacheConfig config;
+  config.ways.resize(8);
+  for (std::size_t w = 0; w < 7; ++w) {
+    config.ways[w].cell = {tech::CellKind::k6T, 1.9};
+    config.ways[w].hp_protection = hp_protection;
+  }
+  config.ways[7].ule_way = true;
+  config.ways[7].cell = {tech::CellKind::k8T, 2.8};
+  config.ways[7].hp_protection = hp_protection;
+  config.ways[7].ule_protection = ule_protection;
+  config.way_hard_pf.assign(8, 0.0);
+  config.way_hard_pf[7] = ule_pf;
+  config.write_policy = policy;
+  return config;
+}
+
+/// Mixed op stream over ~2x the cache footprint: hits, misses,
+/// evictions, 1 store per 4 ops, 1 ifetch per 7.
+[[nodiscard]] std::vector<cache::BatchOp> op_stream(std::size_t count,
+                                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cache::BatchOp> ops(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ops[i].addr = (rng.below(2 * 8 * 1024) / 4) * 4;
+    ops[i].type = (i % 4 == 3)   ? AccessType::kStore
+                  : (i % 7 == 0) ? AccessType::kIfetch
+                                 : AccessType::kLoad;
+    ops[i].store_value = static_cast<std::uint32_t>(i * 2654435761ULL);
+  }
+  return ops;
+}
+
+void expect_stats_equal(const cache::Cache& scalar,
+                        const cache::Cache& batched, const char* what) {
+  const cache::CacheStats& a = scalar.stats();
+  const cache::CacheStats& b = batched.stats();
+  EXPECT_EQ(a.accesses, b.accesses) << what;
+  EXPECT_EQ(a.hits, b.hits) << what;
+  EXPECT_EQ(a.misses, b.misses) << what;
+  EXPECT_EQ(a.loads, b.loads) << what;
+  EXPECT_EQ(a.stores, b.stores) << what;
+  EXPECT_EQ(a.ifetches, b.ifetches) << what;
+  EXPECT_EQ(a.fills, b.fills) << what;
+  EXPECT_EQ(a.writebacks, b.writebacks) << what;
+  EXPECT_EQ(a.edc_corrections, b.edc_corrections) << what;
+  EXPECT_EQ(a.edc_detected, b.edc_detected) << what;
+  EXPECT_EQ(a.mode_switch_writebacks, b.mode_switch_writebacks) << what;
+  // The pin that matters most: FP energy, exactly.
+  EXPECT_EQ(scalar.dynamic_energy_j(), batched.dynamic_energy_j()) << what;
+  EXPECT_EQ(scalar.edc_energy_j(), batched.edc_energy_j()) << what;
+}
+
+/// Drives the same op stream through a scalar twin and a batched twin
+/// (same config, same seeds) at the given block size, switching both to
+/// `switch_mode` at op `switch_at` when set. Compares every per-op
+/// hit/latency and the final stats/energy.
+void run_differential(const cache::CacheConfig& config, power::Mode mode,
+                      std::size_t block, const char* what,
+                      std::size_t switch_at = 0,
+                      power::Mode switch_mode = power::Mode::kHp) {
+  cache::MainMemory mem_a, mem_b;
+  Rng rng_a(7), rng_b(7);
+  cache::MainMemoryLevel term_a(mem_a, config.memory_latency_cycles);
+  cache::MainMemoryLevel term_b(mem_b, config.memory_latency_cycles);
+  cache::Cache scalar(config, term_a, rng_a);
+  cache::Cache batched(config, term_b, rng_b);
+  scalar.set_mode(mode);
+  batched.set_mode(mode);
+
+  const auto ops = op_stream(4096, 42);
+  cache::AccessBatch batch;
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (switch_at != 0 && i == switch_at) {
+      scalar.set_mode(switch_mode);
+      batched.set_mode(switch_mode);
+    }
+    std::size_t end = std::min(i + block, ops.size());
+    if (switch_at > i && switch_at < end) {
+      end = switch_at;  // the switch lands between two batches
+    }
+    batch.clear();
+    for (std::size_t j = i; j < end; ++j) {
+      batch.push(ops[j].addr, ops[j].type, ops[j].store_value);
+    }
+    batched.access_batch(batch);
+    for (std::size_t j = i; j < end; ++j) {
+      const auto ref =
+          scalar.access(ops[j].addr, ops[j].type, ops[j].store_value);
+      const cache::BatchOp& op = batch.ops[j - i];
+      ASSERT_EQ(ref.hit, op.hit) << what << " op " << j;
+      ASSERT_EQ(static_cast<std::uint32_t>(ref.latency_cycles),
+                op.latency_cycles)
+          << what << " op " << j;
+    }
+    i = end;
+  }
+  expect_stats_equal(scalar, batched, what);
+  // The stored memory images must agree too (stores/writebacks).
+  for (std::uint64_t a = 0; a < 2 * 8 * 1024; a += 512) {
+    EXPECT_EQ(mem_a.read_word(a), mem_b.read_word(a)) << what;
+  }
+}
+
+class BatchBlockSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchBlockSizes, HpUncodedBitIdentical) {
+  run_differential(shaped_config(edc::Protection::kNone,
+                                 edc::Protection::kSecded, 0.0,
+                                 cache::WritePolicy::kWriteBackAllocate),
+                   power::Mode::kHp, GetParam(), "hp-uncoded");
+}
+
+TEST_P(BatchBlockSizes, HpCodedBitIdentical) {
+  // SECDED on every way at HP: lookup tag-decode charges, per-load data
+  // decode and per-store encode all replay through the batch path.
+  run_differential(shaped_config(edc::Protection::kSecded,
+                                 edc::Protection::kSecded, 0.0,
+                                 cache::WritePolicy::kWriteBackAllocate),
+                   power::Mode::kHp, GetParam(), "hp-coded");
+}
+
+TEST_P(BatchBlockSizes, UleFaultyBitIdentical) {
+  // Exaggerated Pf: stuck tag bits force per-set scalar fallback and
+  // stuck data bits feed the live correction path — both must land on
+  // exactly the scalar counters.
+  run_differential(shaped_config(edc::Protection::kNone,
+                                 edc::Protection::kSecded, 3e-3,
+                                 cache::WritePolicy::kWriteBackAllocate),
+                   power::Mode::kUle, GetParam(), "ule-faulty");
+}
+
+TEST_P(BatchBlockSizes, WriteThroughBitIdentical) {
+  run_differential(shaped_config(edc::Protection::kNone,
+                                 edc::Protection::kSecded, 0.0,
+                                 cache::WritePolicy::kWriteThroughNoAllocate),
+                   power::Mode::kHp, GetParam(), "write-through");
+}
+
+TEST_P(BatchBlockSizes, MidStreamModeSwitchBitIdentical) {
+  // HP -> ULE at op 1000 (mid-block for every size > 1): the drain
+  // writebacks, the batch-context invalidation and the post-switch ULE
+  // accounting must all replay exactly.
+  run_differential(shaped_config(edc::Protection::kNone,
+                                 edc::Protection::kSecded, 1e-3,
+                                 cache::WritePolicy::kWriteBackAllocate),
+                   power::Mode::kHp, GetParam(), "mode-switch", 1000,
+                   power::Mode::kUle);
+}
+
+// Block sizes: scalar degenerate (1), tiny odd (3), the replay default
+// (256), and one that does not divide the 4096-op stream evenly.
+INSTANTIATE_TEST_SUITE_P(Blocks, BatchBlockSizes,
+                         ::testing::Values(1, 3, 256, 1000));
+
+TEST(BatchDefaultLoop, MainMemoryLevelMatchesScalar) {
+  // The MemoryLevel base default (loop the scalar virtuals) is what
+  // ArbitratedLevel and out-of-tree levels inherit: pin it too.
+  cache::MainMemory mem_a, mem_b;
+  cache::MainMemoryLevel scalar(mem_a, 20);
+  cache::MainMemoryLevel batched(mem_b, 20);
+
+  const auto ops = op_stream(256, 9);
+  cache::AccessBatch batch;
+  for (const auto& op : ops) {
+    batch.push(op.addr, op.type, op.store_value);
+  }
+  batched.access_batch(batch);
+  for (std::size_t j = 0; j < ops.size(); ++j) {
+    const auto ref = scalar.access(ops[j].addr, ops[j].type,
+                                   ops[j].store_value);
+    EXPECT_EQ(ref.hit, batch.ops[j].hit);
+    EXPECT_EQ(static_cast<std::uint32_t>(ref.latency_cycles),
+              batch.ops[j].latency_cycles);
+  }
+  const auto sa = scalar.level_stats();
+  const auto sb = batched.level_stats();
+  EXPECT_EQ(sa.accesses, sb.accesses);
+  EXPECT_EQ(sa.hits, sb.hits);
+}
+
+// ---------------------------------------------------------------------
+// System-level differential: whole-run results across block sizes.
+// ---------------------------------------------------------------------
+
+/// Bit-identical comparison of two run results (same contract as
+/// test_multicore's pin: EXPECT_EQ on every double).
+void expect_run_identical(const cpu::RunResult& a, const cpu::RunResult& b,
+                          const char* what) {
+  EXPECT_EQ(a.instructions, b.instructions) << what;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.seconds, b.seconds) << what;
+  const auto& items_a = a.energy.items();
+  ASSERT_EQ(items_a.size(), b.energy.items().size()) << what;
+  for (const auto& [key, value] : items_a) {
+    EXPECT_EQ(value, b.energy.get(key)) << what << " category " << key;
+  }
+  EXPECT_EQ(a.il1.accesses, b.il1.accesses) << what;
+  EXPECT_EQ(a.il1.hits, b.il1.hits) << what;
+  EXPECT_EQ(a.dl1.accesses, b.dl1.accesses) << what;
+  EXPECT_EQ(a.dl1.hits, b.dl1.hits) << what;
+  EXPECT_EQ(a.il1.writebacks, b.il1.writebacks) << what;
+  EXPECT_EQ(a.dl1.writebacks, b.dl1.writebacks) << what;
+  ASSERT_EQ(a.levels.size(), b.levels.size()) << what;
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    EXPECT_EQ(a.levels[i].name, b.levels[i].name) << what;
+    EXPECT_EQ(a.levels[i].accesses, b.levels[i].accesses) << what;
+    EXPECT_EQ(a.levels[i].hits, b.levels[i].hits) << what;
+    EXPECT_EQ(a.levels[i].contention_cycles, b.levels[i].contention_cycles)
+        << what;
+    EXPECT_EQ(a.levels[i].dynamic_energy_j, b.levels[i].dynamic_energy_j)
+        << what;
+    EXPECT_EQ(a.levels[i].edc_energy_j, b.levels[i].edc_energy_j) << what;
+  }
+}
+
+[[nodiscard]] sim::SystemConfig system_config(yield::Scenario scenario,
+                                              power::Mode mode,
+                                              std::size_t num_cores = 1,
+                                              bool with_l2 = false) {
+  sim::SystemConfig config;
+  config.design.scenario = scenario;
+  config.design.proposed = true;
+  config.mode = mode;
+  config.num_cores = num_cores;
+  if (with_l2) {
+    config.hierarchy.l2 = sim::L2Spec{};
+  }
+  return config;
+}
+
+TEST(SystemBatch, RunTraceBlockSizesBitIdenticalFig3) {
+  // Fig. 3 shape: HP BigBench through the single-core replay loop.
+  const sim::SystemConfig config =
+      system_config(yield::Scenario::kA, power::Mode::kHp);
+  const auto workload = wl::find_workload("gsm_c").run(1, 1);
+  trace::MemoryTraceSource source(workload.tracer);
+
+  sim::System reference(config, sim::cell_plan_for(config.design.scenario));
+  const cpu::RunResult scalar = reference.run_trace(source, 1);
+  for (const std::size_t block : {std::size_t{3}, std::size_t{256},
+                                  std::size_t{1000}}) {
+    sim::System system(config, sim::cell_plan_for(config.design.scenario));
+    expect_run_identical(scalar, system.run_trace(source, block), "fig3");
+  }
+}
+
+TEST(SystemBatch, RunTraceBlockSizesBitIdenticalFig4) {
+  // Fig. 4 shape: ULE SmallBench (scenario B exercises DECTED at ULE).
+  const sim::SystemConfig config =
+      system_config(yield::Scenario::kB, power::Mode::kUle);
+  const auto workload = wl::find_workload("adpcm_c").run(1, 1);
+  trace::MemoryTraceSource source(workload.tracer);
+
+  sim::System reference(config, sim::cell_plan_for(config.design.scenario));
+  const cpu::RunResult scalar = reference.run_trace(source, 1);
+  for (const std::size_t block : {std::size_t{3}, std::size_t{256}}) {
+    sim::System system(config, sim::cell_plan_for(config.design.scenario));
+    expect_run_identical(scalar, system.run_trace(source, block), "fig4");
+  }
+}
+
+TEST(SystemBatch, RunTraceWithL2BitIdentical) {
+  const sim::SystemConfig config =
+      system_config(yield::Scenario::kA, power::Mode::kHp, 1, true);
+  const auto workload = wl::find_workload("epic_c").run(1, 1);
+  trace::MemoryTraceSource source(workload.tracer);
+
+  sim::System reference(config, sim::cell_plan_for(config.design.scenario));
+  const cpu::RunResult scalar = reference.run_trace(source, 1);
+  sim::System system(config, sim::cell_plan_for(config.design.scenario));
+  expect_run_identical(scalar, system.run_trace(source, 256), "l2");
+}
+
+void expect_mix_identical(const sim::MulticoreResult& a,
+                          const sim::MulticoreResult& b, const char* what) {
+  ASSERT_EQ(a.per_core.size(), b.per_core.size()) << what;
+  for (std::size_t c = 0; c < a.per_core.size(); ++c) {
+    expect_run_identical(a.per_core[c], b.per_core[c], what);
+  }
+  expect_run_identical(a.aggregate, b.aggregate, what);
+}
+
+TEST(SystemBatch, RunMixArbiterBlockSizesBitIdentical) {
+  // 2 cores contending for the shared memory port through the arbiter:
+  // the blocked interleaver must reproduce the scalar round order (and
+  // with it every contention cycle) at any block size.
+  const sim::SystemConfig config =
+      system_config(yield::Scenario::kA, power::Mode::kHp, 2, false);
+  const auto wl_a = wl::find_workload("gsm_c").run(1, 1);
+  const auto wl_b = wl::find_workload("adpcm_c").run(1, 1);
+
+  auto run_at = [&](std::size_t block) {
+    trace::MemoryTraceSource src_a(wl_a.tracer);
+    trace::MemoryTraceSource src_b(wl_b.tracer);
+    std::vector<trace::TraceSource*> sources{&src_a, &src_b};
+    sim::System system(config, sim::cell_plan_for(config.design.scenario));
+    return system.run_mix_sources(sources, {"gsm_c", "adpcm_c"}, block);
+  };
+
+  const sim::MulticoreResult scalar = run_at(1);
+  expect_mix_identical(scalar, run_at(3), "arbiter block 3");
+  expect_mix_identical(scalar, run_at(256), "arbiter block 256");
+}
+
+TEST(SystemBatch, RunMixSharedL2BlockSizesBitIdentical) {
+  // 2 cores in front of a shared L2 (arbiter + stateful shared level):
+  // the strictest interleaving pin — L2 set state depends on the exact
+  // cross-core record order.
+  const sim::SystemConfig config =
+      system_config(yield::Scenario::kA, power::Mode::kHp, 2, true);
+  const auto wl_a = wl::find_workload("epic_c").run(1, 1);
+  const auto wl_b = wl::find_workload("adpcm_d").run(1, 1);
+
+  auto run_at = [&](std::size_t block) {
+    trace::MemoryTraceSource src_a(wl_a.tracer);
+    trace::MemoryTraceSource src_b(wl_b.tracer);
+    std::vector<trace::TraceSource*> sources{&src_a, &src_b};
+    sim::System system(config, sim::cell_plan_for(config.design.scenario));
+    return system.run_mix_sources(sources, {"epic_c", "adpcm_d"}, block);
+  };
+
+  const sim::MulticoreResult scalar = run_at(1);
+  expect_mix_identical(scalar, run_at(256), "shared-l2 block 256");
+}
+
+}  // namespace
+}  // namespace hvc

@@ -87,7 +87,9 @@ TEST(CacheFaults, SecdedCorrectsHardFaultsEndToEnd) {
   // SECDED datapath must deliver functionally exact loads anyway.
   MainMemory memory;
   Rng rng(7);
-  Cache cache(faulty_config(3e-3, edc::Protection::kSecded), memory, rng);
+  const CacheConfig config = faulty_config(3e-3, edc::Protection::kSecded);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
 
   for (std::uint64_t a = 0; a < 1024; a += 4) {
@@ -112,7 +114,9 @@ TEST(CacheFaults, UnprotectedSmallCellsCorruptData) {
   // WCET guarantees).
   MainMemory memory;
   Rng rng(7);  // same seed: same fault map as the protected run
-  Cache cache(faulty_config(3e-3, edc::Protection::kNone), memory, rng);
+  const CacheConfig config = faulty_config(3e-3, edc::Protection::kNone);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
 
   for (std::uint64_t a = 0; a < 1024; a += 4) {
@@ -132,7 +136,9 @@ TEST(CacheFaults, FaultsDormantAtHp) {
   // Hard faults are NST-voltage failures: at HP mode the same cells work.
   MainMemory memory;
   Rng rng(8);
-  Cache cache(faulty_config(5e-3, edc::Protection::kNone), memory, rng);
+  const CacheConfig config = faulty_config(5e-3, edc::Protection::kNone);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   // HP mode: all ways active, faults never applied.
   for (std::uint64_t a = 0; a < 4096; a += 4) {
     memory.write_word(a, static_cast<std::uint32_t>(a + 7));
@@ -147,7 +153,9 @@ TEST(CacheFaults, FaultsDormantAtHp) {
 TEST(CacheFaults, InjectedSoftErrorCorrected) {
   MainMemory memory;
   Rng rng(9);
-  Cache cache(faulty_config(0.0, edc::Protection::kSecded), memory, rng);
+  const CacheConfig config = faulty_config(0.0, edc::Protection::kSecded);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   memory.write_word(0x100, 1234);
   (void)cache.access(0x100, AccessType::kLoad);
@@ -163,7 +171,9 @@ TEST(CacheFaults, InjectedSoftErrorCorrected) {
 TEST(CacheFaults, DoubleSoftErrorDetectedNotMiscorrected) {
   MainMemory memory;
   Rng rng(10);
-  Cache cache(faulty_config(0.0, edc::Protection::kSecded), memory, rng);
+  const CacheConfig config = faulty_config(0.0, edc::Protection::kSecded);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   memory.write_word(0x100, 0xFEED);
   (void)cache.access(0x100, AccessType::kLoad);
@@ -180,7 +190,9 @@ TEST(CacheFaults, DoubleSoftErrorDetectedNotMiscorrected) {
 TEST(CacheFaults, DectedCorrectsDoubleError) {
   MainMemory memory;
   Rng rng(11);
-  Cache cache(faulty_config(0.0, edc::Protection::kDected), memory, rng);
+  const CacheConfig config = faulty_config(0.0, edc::Protection::kDected);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   memory.write_word(0x100, 0xBEEF);
   (void)cache.access(0x100, AccessType::kLoad);
@@ -195,7 +207,9 @@ TEST(CacheFaults, DectedCorrectsDoubleError) {
 TEST(CacheFaults, SoftErrorProcessIntegration) {
   MainMemory memory;
   Rng rng(12);
-  Cache cache(faulty_config(0.0, edc::Protection::kSecded), memory, rng);
+  const CacheConfig config = faulty_config(0.0, edc::Protection::kSecded);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   // ~12 expected flips over the way: well within one correction per word
   // for almost every word.
@@ -220,8 +234,11 @@ TEST(CacheFaults, SoftErrorProcessIntegration) {
 TEST(CacheFaults, DeterministicFaultMapPerSeed) {
   MainMemory m1, m2;
   Rng r1(13), r2(13);
-  Cache c1(faulty_config(1e-3, edc::Protection::kSecded), m1, r1);
-  Cache c2(faulty_config(1e-3, edc::Protection::kSecded), m2, r2);
+  const CacheConfig config = faulty_config(1e-3, edc::Protection::kSecded);
+  MainMemoryLevel t1(m1, config.memory_latency_cycles);
+  MainMemoryLevel t2(m2, config.memory_latency_cycles);
+  Cache c1(config, t1, r1);
+  Cache c2(config, t2, r2);
   c1.set_mode(power::Mode::kUle);
   c2.set_mode(power::Mode::kUle);
   for (std::uint64_t a = 0; a < 1024; a += 4) {

@@ -29,9 +29,13 @@ namespace {
 
 class CacheFunctional : public ::testing::Test {
  protected:
-  CacheFunctional() : rng_(1), cache_(small_config(), memory_, rng_) {}
+  CacheFunctional()
+      : rng_(1),
+        terminal_(memory_, small_config().memory_latency_cycles),
+        cache_(small_config(), terminal_, rng_) {}
   MainMemory memory_;
   Rng rng_;
+  MainMemoryLevel terminal_;
   Cache cache_;
 };
 
@@ -138,7 +142,9 @@ TEST_F(CacheFunctional, EnergyAccumulates) {
 TEST(CacheWriteThrough, StoreUpdatesMemoryImmediately) {
   MainMemory memory;
   Rng rng(2);
-  Cache cache(small_config(WritePolicy::kWriteThroughNoAllocate), memory, rng);
+  const CacheConfig config = small_config(WritePolicy::kWriteThroughNoAllocate);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   (void)cache.access(0x500, AccessType::kLoad);       // allocate line
   (void)cache.access(0x500, AccessType::kStore, 123);  // hit
   EXPECT_EQ(memory.read_word(0x500), 123u);
@@ -154,18 +160,20 @@ TEST(CacheWriteThrough, StoreUpdatesMemoryImmediately) {
 TEST(CacheConfigTest, Validation) {
   MainMemory memory;
   Rng rng(3);
+  MainMemoryLevel terminal(memory, small_config().memory_latency_cycles);
   CacheConfig config = small_config();
   config.ways.pop_back();
-  EXPECT_THROW(Cache(config, memory, rng), PreconditionError);
+  EXPECT_THROW(Cache(config, terminal, rng), PreconditionError);
   CacheConfig config2 = small_config();
   config2.way_hard_pf = {0.0, 0.0};  // wrong length
-  EXPECT_THROW(Cache(config2, memory, rng), PreconditionError);
+  EXPECT_THROW(Cache(config2, terminal, rng), PreconditionError);
 }
 
 TEST(CacheAliasing, TagDisambiguation) {
   MainMemory memory;
   Rng rng(4);
-  Cache cache(small_config(), memory, rng);
+  MainMemoryLevel terminal(memory, small_config().memory_latency_cycles);
+  Cache cache(small_config(), terminal, rng);
   // Two addresses mapping to the same set with different tags.
   const std::uint64_t a = 0x0000;
   const std::uint64_t b = 0x10000;
@@ -180,7 +188,8 @@ TEST(CacheAliasing, TagDisambiguation) {
 TEST(CacheIfetch, CountsSeparately) {
   MainMemory memory;
   Rng rng(5);
-  Cache cache(small_config(), memory, rng);
+  MainMemoryLevel terminal(memory, small_config().memory_latency_cycles);
+  Cache cache(small_config(), terminal, rng);
   (void)cache.access(0x40, AccessType::kIfetch);
   (void)cache.access(0x44, AccessType::kIfetch);
   EXPECT_EQ(cache.stats().ifetches, 2u);

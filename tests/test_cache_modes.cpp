@@ -28,7 +28,9 @@ namespace {
 TEST(CacheModes, StartsInHp) {
   MainMemory memory;
   Rng rng(1);
-  Cache cache(paper_config(), memory, rng);
+  const CacheConfig config = paper_config();
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   EXPECT_EQ(cache.mode(), power::Mode::kHp);
   // No EDC at HP in scenario A: base hit latency.
   EXPECT_EQ(cache.hit_latency(), cache.config().hit_latency_cycles);
@@ -37,7 +39,9 @@ TEST(CacheModes, StartsInHp) {
 TEST(CacheModes, UleAddsEdcCycle) {
   MainMemory memory;
   Rng rng(2);
-  Cache cache(paper_config(), memory, rng);
+  const CacheConfig config = paper_config();
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   EXPECT_EQ(cache.hit_latency(), cache.config().hit_latency_cycles +
                                      cache.config().edc_latency_cycles);
@@ -46,7 +50,9 @@ TEST(CacheModes, UleAddsEdcCycle) {
 TEST(CacheModes, BaselineHasNoEdcCycleAtUle) {
   MainMemory memory;
   Rng rng(3);
-  Cache cache(paper_config(false), memory, rng);
+  const CacheConfig config = paper_config(false);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   EXPECT_EQ(cache.hit_latency(), cache.config().hit_latency_cycles);
 }
@@ -54,7 +60,9 @@ TEST(CacheModes, BaselineHasNoEdcCycleAtUle) {
 TEST(CacheModes, HpWaysDrainedOnUleEntry) {
   MainMemory memory;
   Rng rng(4);
-  Cache cache(paper_config(), memory, rng);
+  const CacheConfig config = paper_config();
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   // Dirty a line that lands in an HP way (fill all 8 ways of set 0).
   const std::uint64_t stride = 32 * 32;  // sets * line_bytes
   for (int i = 0; i < 8; ++i) {
@@ -77,7 +85,8 @@ TEST(CacheModes, UleWayContentSurvivesSwitch) {
   Rng rng(5);
   CacheConfig config = paper_config();
   config.way_hard_pf.assign(8, 0.0);  // fault-free for this test
-  Cache cache(config, memory, rng);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
 
   // Fill set 0 so the last fill lands in the ULE way... simpler: store to
   // one address, then evict-proof it by accessing only at ULE.
@@ -100,7 +109,8 @@ TEST(CacheModes, DirtyUleLineSurvivesRoundTrip) {
   MainMemory memory;
   Rng rng(6);
   CacheConfig config = paper_config();
-  Cache cache(config, memory, rng);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   (void)cache.access(0x80, AccessType::kStore, 777);
   cache.set_mode(power::Mode::kHp);
@@ -114,7 +124,9 @@ TEST(CacheModes, DirtyUleLineSurvivesRoundTrip) {
 TEST(CacheModes, OnlyUleWayFilledAtUle) {
   MainMemory memory;
   Rng rng(7);
-  Cache cache(paper_config(), memory, rng);
+  const CacheConfig config = paper_config();
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   for (std::uint64_t a = 0; a < 4096; a += 32) {
     const auto result = cache.access(a, AccessType::kLoad);
@@ -127,7 +139,9 @@ TEST(CacheModes, OnlyUleWayFilledAtUle) {
 TEST(CacheModes, UleCapacityIsOneWay) {
   MainMemory memory;
   Rng rng(8);
-  Cache cache(paper_config(), memory, rng);
+  const CacheConfig config = paper_config();
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   // Touch exactly 1KB: second pass must fully hit.
   for (std::uint64_t a = 0; a < 1024; a += 32) {
@@ -143,7 +157,9 @@ TEST(CacheModes, UleCapacityIsOneWay) {
 TEST(CacheModes, ModeSwitchIsIdempotent) {
   MainMemory memory;
   Rng rng(9);
-  Cache cache(paper_config(), memory, rng);
+  const CacheConfig config = paper_config();
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   const auto stats_before = cache.stats().mode_switch_writebacks;
   cache.set_mode(power::Mode::kUle);
@@ -153,7 +169,9 @@ TEST(CacheModes, ModeSwitchIsIdempotent) {
 TEST(CacheModes, LeakageDropsAtUle) {
   MainMemory memory;
   Rng rng(10);
-  Cache cache(paper_config(), memory, rng);
+  const CacheConfig config = paper_config();
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   const double hp_leak = cache.leakage_power();
   cache.set_mode(power::Mode::kUle);
   EXPECT_LT(cache.leakage_power(), hp_leak / 5.0);
@@ -167,7 +185,8 @@ TEST(CacheModes, ScenarioBKeepsSecdedLatencyAtHp) {
     way.hp_protection = edc::Protection::kSecded;
   }
   config.ways[7].ule_protection = edc::Protection::kDected;
-  Cache cache(config, memory, rng);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   EXPECT_EQ(cache.hit_latency(), config.hit_latency_cycles +
                                      config.edc_latency_cycles);
 }

@@ -51,7 +51,9 @@ TEST_P(CacheGolden, LoadsMatchFlatMemoryModel) {
   const auto& [geometry, policy, mode] = GetParam();
   MainMemory memory;
   Rng rng(99);
-  Cache cache(make_config(geometry, policy), memory, rng);
+  const CacheConfig config = make_config(geometry, policy);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(mode);
 
   std::map<std::uint64_t, std::uint32_t> golden;
@@ -86,7 +88,9 @@ TEST_P(CacheGolden, StatsInvariants) {
   const auto& [geometry, policy, mode] = GetParam();
   MainMemory memory;
   Rng rng(5);
-  Cache cache(make_config(geometry, policy), memory, rng);
+  const CacheConfig config = make_config(geometry, policy);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(mode);
   Rng ops(77);
   for (int op = 0; op < 5000; ++op) {
@@ -123,8 +127,10 @@ TEST(CacheOrganisations, FullyAssociativeSingleSet) {
   Geometry geometry{256, 8, 32, 1};
   MainMemory memory;
   Rng rng(6);
-  Cache cache(make_config(geometry, WritePolicy::kWriteBackAllocate), memory,
-              rng);
+  const CacheConfig config =
+      make_config(geometry, WritePolicy::kWriteBackAllocate);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   EXPECT_EQ(cache.config().org.sets(), 1u);
   // Eight distinct lines all fit regardless of address bits.
   for (int i = 0; i < 8; ++i) {
@@ -155,7 +161,8 @@ TEST(CacheOrganisations, DirectMappedUleWay) {
   config.ways[0].ule_protection = edc::Protection::kSecded;
   MainMemory memory;
   Rng rng(7);
-  Cache cache(config, memory, rng);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   memory.write_word(0, 1);
   memory.write_word(1024, 2);  // conflicts with address 0

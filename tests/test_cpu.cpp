@@ -27,8 +27,9 @@ namespace {
 struct TestSystem {
   explicit TestSystem(bool edc_at_ule, power::Mode mode = power::Mode::kHp)
       : rng(1),
-        il1(cache_config(edc_at_ule), memory, rng),
-        dl1(cache_config(edc_at_ule), memory, rng) {
+        terminal(memory, cache_config(edc_at_ule).memory_latency_cycles),
+        il1(cache_config(edc_at_ule), terminal, rng),
+        dl1(cache_config(edc_at_ule), terminal, rng) {
     il1.set_mode(mode);
     dl1.set_mode(mode);
     const power::OperatingPoint op = mode == power::Mode::kHp
@@ -38,6 +39,7 @@ struct TestSystem {
   }
   cache::MainMemory memory;
   Rng rng;
+  cache::MainMemoryLevel terminal;
   cache::Cache il1;
   cache::Cache dl1;
   std::unique_ptr<Core> core;

@@ -56,7 +56,8 @@ TEST(ScrubAtHp, ScenarioBScrubsAllWays) {
   config.ways[7].ule_protection = edc::Protection::kDected;
   cache::MainMemory memory;
   Rng rng(33);
-  cache::Cache cache(config, memory, rng);
+  cache::MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  cache::Cache cache(config, terminal, rng);
 
   for (std::uint64_t a = 0; a < 8192; a += 4) {
     memory.write_word(a, static_cast<std::uint32_t>(a ^ 0x5A5A));

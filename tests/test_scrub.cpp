@@ -23,7 +23,10 @@ namespace {
 class ScrubTest : public ::testing::Test {
  protected:
   ScrubTest()
-      : rng_(1), cache_(scrub_config(edc::Protection::kSecded), memory_, rng_) {
+      : rng_(1),
+        terminal_(memory_,
+                  scrub_config(edc::Protection::kSecded).memory_latency_cycles),
+        cache_(scrub_config(edc::Protection::kSecded), terminal_, rng_) {
     cache_.set_mode(power::Mode::kUle);
     // Initialize the whole region first, then warm the cache (a line fill
     // snapshots all eight words of the line).
@@ -39,6 +42,7 @@ class ScrubTest : public ::testing::Test {
   }
   MainMemory memory_;
   Rng rng_;
+  MainMemoryLevel terminal_;
   Cache cache_;
 };
 
@@ -117,7 +121,9 @@ TEST_F(ScrubTest, PeriodicScrubSurvivesErrorRain) {
 TEST(ScrubDected, SurvivesDoubleFlipsInPlace) {
   MainMemory memory;
   Rng rng(2);
-  Cache cache(scrub_config(edc::Protection::kDected), memory, rng);
+  const CacheConfig config = scrub_config(edc::Protection::kDected);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   memory.write_word(96, 1111);
   (void)cache.access(96, AccessType::kLoad);
@@ -132,7 +138,9 @@ TEST(ScrubDected, SurvivesDoubleFlipsInPlace) {
 TEST(ScrubUnprotected, NoCodedWaysNothingToScrub) {
   MainMemory memory;
   Rng rng(3);
-  Cache cache(scrub_config(edc::Protection::kNone), memory, rng);
+  const CacheConfig config = scrub_config(edc::Protection::kNone);
+  MainMemoryLevel terminal(memory, config.memory_latency_cycles);
+  Cache cache(config, terminal, rng);
   cache.set_mode(power::Mode::kUle);
   memory.write_word(0, 5);
   (void)cache.access(0, AccessType::kLoad);

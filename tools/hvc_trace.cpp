@@ -12,6 +12,7 @@
 //   hvc_trace fsck <file> [--repair]
 //   hvc_trace replay <file> [--scenario A|B] [--design baseline|proposed]
 //                           [--mode hp|ule] [--cores N] [--system-seed S]
+//                           [--block-size N]
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -46,9 +47,13 @@ void print_usage(std::FILE* stream) {
       "      a valid footer\n"
       "  replay <file> [--scenario A|B] [--design baseline|proposed]\n"
       "                [--mode hp|ule] [--cores N] [--system-seed S]\n"
+      "                [--block-size N]\n"
       "      replay a recorded trace through a simulated chip and print\n"
       "      the timing/energy summary (cores > 1 replays the same trace\n"
-      "      on every core through the shared-level arbiter)\n"
+      "      on every core through the shared-level arbiter; --block-size\n"
+      "      sets how many records are pulled and stepped per batch —\n"
+      "      default 256, 1 forces the record-at-a-time scalar path;\n"
+      "      every block size prints bit-identical results)\n"
       "\n"
       "Replaying a recorded trace is bit-identical to the in-memory run\n"
       "that produced it: same energy categories, timing and level stats.\n");
@@ -200,6 +205,7 @@ int cmd_fsck(int argc, char** argv) {
 int cmd_replay(int argc, char** argv) {
   std::string path;
   hvc::sim::SystemConfig config;
+  std::size_t block_records = hvc::trace::kReplayBlockRecords;
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--scenario") == 0) {
@@ -233,6 +239,12 @@ int cmd_replay(int argc, char** argv) {
     } else if (std::strcmp(arg, "--system-seed") == 0) {
       config.seed =
           parse_u64_arg("--system-seed", value_of(argc, argv, i));
+    } else if (std::strcmp(arg, "--block-size") == 0) {
+      block_records = static_cast<std::size_t>(
+          parse_u64_arg("--block-size", value_of(argc, argv, i)));
+      if (block_records == 0) {
+        throw std::runtime_error("--block-size must be >= 1");
+      }
     } else if (path.empty() && arg[0] != '-') {
       path = arg;
     } else {
@@ -249,9 +261,9 @@ int cmd_replay(int argc, char** argv) {
   hvc::cpu::RunResult result;
   if (config.num_cores == 1) {
     hvc::trace::TraceFileSource source(path);
-    result = system.run_trace(source);
+    result = system.run_trace(source, block_records);
   } else {
-    result = system.run_mix({"trace:" + path}).aggregate;
+    result = system.run_mix({"trace:" + path}, 1, 1, block_records).aggregate;
   }
 
   std::printf("replayed %s on %zu core(s), %s/%s, %s mode\n", path.c_str(),
