@@ -58,6 +58,35 @@ BENCHMARK(BM_MulticoreStep)
     ->ArgNames({"cores", "l2"})
     ->Unit(benchmark::kMillisecond);
 
+/// Raw arbitration cost: one begin_request + access + (per round)
+/// new_round per requester against an uncontended memory terminal —
+/// the per-record overhead the interleaver pays on top of the cache
+/// model itself. PR 8 devirtualized the queue-delay call (seam),
+/// precomputed the uncontended grant energy and made new_round O(1)
+/// (epoch-lazy reset), so this row tracks those wins in isolation.
+void BM_ArbiterRound(benchmark::State& state) {
+  const auto requesters = static_cast<std::size_t>(state.range(0));
+  cache::MainMemory memory;
+  cache::MainMemoryLevel inner(memory, 20);
+  cache::ArbitratedLevel arbiter(inner, requesters, 1.0);
+  std::uint64_t grants = 0;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < requesters; ++r) {
+      arbiter.begin_request(r);
+      benchmark::DoNotOptimize(
+          arbiter.access(addr, cache::AccessType::kLoad));
+      addr = (addr + 4) & 0xFFFF;
+    }
+    arbiter.new_round();
+    grants += requesters;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(grants));
+  state.counters["contention_cycles"] =
+      static_cast<double>(arbiter.contention_cycles());
+}
+BENCHMARK(BM_ArbiterRound)->Arg(1)->Arg(2)->Arg(4)->ArgName("requesters");
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -36,6 +36,32 @@ struct RecordedTrace {
   return trace;
 }
 
+/// Capture-side emission throughput: records/second appended to a
+/// Tracer through the exec/load/store hooks (the loop every workload
+/// kernel drives). PR 8 turned exec() into one resize + in-place fill
+/// per basic block, so this row tracks the generation fast path before
+/// any encoding happens.
+void BM_TraceGen(benchmark::State& state) {
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    trace::Tracer tracer;
+    tracer.reserve(1 << 16);
+    const trace::Block hot = tracer.block(12);
+    const std::uint64_t data = tracer.alloc_data(4096);
+    for (std::size_t i = 0; i < 3500; ++i) {
+      tracer.exec(hot, /*taken=*/true);
+      tracer.load(data + (i * 4) % 4096);
+      if (i % 4 == 0) {
+        tracer.store(data + (i * 8) % 4096);
+      }
+    }
+    benchmark::DoNotOptimize(tracer.records().data());
+    records += tracer.records().size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_TraceGen);
+
 /// Encode throughput: records/second streamed through TraceWriter.
 void BM_TraceWrite(benchmark::State& state) {
   const RecordedTrace& fixture = recorded();

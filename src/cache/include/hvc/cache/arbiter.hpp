@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hvc/cache/memory_level.hpp"
+#include "hvc/common/error.hpp"
 
 namespace hvc::cache {
 
@@ -35,6 +36,20 @@ class ArbitrationModel {
   /// the level for `busy_cycles` of service time.
   [[nodiscard]] virtual std::size_t queue_delay(
       std::size_t other_requests, std::size_t busy_cycles) const = 0;
+
+  /// Devirtualization seam for the per-grant hot path (the multicore
+  /// interleaver grants once per shared-level request): a model whose
+  /// queue_delay is one of the closed forms below declares it, and
+  /// ArbitratedLevel::grant computes the delay inline instead of making
+  /// the virtual call. The closed form must be exactly queue_delay's
+  /// return — out-of-tree models keep the default and stay on the
+  /// virtual path, bit-identically.
+  enum class Seam {
+    kGeneric,     ///< call the virtual queue_delay
+    kSinglePort,  ///< delay == busy_cycles
+    kFree,        ///< delay == 0
+  };
+  [[nodiscard]] virtual Seam seam() const noexcept { return Seam::kGeneric; }
 };
 
 /// Single-ported level: a request waits out the full service time of every
@@ -45,6 +60,9 @@ class SinglePortArbitration final : public ArbitrationModel {
       std::size_t /*other_requests*/,
       std::size_t busy_cycles) const override {
     return busy_cycles;
+  }
+  [[nodiscard]] Seam seam() const noexcept override {
+    return Seam::kSinglePort;
   }
 };
 
@@ -57,6 +75,7 @@ class FreeArbitration final : public ArbitrationModel {
       const override {
     return 0;
   }
+  [[nodiscard]] Seam seam() const noexcept override { return Seam::kFree; }
 };
 
 /// Switched capacitance of the arbitration hardware itself (grant logic
@@ -83,12 +102,30 @@ class ArbitratedLevel final : public MemoryLevel {
                       std::make_unique<SinglePortArbitration>(),
                   ArbiterEnergy energy = {});
 
-  void begin_request(std::size_t requester);
-  void new_round();
+  /// Declares the requester of the next forwarded request(s). Called once
+  /// per interleaver step — one record per core per round — so it is
+  /// inline and branch-free beyond the range check.
+  void begin_request(std::size_t requester) {
+    expects(requester < grants_.size(), "requester id out of range");
+    current_ = requester;
+  }
+  /// Closes a round in O(1): per-requester occupancy is reset lazily by
+  /// bumping the round sequence number — a grant that finds its
+  /// requester's stamp stale zeroes that entry before using it (see
+  /// grant()), so the per-round clear loop never runs in the hot path.
+  void new_round() noexcept {
+    ++round_seq_;
+    round_busy_total_ = 0;
+    round_requests_total_ = 0;
+    round_opened_ = false;
+  }
 
   /// Operating voltage for the arbitration-energy model (updated on mode
   /// switches by sim::System).
-  void set_vcc(double vcc) noexcept { vcc_ = vcc; }
+  void set_vcc(double vcc) noexcept {
+    vcc_ = vcc;
+    uncontended_grant_j_ = energy_.cap_per_grant_f * vcc * vcc;
+  }
 
   [[nodiscard]] const std::string& level_name() const noexcept override {
     return inner_.level_name();
@@ -153,12 +190,26 @@ class ArbitratedLevel final : public MemoryLevel {
 
   MemoryLevel& inner_;
   std::unique_ptr<ArbitrationModel> model_;
+  /// model_->seam(), resolved once at construction: the per-grant queue
+  /// delay of the built-in models is computed inline from it.
+  ArbitrationModel::Seam seam_ = ArbitrationModel::Seam::kGeneric;
   ArbiterEnergy energy_;
   double vcc_;
+  /// Pre-resolved (cap_per_grant * vcc^2): the energy of a grant with
+  /// zero queued cycles. Bit-identical to evaluating the full expression
+  /// with delay == 0 — the delay term multiplies to +0.0 and adding +0.0
+  /// to the positive grant term is exact in IEEE arithmetic — so the hot
+  /// uncontended path charges one precomputed double; contended grants
+  /// keep the full expression verbatim.
+  double uncontended_grant_j_ = 0.0;
   std::size_t current_ = 0;
-  /// Per-round occupancy: service cycles and request count per requester.
+  /// Per-round occupancy: service cycles and request count per requester,
+  /// valid only where round_stamp_ matches round_seq_ (epoch-lazy reset:
+  /// new_round() bumps the sequence instead of clearing the arrays).
   std::vector<std::uint64_t> round_busy_;
   std::vector<std::uint64_t> round_requests_;
+  std::vector<std::uint64_t> round_stamp_;
+  std::uint64_t round_seq_ = 0;
   std::uint64_t round_busy_total_ = 0;
   std::uint64_t round_requests_total_ = 0;
   bool round_opened_ = false;  ///< a request was granted this round

@@ -27,7 +27,26 @@
 #include "hvc/common/stats.hpp"
 #include "hvc/power/cache_power.hpp"
 
+// SIMD hit probe: the batch fast path compares all ways of a set against
+// the probed line address in one vector compare over the per-set probe-key
+// row (see Cache::probe_keys_). Uses the portable GCC/Clang vector
+// extensions; any other compiler — or -DHVC_NO_SIMD=ON — falls back to the
+// scalar row scan, which is bit-identical (the probe is side-effect-free
+// either way; only the compare count changes).
+#if !defined(HVC_NO_SIMD) && (defined(__GNUC__) || defined(__clang__))
+#define HVC_SIMD_PROBE 1
+#else
+#define HVC_SIMD_PROBE 0
+#endif
+
 namespace hvc::cache {
+
+#if HVC_SIMD_PROBE
+/// Four probe keys at a time; aligned(8) so rows only need natural
+/// std::uint64_t alignment (the compiler emits unaligned vector loads).
+typedef std::uint64_t ProbeVec
+    __attribute__((vector_size(32), aligned(8)));
+#endif
 
 // AccessType / AccessResult / AccessBatch live in memory_level.hpp (the
 // shared access contract of every hierarchy level).
@@ -338,8 +357,14 @@ class Cache : public MemoryLevel {
     std::vector<WayCtx> way;
     /// LRU stamp seam (nullptr stamps => virtual policy_->touch()).
     ReplacementPolicy::TouchSeam lru;
+    /// Raw view of the owning cache's probe-key rows (sets * probe_stride,
+    /// row-major, sentinel-padded — see probe_keys_ below): the hit probe
+    /// compares one row against the probed line address instead of
+    /// walking the per-way Line arrays.
+    const std::uint64_t* probe_keys = nullptr;
+    std::size_t probe_stride = 0;
     /// Per-set most-recent-hit way, probed first. Purely a performance
-    /// hint: a stale entry just falls through to the full way loop.
+    /// hint: a stale entry just falls through to the full way probe.
     std::vector<std::uint8_t> mru_way;
     /// tag_clean[set] == 1 when no active way has a stuck bit in this
     /// set's stored tag codeword: the probe `valid && line_addr ==` is
@@ -351,6 +376,19 @@ class Cache : public MemoryLevel {
 
   [[nodiscard]] const BatchCtx& batch_ctx();
   void rebuild_batch_ctx();
+
+  /// Probe-key sentinel: never equal to a real line address (addresses
+  /// are at least word-aligned, so line_addr = addr >> line_shift has its
+  /// top bits clear). Inactive ways, invalid lines and the row's padding
+  /// lanes all hold it, so one equality compare per lane answers
+  /// "active && valid && line_addr matches" exactly.
+  static constexpr std::uint64_t kProbeInvalid = ~std::uint64_t{0};
+  /// Keeps probe_keys_ mirroring (way, set)'s line state; called at every
+  /// site that changes a line's valid bit or address.
+  void set_probe_key(std::size_t way, std::size_t set,
+                     std::uint64_t key) noexcept {
+    probe_keys_[set * probe_stride_ + way] = key;
+  }
 
   CacheConfig config_;
   MemoryLevel* next_level_;
@@ -371,6 +409,15 @@ class Cache : public MemoryLevel {
   /// Per-word decodability flags of the line in line_buf_ (write-backs
   /// skip unrecoverable words so the next level keeps its stale copy).
   std::vector<std::uint8_t> line_word_ok_;
+  /// Hit-probe keys, one padded row per set (row-major, probe_stride_
+  /// entries): probe_keys_[set * stride + way] is the line address stored
+  /// in (way, set) when that line is valid, else kProbeInvalid. The rows
+  /// are what the batch path's SIMD probe compares — a structure-of-arrays
+  /// twin of the scattered per-way Line arrays that puts a whole set's
+  /// tags in one cache line (stride is padded to the vector width so the
+  /// last lanes of a row are sentinel, never out-of-bounds).
+  std::vector<std::uint64_t> probe_keys_;
+  std::size_t probe_stride_ = 0;
   /// Hoisted batch-path context; valid_ goes false on mode switches.
   BatchCtx batch_ctx_;
   bool batch_ctx_valid_ = false;
@@ -401,25 +448,40 @@ inline void Cache::access_batched(std::uint64_t addr, AccessType type,
   // Exact-probe shortcut: side-effect-free, so a miss (or a set the
   // shortcut can't prove clean) re-enters through the scalar path with
   // nothing to unwind. The per-set MRU hint is checked first — runs of
-  // accesses to the same line resolve in one compare.
+  // accesses to the same line resolve in one compare; on a hint mismatch
+  // the whole probe row (active+valid+address folded into one key per
+  // way) is compared at once. A matching lane is unique: a set never
+  // holds the same line in two ways (fills happen on misses only).
   std::size_t hit_way = ctx.ways;
   if (ctx.tag_clean[set] != 0) {
+    const std::uint64_t* row = ctx.probe_keys + set * ctx.probe_stride;
     const std::size_t hint = ctx.mru_way[set];
-    const Line& hinted = ctx.way[hint].lines[set];
-    if (ctx.way[hint].active && hinted.valid && hinted.line_addr == line_addr) {
+    if (row[hint] == line_addr) {
       hit_way = hint;
     } else {
-      for (std::size_t w = 0; w < ctx.ways; ++w) {
-        if (!ctx.way[w].active) {
-          continue;
+#if HVC_SIMD_PROBE
+      const ProbeVec needle = {line_addr, line_addr, line_addr, line_addr};
+      for (std::size_t base = 0; base < ctx.probe_stride; base += 4) {
+        const ProbeVec eq =
+            *reinterpret_cast<const ProbeVec*>(row + base) == needle;
+        if ((eq[0] | eq[1] | eq[2] | eq[3]) != 0) {
+          hit_way = base + (eq[0] != 0   ? 0u
+                            : eq[1] != 0 ? 1u
+                            : eq[2] != 0 ? 2u
+                                         : 3u);
+          ctx.mru_way[set] = static_cast<std::uint8_t>(hit_way);
+          break;
         }
-        const Line& line = ctx.way[w].lines[set];
-        if (line.valid && line.line_addr == line_addr) {
+      }
+#else
+      for (std::size_t w = 0; w < ctx.ways; ++w) {
+        if (row[w] == line_addr) {
           hit_way = w;
           ctx.mru_way[set] = static_cast<std::uint8_t>(w);
           break;
         }
       }
+#endif
     }
   }
   if (hit_way == ctx.ways) {
@@ -445,7 +507,7 @@ inline void Cache::access_batched(std::uint64_t addr, AccessType type,
     // The seam store is exactly LruPolicy::touch with the range checks
     // proven by construction (set/way come from the probe).
     ctx.lru.stamps[set * ctx.ways + hit_way] = ++*ctx.lru.clock;
-  } else {
+  } else if (!ctx.lru.noop) {
     policy_->touch(set, hit_way);
   }
 

@@ -29,11 +29,15 @@ class ReplacementPolicy {
   /// row-major) and clock so the cache's hit loop can update recency
   /// without a virtual call. The store performed through the seam must
   /// be exactly `stamps[set * ways + way] = ++*clock` — the same state
-  /// transition touch() makes. Policies with any other touch() behaviour
-  /// return {nullptr, nullptr} and keep taking the virtual call.
+  /// transition touch() makes. A policy whose touch() is provably a
+  /// no-op *on hits* (FIFO: every valid line is already filled; random:
+  /// touch is empty) sets `noop` instead, and the hit loop skips the
+  /// call entirely. Policies with any other touch() behaviour return
+  /// the default seam and keep taking the virtual call.
   struct TouchSeam {
     std::uint64_t* stamps = nullptr;
     std::uint64_t* clock = nullptr;
+    bool noop = false;  ///< touch() has no effect on a hit to a valid line
   };
   [[nodiscard]] virtual TouchSeam touch_seam() noexcept { return {}; }
   /// Picks a victim among `candidates` (indices of active, valid ways are

@@ -12,37 +12,43 @@ ArbitratedLevel::ArbitratedLevel(MemoryLevel& inner, std::size_t requesters,
                                  ArbiterEnergy energy)
     : inner_(inner), model_(std::move(model)), energy_(energy), vcc_(vcc),
       round_busy_(requesters, 0), round_requests_(requesters, 0),
+      round_stamp_(requesters, 0),
       grants_(requesters, 0), priority_grants_(requesters, 0) {
   expects(requesters >= 1, "arbiter needs at least one requester");
   expects(model_ != nullptr, "arbiter needs an arbitration model");
-}
-
-void ArbitratedLevel::begin_request(std::size_t requester) {
-  expects(requester < grants_.size(), "requester id out of range");
-  current_ = requester;
-}
-
-void ArbitratedLevel::new_round() {
-  for (std::size_t r = 0; r < round_busy_.size(); ++r) {
-    round_busy_[r] = 0;
-    round_requests_[r] = 0;
-  }
-  round_busy_total_ = 0;
-  round_requests_total_ = 0;
-  round_opened_ = false;
+  seam_ = model_->seam();
+  uncontended_grant_j_ = energy_.cap_per_grant_f * vcc_ * vcc_;
 }
 
 std::size_t ArbitratedLevel::grant(std::size_t service_cycles,
                                    bool latency_applies) {
+  // Epoch-lazy round reset: refresh this requester's occupancy BEFORE
+  // reading it — a stale entry still holds last round's values and the
+  // other_* subtraction below must see zero for it.
+  if (round_stamp_[current_] != round_seq_) {
+    round_stamp_[current_] = round_seq_;
+    round_busy_[current_] = 0;
+    round_requests_[current_] = 0;
+  }
   const std::uint64_t other_busy =
       round_busy_total_ - round_busy_[current_];
-  const std::uint64_t other_requests =
-      round_requests_total_ - round_requests_[current_];
-  const std::size_t delay =
-      latency_applies ? model_->queue_delay(
-                            static_cast<std::size_t>(other_requests),
-                            static_cast<std::size_t>(other_busy))
-                      : 0;
+  std::size_t delay = 0;
+  if (latency_applies) {
+    switch (seam_) {
+      case ArbitrationModel::Seam::kSinglePort:
+        delay = static_cast<std::size_t>(other_busy);
+        break;
+      case ArbitrationModel::Seam::kFree:
+        break;
+      case ArbitrationModel::Seam::kGeneric: {
+        const std::uint64_t other_requests =
+            round_requests_total_ - round_requests_[current_];
+        delay = model_->queue_delay(static_cast<std::size_t>(other_requests),
+                                    static_cast<std::size_t>(other_busy));
+        break;
+      }
+    }
+  }
 
   ++grants_[current_];
   if (!round_opened_) {
@@ -51,19 +57,25 @@ std::size_t ArbitratedLevel::grant(std::size_t service_cycles,
     ++priority_grants_[current_];
     round_opened_ = true;
   }
-  if (delay > 0) {
-    ++contended_requests_;
-    contention_cycles_ += delay;
-  }
   round_busy_[current_] += service_cycles;
   round_busy_total_ += service_cycles;
   ++round_requests_[current_];
   ++round_requests_total_;
 
-  arbitration_energy_j_ +=
-      (energy_.cap_per_grant_f +
-       energy_.cap_per_queued_cycle_f * static_cast<double>(delay)) *
-      vcc_ * vcc_;
+  if (delay > 0) {
+    ++contended_requests_;
+    contention_cycles_ += delay;
+    arbitration_energy_j_ +=
+        (energy_.cap_per_grant_f +
+         energy_.cap_per_queued_cycle_f * static_cast<double>(delay)) *
+        vcc_ * vcc_;
+  } else {
+    // delay == 0 collapses the expression above to exactly the
+    // precomputed grant term (the queued-cycle product is +0.0 and
+    // x + 0.0 == x for the positive cap term), so this add is
+    // bit-identical to the full evaluation.
+    arbitration_energy_j_ += uncontended_grant_j_;
+  }
   return delay + service_cycles;
 }
 

@@ -75,6 +75,11 @@ void Cache::init() {
   }
   line_buf_.assign(wpl, 0);
   line_word_ok_.assign(wpl, 1);
+  // Probe rows padded to the 4-lane vector width: the padding lanes stay
+  // kProbeInvalid forever, so the SIMD probe never reads past a row and
+  // never matches a phantom way.
+  probe_stride_ = (config_.org.ways + 3) / 4 * 4;
+  probe_keys_.assign(sets * probe_stride_, kProbeInvalid);
 }
 
 bool Cache::way_active(std::size_t w) const noexcept {
@@ -309,6 +314,7 @@ std::size_t Cache::fill_line(std::uint64_t line_addr, std::size_t set,
   line.valid = true;
   line.dirty = false;
   line.line_addr = line_addr;
+  set_probe_key(victim, set, line_addr);
   write_tag(victim, set, tag_of(line_addr));
   for (std::size_t word = 0; word < wpl; ++word) {
     write_data_word(victim, set, word, words[word]);
@@ -455,6 +461,8 @@ void Cache::rebuild_batch_ctx() {
     wc.edc_decode = model.edc_decode_energy(w);
   }
   ctx.lru = policy_->touch_seam();
+  ctx.probe_keys = probe_keys_.data();
+  ctx.probe_stride = probe_stride_;
   ctx.mru_way.assign(sets, 0);
 
   // Tags are stored as exact valid codewords (writes re-encode; soft
@@ -565,6 +573,7 @@ void Cache::set_mode(power::Mode mode) {
         }
         line.valid = false;
         line.dirty = false;
+        set_probe_key(w, set, kProbeInvalid);
       }
     }
   }
@@ -599,6 +608,7 @@ void Cache::set_mode(power::Mode mode) {
       if (lost || !old_tag) {
         line.valid = false;
         line.dirty = false;
+        set_probe_key(w, set, kProbeInvalid);
         continue;
       }
       const power::Mode old_mode = mode_;
@@ -696,6 +706,7 @@ Cache::ScrubReport Cache::scrub() {
         }
         line.valid = false;
         line.dirty = false;
+        set_probe_key(w, set, kProbeInvalid);
         continue;
       }
       report.bits_corrected += scratch.corrected_bits;
@@ -727,6 +738,7 @@ void Cache::reset() {
       line.dirty = false;
     }
   }
+  std::fill(probe_keys_.begin(), probe_keys_.end(), kProbeInvalid);
 }
 
 // --- MemoryLevel: this cache serving as another cache's next level ---

@@ -78,6 +78,11 @@ class FifoPolicy final : public ReplacementPolicy {
     }
   }
 
+  // A hit always lands on a valid line, and every valid line was touched
+  // by its fill (fill_line calls touch unconditionally), so filled_ is
+  // already true and touch() would change nothing.
+  TouchSeam touch_seam() noexcept override { return {nullptr, nullptr, true}; }
+
   std::size_t victim(std::size_t set,
                      const std::vector<std::size_t>& candidates) override {
     expects(!candidates.empty(), "victim needs candidates");
@@ -107,6 +112,8 @@ class RandomPolicy final : public ReplacementPolicy {
   using ReplacementPolicy::ReplacementPolicy;
 
   void touch(std::size_t, std::size_t) override {}
+
+  TouchSeam touch_seam() noexcept override { return {nullptr, nullptr, true}; }
 
   std::size_t victim(std::size_t,
                      const std::vector<std::size_t>& candidates) override {

@@ -111,6 +111,24 @@ struct RunResult {
   }
 };
 
+/// Per-phase wall-time breakdown of one streaming replay (hvc_trace
+/// replay --profile): where the run() loop actually spent its time, so
+/// perf regressions can be attributed without a profiler. decode covers
+/// TraceSource::next_batch (varint decode / record copy), access covers
+/// step_batch (the cache/pipeline model), retire covers begin_run,
+/// counter clears and the finish_run roll-up.
+struct ReplayProfile {
+  double decode_s = 0.0;
+  double access_s = 0.0;
+  double retire_s = 0.0;
+  std::uint64_t records = 0;
+  std::uint64_t blocks = 0;
+
+  [[nodiscard]] double total_s() const noexcept {
+    return decode_s + access_s + retire_s;
+  }
+};
+
 /// The core: owns the non-L1 arrays, borrows the memory hierarchy.
 class Core {
  public:
@@ -134,6 +152,13 @@ class Core {
   [[nodiscard]] RunResult run(trace::TraceSource& source,
                               std::size_t block_records =
                                   trace::kReplayBlockRecords);
+
+  /// run() with per-phase wall-clock timing accumulated into `profile`
+  /// (timers wrap each decode/access/retire section, so the replay
+  /// result itself stays bit-identical to the untimed run).
+  [[nodiscard]] RunResult run_profiled(trace::TraceSource& source,
+                                       std::size_t block_records,
+                                       ReplayProfile& profile);
 
   // --- incremental replay (multi-core interleaving) ---
   // run() is begin_run() + step() per record + finish_run(); a round-robin
@@ -165,6 +190,7 @@ class Core {
   /// identical arithmetic, no virtual dispatch on the hit path. The
   /// multi-core interleaver (sim::System::run_mix) steps this per
   /// record so blocked replay keeps the exact scalar round order.
+  /// Defined inline below so that per-record loop pays no cross-TU call.
   void step_fast(const trace::Record& record, RunState& state);
 
   /// Replays a block of records through the batched L1 entry points
@@ -223,5 +249,72 @@ class Core {
   Rng rng_;
   RunConsts consts_;
 };
+
+// Defined here (not in core.cpp) so the replay drivers — Core::run's
+// block loop and the multi-core interleaver in sim::System, which steps
+// one record per core per round — inline the whole per-record pipeline
+// model together with the cache's inline access_batched. The arithmetic
+// is EXACTLY step(): only the L1 dispatch differs.
+inline void Core::step_fast(const trace::Record& record, RunState& state) {
+  cache::Cache& il1_ = *ports_.il1;
+  cache::Cache& dl1_ = *ports_.dl1;
+  bool hit = false;
+  std::uint32_t latency = 0;
+  switch (record.kind) {
+    case trace::Kind::kIfetch: {
+      ++state.instructions;
+      ++state.cycles;  // base CPI 1 with pipelined fetch
+      il1_.access_batched(record.addr, cache::AccessType::kIfetch, 0, hit,
+                          latency);
+      if (!hit) {
+        state.cycles += latency - consts_.il1_hit;  // miss stall
+      }
+      state.arrays_dynamic += consts_.tlb_read;  // ITLB lookup
+      state.arrays_dynamic +=
+          2.0 * consts_.rf_read + consts_.rf_write;  // operand read/writeback
+      state.core_dynamic += consts_.core_energy_per_instr;
+      break;
+    }
+    case trace::Kind::kLoad: {
+      dl1_.access_batched(record.addr, cache::AccessType::kLoad, 0, hit,
+                          latency);
+      if (!hit) {
+        state.cycles += latency - consts_.dl1_hit;
+      }
+      if (consts_.dl1_hit > 1 &&
+          rng_.bernoulli(params_.load_use_adjacent_prob)) {
+        state.cycles += consts_.dl1_hit - 1;
+      }
+      state.arrays_dynamic += consts_.tlb_read;  // DTLB
+      break;
+    }
+    case trace::Kind::kStore: {
+      dl1_.access_batched(record.addr, cache::AccessType::kStore, 0, hit,
+                          latency);
+      if (!hit) {
+        state.cycles += latency - consts_.dl1_hit;
+      }
+      state.arrays_dynamic += consts_.tlb_read;
+      break;
+    }
+    case trace::Kind::kBranch: {
+      if (record.taken && consts_.il1_hit > 1 &&
+          rng_.bernoulli(params_.redirect_on_taken)) {
+        state.cycles += consts_.il1_hit - 1;
+      }
+      break;
+    }
+  }
+}
+
+inline void Core::step_batch(const trace::Record* records, std::size_t count,
+                             RunState& state) {
+  // Strictly in record order: IL1 and DL1 share the next level, and the
+  // Bernoulli stream is consumed per load/branch — any per-cache
+  // sub-batching would reorder state the scalar path sees.
+  for (std::size_t i = 0; i < count; ++i) {
+    step_fast(records[i], state);
+  }
+}
 
 }  // namespace hvc::cpu

@@ -140,6 +140,13 @@ class System {
       trace::TraceSource& source,
       std::size_t block_records = trace::kReplayBlockRecords);
 
+  /// run_trace with per-phase wall time (decode / access / retire)
+  /// accumulated into `profile` — the hvc_trace `replay --profile`
+  /// backend. The replay result is bit-identical to run_trace.
+  [[nodiscard]] cpu::RunResult run_trace_profiled(trace::TraceSource& source,
+                                                  std::size_t block_records,
+                                                  cpu::ReplayProfile& profile);
+
   /// The workload seed of core `core` for a mix run at base `seed`:
   /// core 0 keeps the bare seed (a one-name mix on a one-core chip
   /// reproduces run_workload bit-for-bit); higher cores mix the core id

@@ -289,6 +289,12 @@ cpu::RunResult System::run_trace(trace::TraceSource& source,
   return cores_[0]->run(source, block_records);
 }
 
+cpu::RunResult System::run_trace_profiled(trace::TraceSource& source,
+                                          std::size_t block_records,
+                                          cpu::ReplayProfile& profile) {
+  return cores_[0]->run_profiled(source, block_records, profile);
+}
+
 std::uint64_t System::core_workload_seed(std::uint64_t seed,
                                          std::size_t core) noexcept {
   // Core 0 keeps the bare seed for bit-compatibility with run_workload.
@@ -367,6 +373,14 @@ MulticoreResult System::run_mix_sources(
   std::vector<cpu::Core::RunState> states(n);
   std::vector<char> done(n, 0);
   std::size_t active = n;
+  // Hot-loop handles, hoisted: the arbiter as a raw pointer (one null
+  // test per record instead of a unique_ptr deref) and the cores as a
+  // flat pointer array (skips the unique_ptr indirection per step).
+  cache::ArbitratedLevel* const arb = arbiter_.get();
+  std::vector<cpu::Core*> cores(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    cores[c] = cores_[c].get();
+  }
   // Rotating start core, tracked incrementally: `(round + k) % n` with a
   // runtime n would put an integer divide on every record.
   std::size_t start = 0;
@@ -387,13 +401,13 @@ MulticoreResult System::run_mix_sources(
           --active;
           continue;
         }
-        if (arbiter_) {
-          arbiter_->begin_request(c);
+        if (arb != nullptr) {
+          arb->begin_request(c);
         }
-        cores_[c]->step(record, states[c]);
+        cores[c]->step(record, states[c]);
       }
-      if (arbiter_) {
-        arbiter_->new_round();
+      if (arb != nullptr) {
+        arb->new_round();
       }
       if (++start == n) {
         start = 0;
@@ -407,17 +421,6 @@ MulticoreResult System::run_mix_sources(
     // core's Bernoulli stream see exactly the scalar order, so any
     // block size is bit-identical. A core retires when its refill
     // comes back empty: the same round its scalar next() would fail.
-    if (n == 1 && !arbiter_) {
-      // Single core, nothing shared to arbitrate: the round loop
-      // degenerates to plain record order, so drive whole blocks
-      // through step_batch with no per-record bookkeeping.
-      std::vector<trace::Record> block(block_records);
-      std::size_t got = 0;
-      while ((got = sources[0]->next_batch(block.data(), block_records)) > 0) {
-        cores_[0]->step_batch(block.data(), got, states[0]);
-      }
-      active = 0;
-    }
     std::vector<std::vector<trace::Record>> blocks(n);
     std::vector<std::size_t> len(n, 0);
     std::vector<std::size_t> pos(n, 0);
@@ -425,6 +428,53 @@ MulticoreResult System::run_mix_sources(
       block.resize(block_records);
     }
     while (active > 0) {
+      if (active == 1) {
+        // Degenerate tail: one core left (mixes of unequal-length traces
+        // spend most of their rounds here, and a one-core chip starts
+        // here). Round order IS record order, so drop the per-record
+        // round scan: the requester declaration is loop-invariant
+        // (retired cores issue nothing), and with an arbiter each record
+        // still closes its own round, so the priority/occupancy
+        // accounting replays the generic loop exactly.
+        std::size_t c = 0;
+        while (done[c] != 0) {
+          ++c;
+        }
+        if (arb != nullptr) {
+          arb->begin_request(c);
+          for (;;) {
+            if (pos[c] == len[c]) {
+              len[c] = sources[c]->next_batch(blocks[c].data(), block_records);
+              pos[c] = 0;
+              if (len[c] == 0) {
+                break;
+              }
+            }
+            const trace::Record* records = blocks[c].data();
+            const std::size_t end = len[c];
+            for (std::size_t p = pos[c]; p < end; ++p) {
+              cores[c]->step_fast(records[p], states[c]);
+              arb->new_round();
+            }
+            pos[c] = end;
+          }
+        } else {
+          // Nothing shared to arbitrate: whole blocks at a time.
+          if (pos[c] < len[c]) {
+            cores[c]->step_batch(blocks[c].data() + pos[c], len[c] - pos[c],
+                                 states[c]);
+            pos[c] = len[c];
+          }
+          std::size_t got = 0;
+          while ((got = sources[c]->next_batch(blocks[c].data(),
+                                               block_records)) > 0) {
+            cores[c]->step_batch(blocks[c].data(), got, states[c]);
+          }
+        }
+        done[c] = 1;
+        active = 0;
+        break;
+      }
       for (std::size_t k = 0; k < n; ++k) {
         std::size_t c = start + k;
         if (c >= n) {
@@ -442,13 +492,13 @@ MulticoreResult System::run_mix_sources(
             continue;
           }
         }
-        if (arbiter_) {
-          arbiter_->begin_request(c);
+        if (arb != nullptr) {
+          arb->begin_request(c);
         }
-        cores_[c]->step_fast(blocks[c][pos[c]++], states[c]);
+        cores[c]->step_fast(blocks[c][pos[c]++], states[c]);
       }
-      if (arbiter_) {
-        arbiter_->new_round();
+      if (arb != nullptr) {
+        arb->new_round();
       }
       if (++start == n) {
         start = 0;

@@ -62,6 +62,14 @@ class TraceWriter {
   /// Encodes one record (kind tag + per-stream address delta).
   void append(const Record& record);
 
+  /// Encodes a run of records, byte-identical to `count` append() calls.
+  /// The encoder state (delta chains, stats counters, window cursor) is
+  /// hoisted into locals for the whole run and each record is written
+  /// with one headroom check instead of a per-byte capacity test, so
+  /// whole-block capture (write_trace, Tracer dumps) runs at memory
+  /// speed between window flushes.
+  void append_batch(const Record* records, std::size_t count);
+
   /// Flushes, writes the footer and closes the file. Idempotent.
   void finish();
 
@@ -78,7 +86,11 @@ class TraceWriter {
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  /// Fixed-size emission window, sized (and thereby pre-faulted) at
+  /// construction so the first captured blocks never stall on page
+  /// faults mid-encode; buf_len_ is the fill cursor.
   std::vector<std::uint8_t> buffer_;
+  std::size_t buf_len_ = 0;
   std::uint64_t records_ = 0;
   std::uint64_t last_code_ = 0;
   std::uint64_t last_data_ = 0;

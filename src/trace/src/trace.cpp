@@ -17,11 +17,19 @@ Block Tracer::block(std::size_t instructions) {
 
 void Tracer::exec(const Block& b, bool taken) {
   expects(b.instructions() >= 1, "cannot exec an empty block");
-  for (std::size_t i = 0; i < b.instructions(); ++i) {
-    records_.push_back({Kind::kIfetch, false, b.base() + 4 * i});
+  // One resize + in-place fill for the whole fetch run: kernels emit
+  // their hot loops through exec(), so this is the capture-side hot
+  // path — per-record push_back would re-test capacity on every fetch.
+  const std::size_t n = b.instructions();
+  const std::size_t at = records_.size();
+  records_.resize(at + n + 1);
+  Record* out = records_.data() + at;
+  std::uint64_t addr = b.base();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = {Kind::kIfetch, false, addr};
+    addr += 4;
   }
-  records_.push_back(
-      {Kind::kBranch, taken, b.base() + 4 * (b.instructions() - 1)});
+  out[n] = {Kind::kBranch, taken, b.base() + 4 * (n - 1)};
 }
 
 std::uint64_t Tracer::alloc_data(std::size_t bytes, std::size_t align) {

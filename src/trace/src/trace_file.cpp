@@ -203,7 +203,10 @@ std::string trace_ref_path(std::string_view name) {
 TraceWriter::TraceWriter(const std::string& path, std::size_t buffer_bytes)
     : path_(path) {
   expects(buffer_bytes >= 16, "trace writer window must hold one record");
-  buffer_.reserve(buffer_bytes);
+  // resize (not reserve): zero-initializing the window touches every page
+  // up front, so the encode loop never takes a first-touch page fault
+  // mid-capture — the window is warm from the first record on.
+  buffer_.resize(buffer_bytes);
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     throw ConfigError("cannot create trace file \"" + path + "\"");
@@ -229,10 +232,10 @@ TraceWriter::~TraceWriter() {
 }
 
 void TraceWriter::put_byte(std::uint8_t byte) {
-  if (buffer_.size() == buffer_.capacity()) {
+  if (buf_len_ == buffer_.size()) {
     flush_buffer();
   }
-  buffer_.push_back(byte);
+  buffer_[buf_len_++] = byte;
 }
 
 void TraceWriter::put_varint(std::uint64_t value) {
@@ -244,16 +247,15 @@ void TraceWriter::put_varint(std::uint64_t value) {
 }
 
 void TraceWriter::flush_buffer() {
-  if (buffer_.empty()) {
+  if (buf_len_ == 0) {
     return;
   }
-  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
-      buffer_.size()) {
+  if (std::fwrite(buffer_.data(), 1, buf_len_, file_) != buf_len_) {
     // fwrite reports short writes without setting errno reliably; ferror
     // state plus errno (ENOSPC and friends) is the best diagnosis we get.
     throw bad_trace_errno(path_, "short write");
   }
-  buffer_.clear();
+  buf_len_ = 0;
 }
 
 void TraceWriter::append(const Record& record) {
@@ -296,6 +298,92 @@ void TraceWriter::append(const Record& record) {
   put_varint(zigzag_encode(static_cast<std::int64_t>(record.addr - *last)));
   *last = record.addr;
   ++records_;
+}
+
+void TraceWriter::append_batch(const Record* records, std::size_t count) {
+  expects(!finished_, "append after finish()");
+  // Worst case per record: 1 tag byte + a 10-byte varint (64-bit delta).
+  // The constructor guarantees the window holds at least one such record.
+  constexpr std::size_t kMaxRecordBytes = 11;
+  // Hoist the whole encoder state — delta chains, stats counters,
+  // footprint watermarks, window cursor — into registers for the run;
+  // the per-record loop touches only locals and the output window.
+  std::uint64_t last_code = last_code_;
+  std::uint64_t last_data = last_data_;
+  std::uint64_t instructions = instructions_, loads = loads_,
+                stores = stores_, branches = branches_,
+                taken_branches = taken_branches_;
+  std::uint64_t data_lo = data_lo_, data_hi = data_hi_;
+  std::uint64_t code_lo = code_lo_, code_hi = code_hi_;
+  std::uint8_t* const base = buffer_.data();
+  const std::size_t cap = buffer_.size();
+  std::size_t len = buf_len_;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (cap - len < kMaxRecordBytes) {
+      buf_len_ = len;
+      flush_buffer();
+      len = 0;
+    }
+    const Record& record = records[i];
+    std::uint8_t tag = 0;
+    std::uint64_t* last = nullptr;
+    switch (record.kind) {
+      case Kind::kIfetch:
+        tag = 0;
+        last = &last_code;
+        ++instructions;
+        code_lo = std::min(code_lo, record.addr);
+        code_hi = std::max(code_hi, record.addr + 4);
+        break;
+      case Kind::kLoad:
+        tag = 1;
+        last = &last_data;
+        ++loads;
+        data_lo = std::min(data_lo, record.addr);
+        data_hi = std::max(data_hi, record.addr + 4);
+        break;
+      case Kind::kStore:
+        tag = 2;
+        last = &last_data;
+        ++stores;
+        data_lo = std::min(data_lo, record.addr);
+        data_hi = std::max(data_hi, record.addr + 4);
+        break;
+      case Kind::kBranch:
+        tag = 3;
+        last = &last_code;
+        ++branches;
+        if (record.taken) {
+          tag |= kTakenBit;
+          ++taken_branches;
+        }
+        break;
+    }
+    std::uint8_t* p = base + len;
+    *p++ = tag;
+    std::uint64_t value =
+        zigzag_encode(static_cast<std::int64_t>(record.addr - *last));
+    while (value >= 0x80) {
+      *p++ = static_cast<std::uint8_t>(value) | 0x80;
+      value >>= 7;
+    }
+    *p++ = static_cast<std::uint8_t>(value);
+    len = static_cast<std::size_t>(p - base);
+    *last = record.addr;
+  }
+  buf_len_ = len;
+  last_code_ = last_code;
+  last_data_ = last_data;
+  instructions_ = instructions;
+  loads_ = loads;
+  stores_ = stores;
+  branches_ = branches;
+  taken_branches_ = taken_branches;
+  data_lo_ = data_lo;
+  data_hi_ = data_hi;
+  code_lo_ = code_lo;
+  code_hi_ = code_hi;
+  records_ += count;
 }
 
 TraceStats TraceWriter::stats() const {
@@ -791,17 +879,23 @@ TraceInfo read_trace_info(const std::string& path) {
 TraceStats write_trace(const std::string& path, TraceSource& source) {
   TraceWriter writer(path);
   source.reset();
-  Record record;
-  while (source.next(record)) {
-    writer.append(record);
+  Record block[kReplayBlockRecords];
+  std::size_t got = 0;
+  while ((got = source.next_batch(block, kReplayBlockRecords)) > 0) {
+    writer.append_batch(block, got);
   }
   writer.finish();
   return writer.stats();
 }
 
 TraceStats write_trace(const std::string& path, const Tracer& tracer) {
-  MemoryTraceSource source(tracer);
-  return write_trace(path, source);
+  // In-memory capture: the record vector is already contiguous, so the
+  // whole trace encodes in one append_batch pass with no staging copy.
+  TraceWriter writer(path);
+  const std::vector<Record>& records = tracer.records();
+  writer.append_batch(records.data(), records.size());
+  writer.finish();
+  return writer.stats();
 }
 
 }  // namespace hvc::trace

@@ -193,6 +193,72 @@ TEST_P(BatchBlockSizes, MidStreamModeSwitchBitIdentical) {
 INSTANTIATE_TEST_SUITE_P(Blocks, BatchBlockSizes,
                          ::testing::Values(1, 3, 256, 1000));
 
+// ---------------------------------------------------------------------
+// Associativity sweep: the vectorized hit probe (PR 8) compares probe
+// rows padded to a multiple of the vector width, so ways 1 and 2 probe
+// mostly sentinel lanes and way 8 fills two full vectors. Every width
+// must replay the scalar path bit-identically — same hits, same
+// exact-double energy — across the codec, fault and write-policy axes.
+// ---------------------------------------------------------------------
+
+/// 8KB cache at `ways` associativity (sets shrink to keep the paper's
+/// capacity), last way always the ULE way.
+[[nodiscard]] cache::CacheConfig ways_config(std::size_t ways,
+                                             edc::Protection hp_protection,
+                                             edc::Protection ule_protection,
+                                             double ule_pf,
+                                             cache::WritePolicy policy) {
+  cache::CacheConfig config;
+  config.org.ways = ways;
+  config.ways.resize(ways);
+  for (std::size_t w = 0; w + 1 < ways; ++w) {
+    config.ways[w].cell = {tech::CellKind::k6T, 1.9};
+    config.ways[w].hp_protection = hp_protection;
+  }
+  config.ways[ways - 1].ule_way = true;
+  config.ways[ways - 1].cell = {tech::CellKind::k8T, 2.8};
+  config.ways[ways - 1].hp_protection = hp_protection;
+  config.ways[ways - 1].ule_protection = ule_protection;
+  config.way_hard_pf.assign(ways, 0.0);
+  config.way_hard_pf[ways - 1] = ule_pf;
+  config.write_policy = policy;
+  return config;
+}
+
+class BatchWays : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchWays, HpUncodedBitIdentical) {
+  // The SIMD probe's home shape: uncoded HP, every probe a vector
+  // compare (ways < 4 exercise the sentinel padding lanes).
+  run_differential(ways_config(GetParam(), edc::Protection::kNone,
+                               edc::Protection::kSecded, 0.0,
+                               cache::WritePolicy::kWriteBackAllocate),
+                   power::Mode::kHp, 256, "ways-hp-uncoded");
+}
+
+TEST_P(BatchWays, HpCodedBitIdentical) {
+  run_differential(ways_config(GetParam(), edc::Protection::kSecded,
+                               edc::Protection::kSecded, 0.0,
+                               cache::WritePolicy::kWriteBackAllocate),
+                   power::Mode::kHp, 256, "ways-hp-coded");
+}
+
+TEST_P(BatchWays, UleFaultyBitIdentical) {
+  run_differential(ways_config(GetParam(), edc::Protection::kNone,
+                               edc::Protection::kSecded, 3e-3,
+                               cache::WritePolicy::kWriteBackAllocate),
+                   power::Mode::kUle, 256, "ways-ule-faulty");
+}
+
+TEST_P(BatchWays, WriteThroughBitIdentical) {
+  run_differential(ways_config(GetParam(), edc::Protection::kNone,
+                               edc::Protection::kSecded, 0.0,
+                               cache::WritePolicy::kWriteThroughNoAllocate),
+                   power::Mode::kHp, 256, "ways-write-through");
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, BatchWays, ::testing::Values(1, 2, 4, 8));
+
 TEST(BatchDefaultLoop, MainMemoryLevelMatchesScalar) {
   // The MemoryLevel base default (loop the scalar virtuals) is what
   // ArbitratedLevel and out-of-tree levels inherit: pin it too.

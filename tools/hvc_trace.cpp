@@ -47,13 +47,15 @@ void print_usage(std::FILE* stream) {
       "      a valid footer\n"
       "  replay <file> [--scenario A|B] [--design baseline|proposed]\n"
       "                [--mode hp|ule] [--cores N] [--system-seed S]\n"
-      "                [--block-size N]\n"
+      "                [--block-size N] [--profile]\n"
       "      replay a recorded trace through a simulated chip and print\n"
       "      the timing/energy summary (cores > 1 replays the same trace\n"
       "      on every core through the shared-level arbiter; --block-size\n"
       "      sets how many records are pulled and stepped per batch —\n"
       "      default 256, 1 forces the record-at-a-time scalar path;\n"
-      "      every block size prints bit-identical results)\n"
+      "      every block size prints bit-identical results; --profile\n"
+      "      additionally prints the replay's wall-time split between\n"
+      "      decode, access and retire phases — single-core only)\n"
       "\n"
       "Replaying a recorded trace is bit-identical to the in-memory run\n"
       "that produced it: same energy categories, timing and level stats.\n");
@@ -206,9 +208,12 @@ int cmd_replay(int argc, char** argv) {
   std::string path;
   hvc::sim::SystemConfig config;
   std::size_t block_records = hvc::trace::kReplayBlockRecords;
+  bool profile = false;
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--scenario") == 0) {
+    if (std::strcmp(arg, "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
       const std::string value = value_of(argc, argv, i);
       if (value == "A") {
         config.design.scenario = hvc::yield::Scenario::kA;
@@ -255,13 +260,20 @@ int cmd_replay(int argc, char** argv) {
   if (path.empty()) {
     throw std::runtime_error("replay needs a <file>");
   }
+  if (profile && config.num_cores != 1) {
+    throw std::runtime_error("--profile is single-core only (the multicore "
+                             "interleaver has no per-phase split)");
+  }
 
   hvc::sim::System system(
       config, hvc::sim::cell_plan_for(config.design.scenario));
   hvc::cpu::RunResult result;
+  hvc::cpu::ReplayProfile prof;
   if (config.num_cores == 1) {
     hvc::trace::TraceFileSource source(path);
-    result = system.run_trace(source, block_records);
+    result = profile
+                 ? system.run_trace_profiled(source, block_records, prof)
+                 : system.run_trace(source, block_records);
   } else {
     result = system.run_mix({"trace:" + path}, 1, 1, block_records).aggregate;
   }
@@ -290,6 +302,24 @@ int cmd_replay(int argc, char** argv) {
     std::printf("    %-8s accesses %llu  hit-rate %s\n", level.name.c_str(),
                 static_cast<unsigned long long>(level.accesses),
                 hvc::format_number(level.hit_rate()).c_str());
+  }
+  if (profile) {
+    const double total = prof.total_s();
+    const auto pct = [total](double s) {
+      return total > 0.0 ? 100.0 * s / total : 0.0;
+    };
+    const double rate = total > 0.0
+                            ? static_cast<double>(prof.records) / total / 1e6
+                            : 0.0;
+    std::printf("  profile (%llu records, %llu blocks, %.1f Mrec/s)\n",
+                static_cast<unsigned long long>(prof.records),
+                static_cast<unsigned long long>(prof.blocks), rate);
+    std::printf("    decode   %10.6f s  (%5.1f%%)\n", prof.decode_s,
+                pct(prof.decode_s));
+    std::printf("    access   %10.6f s  (%5.1f%%)\n", prof.access_s,
+                pct(prof.access_s));
+    std::printf("    retire   %10.6f s  (%5.1f%%)\n", prof.retire_s,
+                pct(prof.retire_s));
   }
   return 0;
 }
