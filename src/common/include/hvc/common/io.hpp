@@ -22,6 +22,13 @@ namespace hvc {
 /// Formats an unsigned integer (decimal).
 [[nodiscard]] std::string format_number(std::uint64_t value);
 
+/// Appends one RFC-4180-style CSV line (fields containing separators or
+/// quotes are quoted, '\n' terminator) to `out`. This is the ONE CSV
+/// formatter in the codebase: CsvTable::to_csv and the streaming
+/// CsvSink both emit through it, which is what makes a streamed sweep
+/// byte-identical to a collected one.
+void append_csv_line(std::string& out, const std::vector<std::string>& fields);
+
 /// An in-memory rectangular table with named columns that serializes to
 /// RFC-4180-style CSV (fields containing separators/quotes are quoted).
 class CsvTable {

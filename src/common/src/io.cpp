@@ -53,7 +53,9 @@ void append_field(std::string& out, const std::string& field) {
   out += '"';
 }
 
-void append_line(std::string& out, const std::vector<std::string>& fields) {
+}  // namespace
+
+void append_csv_line(std::string& out, const std::vector<std::string>& fields) {
   bool first = true;
   for (const auto& field : fields) {
     if (!first) {
@@ -65,13 +67,11 @@ void append_line(std::string& out, const std::vector<std::string>& fields) {
   out += '\n';
 }
 
-}  // namespace
-
 std::string CsvTable::to_csv() const {
   std::string out;
-  append_line(out, columns_);
+  append_csv_line(out, columns_);
   for (const auto& row : rows_) {
-    append_line(out, row);
+    append_csv_line(out, row);
   }
   return out;
 }

@@ -1,8 +1,22 @@
-// Sharded execution engine for sweep specs.
+// run_sweep(): the one-call façade over the layered sweep engine.
+//
+// The engine is four composable layers (each with its own header):
+//   planner   PointSource   pulls points lazily in the documented order
+//                           (point_source.hpp);
+//   scheduler/
+//   executor  Executor      thread pool + plan memo + warm/cold routing +
+//                           in-order reorder buffer (executor.hpp);
+//   sink      ResultSink    where finished rows go — collect, CSV, JSON,
+//                           store commit, tee (sink.hpp);
+//   service   serve daemon  long-running Executor shared by socket
+//                           clients (service.hpp).
+// run_sweep() is the thin composition GridPointSource -> Executor ->
+// CollectSink (+ StoreCommitSink with a store) that every pre-existing
+// caller keeps using unchanged.
 //
 // Determinism guarantee: for a fixed spec, run_sweep() produces
 // byte-identical CSV/JSON output for ANY thread count. Three mechanisms
-// enforce this:
+// enforce this (details in executor.hpp):
 //   1. Points are identified by their index in the documented expansion
 //      order, and every stochastic input is derived from that index with
 //      the counter-based Rng::stream / Rng::mix64 — never from a stream
@@ -26,6 +40,8 @@ class ResultStore;
 }
 
 namespace hvc::explore {
+
+struct ExecOptions;
 
 /// The finished sweep: one formatted row per point, in point order.
 struct SweepResult {
@@ -62,5 +78,11 @@ struct SweepResult {
 [[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
                                     std::size_t threads,
                                     store::ResultStore* store = nullptr);
+
+/// As above, with executor options (progress callback, window size).
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
+                                    std::size_t threads,
+                                    store::ResultStore* store,
+                                    const ExecOptions& options);
 
 }  // namespace hvc::explore

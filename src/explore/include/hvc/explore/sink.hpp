@@ -1,0 +1,144 @@
+// Sink layer of the sweep engine: where finished rows go.
+//
+// The executor pushes each completed row exactly once, in source order
+// (seq = 0, 1, 2, ... regardless of which worker finished first), with
+// the point it came from and whether it was answered warm from the
+// result store. Sinks never see out-of-order or concurrent calls — the
+// executor serializes emission — so implementations need no locking.
+//
+// Composition replaces the old engine's inline formatting: run_sweep is
+// CollectSink (build a SweepResult), the CLI streams CsvSink/JsonSink,
+// a stored sweep tees a StoreCommitSink alongside, and the serve daemon
+// plugs in its own per-client socket sink. TeeSink fans one row stream
+// out to any number of them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hvc/explore/spec.hpp"
+
+namespace hvc::store {
+class ResultStore;
+}
+
+namespace hvc::explore {
+
+struct SweepResult;
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once, before any row.
+  virtual void begin(const SweepSpec& spec,
+                     const std::vector<std::string>& columns) {
+    (void)spec;
+    (void)columns;
+  }
+
+  /// One finished row, in source order. `cells` includes the leading
+  /// positional "point" cell; `warm` marks rows answered from the store.
+  virtual void row(std::size_t seq, const SweepPoint& point,
+                   const std::vector<std::string>& cells, bool warm) = 0;
+
+  /// Called once after the last row of a sweep that ran to completion
+  /// (never after an aborted or failed run).
+  virtual void end() {}
+};
+
+/// Streams RFC-4180 CSV into a string: header on begin(), one line per
+/// row through the shared append_csv_line formatter — byte-identical to
+/// SweepResult::to_csv() of the same rows.
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::string* out);
+
+  void begin(const SweepSpec& spec,
+             const std::vector<std::string>& columns) override;
+  void row(std::size_t seq, const SweepPoint& point,
+           const std::vector<std::string>& cells, bool warm) override;
+
+ private:
+  std::string* out_;
+};
+
+/// Accumulates rows and materializes the {"name","kind","columns","rows"}
+/// document on end() — byte-identical to SweepResult::to_json().dump().
+class JsonSink final : public ResultSink {
+ public:
+  explicit JsonSink(Json* out);
+
+  void begin(const SweepSpec& spec,
+             const std::vector<std::string>& columns) override;
+  void row(std::size_t seq, const SweepPoint& point,
+           const std::vector<std::string>& cells, bool warm) override;
+  void end() override;
+
+ private:
+  Json* out_;
+  std::string name_;
+  SweepKind kind_ = SweepKind::kSimulation;
+  Json::Array columns_;
+  Json::Array rows_;
+};
+
+/// Commits cold rows to a result store as their turn in the emission
+/// order comes up (warm rows came from the store — nothing to write).
+/// Keys are the canonical result_key of (spec, point, columns); the
+/// store's write-once discipline makes racing writers harmless.
+class StoreCommitSink final : public ResultSink {
+ public:
+  StoreCommitSink(store::ResultStore* store, const SweepSpec& spec);
+
+  void begin(const SweepSpec& spec,
+             const std::vector<std::string>& columns) override;
+  void row(std::size_t seq, const SweepPoint& point,
+           const std::vector<std::string>& cells, bool warm) override;
+
+  [[nodiscard]] std::size_t committed() const noexcept { return committed_; }
+
+ private:
+  store::ResultStore* store_;
+  SweepSpec spec_;
+  std::vector<std::string> columns_;
+  std::size_t committed_ = 0;
+};
+
+/// Fans every call out to each attached sink, in attachment order.
+class TeeSink final : public ResultSink {
+ public:
+  TeeSink() = default;
+  explicit TeeSink(std::vector<ResultSink*> sinks);
+
+  /// Attaches another sink (ignored when null, so optional sinks
+  /// compose without branching at the call site).
+  void add(ResultSink* sink);
+
+  void begin(const SweepSpec& spec,
+             const std::vector<std::string>& columns) override;
+  void row(std::size_t seq, const SweepPoint& point,
+           const std::vector<std::string>& cells, bool warm) override;
+  void end() override;
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+/// Builds a SweepResult in place (rows indexed by seq, warm/cold counts
+/// tallied) — the sink behind run_sweep's unchanged return value.
+class CollectSink final : public ResultSink {
+ public:
+  explicit CollectSink(SweepResult* result);
+
+  void begin(const SweepSpec& spec,
+             const std::vector<std::string>& columns) override;
+  void row(std::size_t seq, const SweepPoint& point,
+           const std::vector<std::string>& cells, bool warm) override;
+
+ private:
+  SweepResult* result_;
+};
+
+}  // namespace hvc::explore

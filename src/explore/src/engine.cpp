@@ -1,313 +1,15 @@
 #include "hvc/explore/engine.hpp"
 
-#include <cmath>
-#include <limits>
-#include <map>
-#include <tuple>
-#include <utility>
+#include <optional>
 
 #include "hvc/common/error.hpp"
 #include "hvc/common/io.hpp"
-#include "hvc/common/thread_pool.hpp"
-#include "hvc/edc/code.hpp"
+#include "hvc/explore/executor.hpp"
+#include "hvc/explore/point_source.hpp"
 #include "hvc/explore/result_store.hpp"
-#include "hvc/sim/report.hpp"
-#include "hvc/sim/system.hpp"
-#include "hvc/tech/sram_cell.hpp"
-#include "hvc/yield/soft_reliability.hpp"
+#include "hvc/explore/sink.hpp"
 
 namespace hvc::explore {
-
-namespace {
-
-/// Inputs that determine one Fig. 2 sizing run.
-using PlanKey = std::tuple<yield::Scenario, double, double, double>;
-
-[[nodiscard]] PlanKey plan_key_of(const SweepSpec& spec,
-                                  const SweepPoint& point) {
-  return {point.scenario, point.hp_vcc, point.ule_vcc, spec.target_yield};
-}
-
-/// All unique sizing runs a sweep needs, computed up front (in parallel —
-/// each is deterministic in its key, so sharing across points is safe).
-class PlanCache {
- public:
-  PlanCache(const SweepSpec& spec, const std::vector<SweepPoint>& points,
-            std::size_t threads) {
-    for (const auto& point : points) {
-      keys_.emplace(plan_key_of(spec, point), 0);
-    }
-    std::vector<PlanKey> ordered;
-    ordered.reserve(keys_.size());
-    for (auto& [key, slot] : keys_) {
-      slot = ordered.size();
-      ordered.push_back(key);
-    }
-    plans_.resize(ordered.size());
-    const double target_yield = spec.target_yield;
-    parallel_for(0, ordered.size(), threads,
-                 [this, &ordered, target_yield](std::size_t i) {
-                   const auto& [scenario, hp_vcc, ule_vcc, yield_] =
-                       ordered[i];
-                   yield::MethodologyConfig config;
-                   config.target_yield = target_yield;
-                   plans_[i] = yield::run_methodology(scenario, hp_vcc,
-                                                      ule_vcc, config);
-                 });
-  }
-
-  [[nodiscard]] const yield::CacheCellPlan& plan(const SweepSpec& spec,
-                                                 const SweepPoint& point)
-      const {
-    return plans_[keys_.at(plan_key_of(spec, point))];
-  }
-
- private:
-  std::map<PlanKey, std::size_t> keys_;
-  std::vector<yield::CacheCellPlan> plans_;
-};
-
-/// ULE-way soft-error reliability at one point, from the sized cell and
-/// the way's EDC protection (see yield::soft_reliability).
-struct UleReliability {
-  double rate_per_bit = 0.0;
-  double uncorrectable_per_s = 0.0;
-  double mttf_s = 0.0;
-};
-
-[[nodiscard]] UleReliability ule_reliability(
-    const SweepPoint& point, const yield::CacheCellPlan& plan,
-    double scrub_interval_s) {
-  const bool scenario_b = point.scenario == yield::Scenario::kB;
-  const auto& sized = point.proposed ? plan.proposed_8t : plan.baseline_10t;
-  edc::Protection protection = edc::Protection::kNone;
-  if (point.proposed) {
-    protection =
-        scenario_b ? edc::Protection::kDected : edc::Protection::kSecded;
-  } else if (scenario_b) {
-    protection = edc::Protection::kSecded;
-  }
-  const std::size_t check_bits = edc::check_bits_for(protection);
-  const std::size_t bits = 32 + check_bits;
-  const std::size_t correctable = protection == edc::Protection::kDected ? 2
-                                  : protection == edc::Protection::kSecded
-                                      ? 1
-                                      : 0;
-
-  UleReliability out;
-  out.rate_per_bit =
-      tech::soft_error_rate_per_bit(sized.cell, point.ule_vcc);
-  if (scrub_interval_s <= 0.0) {
-    return out;  // no scrubbing modelled; rate still reported
-  }
-  // One ULE way of the paper's cache: 256 data words (32 lines x 32B).
-  const yield::ArrayGeometry geometry;
-  const double words =
-      static_cast<double>(geometry.lines * geometry.line_bytes / 4);
-  // Split the word population by resident hard faults: a hard fault spends
-  // one correction, so those words have one less soft budget (the paper's
-  // scenario B argument).
-  const double p_word_has_fault =
-      1.0 - std::pow(1.0 - sized.pf, static_cast<double>(bits));
-  const auto overflow = [&](std::size_t budget) {
-    return yield::p_word_overflow(bits, out.rate_per_bit, scrub_interval_s,
-                                  budget);
-  };
-  const double clean_rate =
-      words * (1.0 - p_word_has_fault) * overflow(correctable);
-  const double faulty_rate =
-      words * p_word_has_fault *
-      overflow(correctable == 0 ? 0 : correctable - 1);
-  out.uncorrectable_per_s =
-      (clean_rate + faulty_rate) / scrub_interval_s;
-  out.mttf_s = out.uncorrectable_per_s > 0.0
-                   ? 1.0 / out.uncorrectable_per_s
-                   : std::numeric_limits<double>::infinity();
-  return out;
-}
-
-[[nodiscard]] std::vector<std::string> simulation_columns() {
-  return {
-      "point",          "scenario",        "design",
-      "l2",             "l2_size_kb",      "cores",
-      "mode",           "workload",        "workload_mix",
-      "hp_vcc",         "ule_vcc",
-      "scrub_interval_s", "instructions",  "cycles",
-      "cpi",            "seconds",         "epi_j",
-      "epi_l1_dynamic_j", "epi_l1_leakage_j", "epi_l1_edc_j",
-      "epi_l2_j",       "epi_contention_j", "epi_core_other_j",
-      "total_energy_j",
-      "il1_hit_rate",   "dl1_hit_rate",    "l2_hit_rate",
-      "l2_accesses",    "mem_accesses",    "contended_requests",
-      "contention_cycles", "edc_corrections",
-      "edc_detected",   "l1_area_um2",     "cache_area_um2",
-      "ule_soft_rate_per_bit", "ule_uncorr_per_s", "ule_mttf_s",
-  };
-}
-
-[[nodiscard]] std::vector<std::string> methodology_columns() {
-  return {
-      "point",         "scenario",      "hp_vcc",
-      "ule_vcc",       "target_yield",  "target_pf",
-      "hp6t_size",     "hp6t_pf",       "b10t_size",
-      "b10t_pf",       "b10t_yield",    "p8t_size",
-      "p8t_pf",        "p8t_yield",     "b10t_area_f2",
-      "p8t_area_f2",   "area_ratio",
-  };
-}
-
-[[nodiscard]] std::vector<std::string> simulate_point(
-    const SweepSpec& spec, const SweepPoint& point,
-    const yield::CacheCellPlan& plan) {
-  sim::SystemConfig config;
-  config.design.scenario = point.scenario;
-  config.design.proposed = point.proposed;
-  config.mode = point.mode;
-  config.hp.vcc = point.hp_vcc;
-  config.ule.vcc = point.ule_vcc;
-  const bool with_l2 = point.l2_design != "none";
-  if (with_l2) {
-    sim::L2Spec l2;
-    l2.org.size_bytes =
-        static_cast<std::size_t>(point.l2_size_kb) * std::size_t{1024};
-    l2.proposed = point.l2_design == "proposed";
-    config.hierarchy.l2 = l2;
-  }
-  config.num_cores = point.cores;
-  // The System's fault maps draw from the point's own counter-based seed
-  // (or the spec's fixed one, for pinning against the bench_fig* rows).
-  config.seed = spec.system_seed ? *spec.system_seed
-                                 : Rng::mix64(spec.seed, point.index);
-
-  sim::System system(config, plan);
-  // Plain one-core points keep the exact pre-multicore evaluation path;
-  // core-count/mix points report the interleaved run's chip aggregate.
-  const bool multicore = point.cores > 1 || !point.workload_mix.empty();
-  const cpu::RunResult result =
-      multicore ? system
-                      .run_mix(point.core_workloads(), spec.workload_seed,
-                               spec.scale)
-                      .aggregate
-                : system.run_workload(point.workload, spec.workload_seed,
-                                      spec.scale);
-  const sim::EpiBreakdown epi = sim::epi_breakdown(result);
-  const UleReliability reliability =
-      ule_reliability(point, plan, point.scrub_interval_s);
-  const cache::LevelStats* l2_stats = result.level("L2");
-  const cache::LevelStats* mem_stats = result.level("MEM");
-
-  std::vector<std::string> row;
-  row.reserve(simulation_columns().size());
-  row.push_back(format_number(static_cast<std::uint64_t>(point.index)));
-  row.emplace_back(yield::to_string(point.scenario));
-  row.emplace_back(point.proposed ? "proposed" : "baseline");
-  row.push_back(point.l2_design);
-  if (with_l2) {
-    row.push_back(format_number(point.l2_size_kb));
-  } else {
-    row.emplace_back("");
-  }
-  row.push_back(
-      format_number(static_cast<std::uint64_t>(point.cores)));
-  row.emplace_back(point.mode == power::Mode::kHp ? "hp" : "ule");
-  row.push_back(point.workload);
-  row.push_back(point.workload_mix);
-  row.push_back(format_number(point.hp_vcc));
-  row.push_back(format_number(point.ule_vcc));
-  row.push_back(format_number(point.scrub_interval_s));
-  row.push_back(format_number(result.instructions));
-  row.push_back(format_number(result.cycles));
-  row.push_back(format_number(result.cpi()));
-  row.push_back(format_number(result.seconds));
-  row.push_back(format_number(result.epi()));
-  row.push_back(format_number(epi.l1_dynamic));
-  row.push_back(format_number(epi.l1_leakage));
-  row.push_back(format_number(epi.l1_edc));
-  row.push_back(format_number(epi.l2));
-  row.push_back(format_number(epi.contention));
-  row.push_back(format_number(epi.core_other));
-  row.push_back(format_number(result.total_energy()));
-  row.push_back(format_number(result.il1.hit_rate()));
-  row.push_back(format_number(result.dl1.hit_rate()));
-  if (l2_stats != nullptr) {
-    row.push_back(format_number(l2_stats->hit_rate()));
-    row.push_back(format_number(l2_stats->accesses));
-  } else {
-    row.emplace_back("");
-    row.emplace_back("");
-  }
-  if (mem_stats != nullptr) {
-    row.push_back(format_number(mem_stats->accesses));
-  } else {
-    row.emplace_back("");
-  }
-  // Arbitration pressure on the shared level (zero rows for single-core
-  // points, where no arbiter exists).
-  std::uint64_t contended_requests = 0;
-  std::uint64_t contention_cycles = 0;
-  for (const cache::LevelStats& level : result.levels) {
-    contended_requests += level.contended_requests;
-    contention_cycles += level.contention_cycles;
-  }
-  row.push_back(format_number(contended_requests));
-  row.push_back(format_number(contention_cycles));
-  std::uint64_t edc_corrections =
-      result.il1.edc_corrections + result.dl1.edc_corrections;
-  std::uint64_t edc_detected =
-      result.il1.edc_detected + result.dl1.edc_detected;
-  if (l2_stats != nullptr) {
-    edc_corrections += l2_stats->edc_corrections;
-    edc_detected += l2_stats->edc_detected;
-  }
-  row.push_back(format_number(edc_corrections));
-  row.push_back(format_number(edc_detected));
-  row.push_back(format_number(system.l1_area_um2()));
-  row.push_back(format_number(system.cache_area_um2()));
-  row.push_back(format_number(reliability.rate_per_bit));
-  if (point.scrub_interval_s > 0.0) {
-    row.push_back(format_number(reliability.uncorrectable_per_s));
-    row.push_back(format_number(reliability.mttf_s));
-  } else {
-    row.emplace_back("");
-    row.emplace_back("");
-  }
-  return row;
-}
-
-[[nodiscard]] std::vector<std::string> methodology_point(
-    const SweepSpec& spec, const SweepPoint& point,
-    const yield::CacheCellPlan& plan) {
-  const double area_10t = tech::cell_area_f2(plan.baseline_10t.cell);
-  const double area_8t = tech::cell_area_f2(plan.proposed_8t.cell);
-  // Proposed/baseline ULE-way array area including check bits, as in the
-  // paper's area discussion: scenario A stores 39 vs 32 bits per word,
-  // scenario B 45 vs 39.
-  const double check_factor =
-      point.scenario == yield::Scenario::kA ? 39.0 / 32.0 : 45.0 / 39.0;
-
-  std::vector<std::string> row;
-  row.reserve(methodology_columns().size());
-  row.push_back(format_number(static_cast<std::uint64_t>(point.index)));
-  row.emplace_back(yield::to_string(point.scenario));
-  row.push_back(format_number(point.hp_vcc));
-  row.push_back(format_number(point.ule_vcc));
-  row.push_back(format_number(spec.target_yield));
-  row.push_back(format_number(plan.target_pf));
-  row.push_back(format_number(plan.hp_6t.cell.size));
-  row.push_back(format_number(plan.hp_6t.pf));
-  row.push_back(format_number(plan.baseline_10t.cell.size));
-  row.push_back(format_number(plan.baseline_10t.pf));
-  row.push_back(format_number(plan.baseline_10t.yield));
-  row.push_back(format_number(plan.proposed_8t.cell.size));
-  row.push_back(format_number(plan.proposed_8t.pf));
-  row.push_back(format_number(plan.proposed_8t.yield));
-  row.push_back(format_number(area_10t));
-  row.push_back(format_number(area_8t));
-  row.push_back(format_number(area_8t * check_factor / area_10t));
-  return row;
-}
-
-}  // namespace
 
 std::size_t SweepResult::column(const std::string& name) const {
   for (std::size_t i = 0; i < columns.size(); ++i) {
@@ -349,88 +51,36 @@ Json SweepResult::to_json() const {
 
 SweepResult run_sweep(const SweepSpec& spec, std::size_t threads,
                       store::ResultStore* store) {
-  const std::vector<SweepPoint> points = expand_points(spec);
-  expects(!points.empty(), "sweep has no points");
+  return run_sweep(spec, threads, store, ExecOptions{});
+}
+
+SweepResult run_sweep(const SweepSpec& spec, std::size_t threads,
+                      store::ResultStore* store,
+                      const ExecOptions& options) {
+  expects(spec.point_count() > 0, "sweep has no points");
+
+  // The layered engine, composed: grid planner -> shared executor ->
+  // collect (+ commit-to-store when one is attached). See executor.hpp
+  // for the determinism story; this function adds nothing to it.
+  GridPointSource source(spec);
+  Executor executor(threads);
 
   SweepResult result;
-  result.name = spec.name;
-  result.kind = spec.kind;
-  result.columns = spec.kind == SweepKind::kSimulation
-                       ? simulation_columns()
-                       : methodology_columns();
-  result.rows.resize(points.size());
-
-  // Phase 0 (store attached only): classify every point warm or cold by
-  // its canonical key. Warm rows decode straight out of the store — the
-  // stored payload omits the positional "point" cell, which is
-  // backfilled from the current sweep's index — so only cold points pay
-  // for sizing runs and simulation below.
-  std::vector<std::size_t> cold;
-  std::vector<store::Key> keys;
+  CollectSink collect(&result);
+  std::optional<StoreCommitSink> commit;
+  TeeSink tee;
+  tee.add(&collect);
   if (store != nullptr) {
-    keys.resize(points.size());
-    cold.reserve(points.size());
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      keys[i] = result_key(spec, points[i], result.columns);
-      const auto payload = store->get(keys[i]);
-      if (!payload) {
-        cold.push_back(i);
-        continue;
-      }
-      std::vector<std::string> cells =
-          decode_row(payload->data(), payload->size());
-      if (cells.size() + 1 != result.columns.size()) {
-        throw ConfigError(
-            "stored row width does not match the sweep schema");
-      }
-      auto& row = result.rows[i];
-      row.reserve(result.columns.size());
-      row.push_back(
-          format_number(static_cast<std::uint64_t>(points[i].index)));
-      for (auto& cell : cells) {
-        row.push_back(std::move(cell));
-      }
-    }
-    result.warm_points = points.size() - cold.size();
-    result.cold_points = cold.size();
-  } else {
-    cold.resize(points.size());
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      cold[i] = i;
-    }
+    commit.emplace(store, spec);
+    tee.add(&*commit);
   }
-
-  // Phase 1: every unique sizing run the COLD points need, shared
-  // read-only afterwards (warm points already carry their results).
-  std::vector<SweepPoint> cold_points;
-  cold_points.reserve(cold.size());
-  for (const std::size_t i : cold) {
-    cold_points.push_back(points[i]);
+  executor.run(spec, source, tee, store, options);
+  if (store == nullptr) {
+    // Without a store there is no warm/cold distinction to report; keep
+    // the documented 0/0 rather than counting every row as cold.
+    result.warm_points = 0;
+    result.cold_points = 0;
   }
-  const PlanCache plans(spec, cold_points, threads);
-
-  // Phase 2: evaluate cold points into index-addressed slots; whichever
-  // thread claims a point, its output depends only on (spec, point).
-  // With a store, each row is committed as it completes (put() is one
-  // internal critical section), so a killed sweep resumes from its last
-  // committed point instead of restarting.
-  parallel_for(0, cold.size(), threads,
-               [&spec, &points, &plans, &result, &cold, &keys,
-                store](std::size_t k) {
-                 const std::size_t i = cold[k];
-                 const SweepPoint& point = points[i];
-                 const yield::CacheCellPlan& plan = plans.plan(spec, point);
-                 std::vector<std::string> row =
-                     spec.kind == SweepKind::kSimulation
-                         ? simulate_point(spec, point, plan)
-                         : methodology_point(spec, point, plan);
-                 if (store != nullptr) {
-                   const std::vector<std::uint8_t> payload = encode_row(
-                       {row.begin() + 1, row.end()});
-                   store->put(keys[i], payload.data(), payload.size());
-                 }
-                 result.rows[i] = std::move(row);
-               });
   return result;
 }
 

@@ -1,0 +1,149 @@
+#include "hvc/explore/sink.hpp"
+
+#include <utility>
+
+#include "hvc/common/error.hpp"
+#include "hvc/common/io.hpp"
+#include "hvc/explore/engine.hpp"
+#include "hvc/explore/result_store.hpp"
+#include "hvc/store/store.hpp"
+
+namespace hvc::explore {
+
+CsvSink::CsvSink(std::string* out) : out_(out) {
+  expects(out != nullptr, "CsvSink needs an output string");
+}
+
+void CsvSink::begin(const SweepSpec& spec,
+                    const std::vector<std::string>& columns) {
+  (void)spec;
+  append_csv_line(*out_, columns);
+}
+
+void CsvSink::row(std::size_t seq, const SweepPoint& point,
+                  const std::vector<std::string>& cells, bool warm) {
+  (void)seq;
+  (void)point;
+  (void)warm;
+  append_csv_line(*out_, cells);
+}
+
+JsonSink::JsonSink(Json* out) : out_(out) {
+  expects(out != nullptr, "JsonSink needs an output value");
+}
+
+void JsonSink::begin(const SweepSpec& spec,
+                     const std::vector<std::string>& columns) {
+  name_ = spec.name;
+  kind_ = spec.kind;
+  columns_.clear();
+  for (const auto& name : columns) {
+    columns_.emplace_back(name);
+  }
+  rows_.clear();
+}
+
+void JsonSink::row(std::size_t seq, const SweepPoint& point,
+                   const std::vector<std::string>& cells, bool warm) {
+  (void)seq;
+  (void)point;
+  (void)warm;
+  Json::Array row_cells;
+  row_cells.reserve(cells.size());
+  for (const auto& cell : cells) {
+    row_cells.emplace_back(cell);
+  }
+  rows_.emplace_back(std::move(row_cells));
+}
+
+void JsonSink::end() {
+  Json out;
+  out.set("name", Json(name_));
+  out.set("kind", Json(to_string(kind_)));
+  out.set("columns", Json(std::move(columns_)));
+  out.set("rows", Json(std::move(rows_)));
+  *out_ = std::move(out);
+}
+
+StoreCommitSink::StoreCommitSink(store::ResultStore* store,
+                                 const SweepSpec& spec)
+    : store_(store), spec_(spec) {
+  expects(store != nullptr, "StoreCommitSink needs a store");
+}
+
+void StoreCommitSink::begin(const SweepSpec& spec,
+                            const std::vector<std::string>& columns) {
+  (void)spec;
+  columns_ = columns;
+}
+
+void StoreCommitSink::row(std::size_t seq, const SweepPoint& point,
+                          const std::vector<std::string>& cells, bool warm) {
+  (void)seq;
+  if (warm) {
+    return;  // this row came out of the store in the first place
+  }
+  const store::Key key = result_key(spec_, point, columns_);
+  const std::vector<std::uint8_t> payload =
+      encode_row({cells.begin() + 1, cells.end()});
+  store_->put(key, payload.data(), payload.size());
+  ++committed_;
+}
+
+TeeSink::TeeSink(std::vector<ResultSink*> sinks) {
+  for (ResultSink* sink : sinks) {
+    add(sink);
+  }
+}
+
+void TeeSink::add(ResultSink* sink) {
+  if (sink != nullptr) {
+    sinks_.push_back(sink);
+  }
+}
+
+void TeeSink::begin(const SweepSpec& spec,
+                    const std::vector<std::string>& columns) {
+  for (ResultSink* sink : sinks_) {
+    sink->begin(spec, columns);
+  }
+}
+
+void TeeSink::row(std::size_t seq, const SweepPoint& point,
+                  const std::vector<std::string>& cells, bool warm) {
+  for (ResultSink* sink : sinks_) {
+    sink->row(seq, point, cells, warm);
+  }
+}
+
+void TeeSink::end() {
+  for (ResultSink* sink : sinks_) {
+    sink->end();
+  }
+}
+
+CollectSink::CollectSink(SweepResult* result) : result_(result) {
+  expects(result != nullptr, "CollectSink needs a result");
+}
+
+void CollectSink::begin(const SweepSpec& spec,
+                        const std::vector<std::string>& columns) {
+  result_->name = spec.name;
+  result_->kind = spec.kind;
+  result_->columns = columns;
+  result_->rows.clear();
+  result_->warm_points = 0;
+  result_->cold_points = 0;
+}
+
+void CollectSink::row(std::size_t seq, const SweepPoint& point,
+                      const std::vector<std::string>& cells, bool warm) {
+  (void)point;
+  if (result_->rows.size() <= seq) {
+    result_->rows.resize(seq + 1);
+  }
+  result_->rows[seq] = cells;
+  (warm ? result_->warm_points : result_->cold_points) += 1;
+}
+
+}  // namespace hvc::explore

@@ -17,7 +17,17 @@
 #include <memory>
 #include <string>
 
+#include "hvc/common/error.hpp"
+
 namespace hvc::store {
+
+/// Thrown when a store file is flock'd by another live process (a
+/// sweep or daemon holding it). Distinct from corruption: the file is
+/// fine, the caller just has to wait — or open it in follow mode.
+class StoreBusyError : public ConfigError {
+ public:
+  using ConfigError::ConfigError;
+};
 
 /// Positional file handle. All methods throw ConfigError (with errno
 /// text) on I/O failure; short reads at end-of-file are returned, short
@@ -51,9 +61,13 @@ class File {
 class PosixFile final : public File {
  public:
   /// Opens `path`. Writable handles may create the file; read-only
-  /// handles require it to exist. Throws ConfigError when the file
-  /// cannot be opened or another process holds a conflicting lock.
-  PosixFile(const std::string& path, bool writable, bool create);
+  /// handles require it to exist. Throws StoreBusyError when another
+  /// process holds a conflicting lock, ConfigError when the file cannot
+  /// be opened. `take_lock = false` skips the flock entirely — the
+  /// follow-mode reader's loophole: it observes a live writer's store
+  /// and accepts that the tail is in motion.
+  PosixFile(const std::string& path, bool writable, bool create,
+            bool take_lock = true);
   ~PosixFile() override;
   PosixFile(const PosixFile&) = delete;
   PosixFile& operator=(const PosixFile&) = delete;

@@ -59,6 +59,23 @@
 
 namespace hvc::store {
 
+/// A store rejected because its WRITER died: the committed prefix is
+/// intact and reopening with OpenOptions::recover (hvc_explore --resume)
+/// continues where it stopped. Exit-code class 1 (recoverable).
+class StoreRecoverableError : public ConfigError {
+ public:
+  using ConfigError::ConfigError;
+};
+
+/// A store rejected because the FILE is damaged or not a store at all:
+/// bad magic/version, schema-tag mismatch, or a torn tail under a clean
+/// flag (external damage). Exit-code class 2 (corrupt); fsck --repair
+/// may still salvage the valid prefix.
+class StoreCorruptError : public ConfigError {
+ public:
+  using ConfigError::ConfigError;
+};
+
 /// Current .hvcs format version.
 inline constexpr std::uint16_t kStoreFormatVersion = 1;
 /// Fixed sizes of format version 1.
@@ -90,6 +107,12 @@ struct OpenOptions {
   /// Schema tag baked into the header at creation and required to match
   /// on every later open (0 = unchecked scratch store).
   std::uint64_t app_tag = 0;
+  /// Lock-free read-only observation of a LIVE writer's store (the serve
+  /// daemon's, typically): no flock is taken, the dirty flag and a torn
+  /// tail are expected — the index covers the valid committed prefix —
+  /// and refresh() picks up records the writer commits later. Implies
+  /// read_only; mutually exclusive with recover.
+  bool follow = false;
 };
 
 enum class FsckStatus {
@@ -144,6 +167,14 @@ class ResultStore {
   /// Flushes all committed records to stable storage.
   void sync();
 
+  /// Follow-mode only: rescans the slab past the known frontier and
+  /// publishes records the live writer has committed since open (or the
+  /// last refresh). Returns how many records appeared. The writer's
+  /// append-only commit protocol makes this safe without any lock: a
+  /// record either validates completely (committed) or the scan stops
+  /// at it (still in flight).
+  std::size_t refresh();
+
   /// Syncs, clears the dirty flag, syncs again. After close() the store
   /// only answers contains()/records()-style queries. Idempotent.
   void close();
@@ -172,6 +203,7 @@ class ResultStore {
   std::unique_ptr<File> file_;
   std::string label_;
   bool writable_ = false;
+  bool follow_ = false;
   bool closed_ = false;
   std::uint64_t app_tag_ = 0;
   std::uint64_t end_ = 0;  ///< offset one past the last committed record

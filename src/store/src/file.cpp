@@ -26,7 +26,8 @@ namespace {
 // PosixFile
 // ---------------------------------------------------------------------
 
-PosixFile::PosixFile(const std::string& path, bool writable, bool create)
+PosixFile::PosixFile(const std::string& path, bool writable, bool create,
+                     bool take_lock)
     : path_(path) {
   int flags = writable ? O_RDWR : O_RDONLY;
   if (writable && create) {
@@ -36,6 +37,9 @@ PosixFile::PosixFile(const std::string& path, bool writable, bool create)
   if (fd_ < 0) {
     throw io_error(path, "cannot open", errno);
   }
+  if (!take_lock) {
+    return;  // follow-mode reader: observes a live writer, lock-free
+  }
   // Advisory single-writer/multi-reader lock; non-blocking so a live
   // writer is reported immediately instead of hanging the sweep.
   if (::flock(fd_, (writable ? LOCK_EX : LOCK_SH) | LOCK_NB) != 0) {
@@ -43,10 +47,10 @@ PosixFile::PosixFile(const std::string& path, bool writable, bool create)
     ::close(fd_);
     fd_ = -1;
     if (err == EWOULDBLOCK) {
-      throw ConfigError("store file \"" + path + "\" is locked by " +
-                        (writable ? "another process"
-                                  : "a live writer") +
-                        " (single-writer discipline)");
+      throw StoreBusyError("store file \"" + path + "\" is locked by " +
+                           (writable ? "another process"
+                                     : "a live writer") +
+                           " (single-writer discipline)");
     }
     throw io_error(path, "cannot lock", err);
   }

@@ -58,6 +58,19 @@ void store_u64(std::uint8_t* out, std::uint64_t value) noexcept {
   return ConfigError("result store \"" + label + "\": " + what);
 }
 
+// Typed variants so callers (and exit codes) can tell "the writer died,
+// reopen with --resume" apart from "this file is damaged". Both still
+// derive from ConfigError, so untyped handlers keep working.
+[[nodiscard]] StoreCorruptError corrupt_store(const std::string& label,
+                                              const std::string& what) {
+  return StoreCorruptError("result store \"" + label + "\": " + what);
+}
+
+[[nodiscard]] StoreRecoverableError recoverable_store(
+    const std::string& label, const std::string& what) {
+  return StoreRecoverableError("result store \"" + label + "\": " + what);
+}
+
 struct Header {
   std::uint16_t version = 0;
   std::uint16_t flags = 0;
@@ -80,22 +93,22 @@ void encode_header(std::uint8_t (&raw)[kStoreHeaderBytes],
 [[nodiscard]] Header decode_header(
     const std::string& label, const std::uint8_t (&raw)[kStoreHeaderBytes]) {
   if (std::memcmp(raw, kMagic, 4) != 0) {
-    throw bad_store(label, "bad magic (not a .hvcs result store)");
+    throw corrupt_store(label, "bad magic (not a .hvcs result store)");
   }
   Header header;
   header.version = load_u16(raw + 4);
   header.flags = load_u16(raw + 6);
   header.app_tag = load_u64(raw + 8);
   if (header.version != kStoreFormatVersion) {
-    throw bad_store(label, "unsupported format version " +
-                               std::to_string(header.version));
+    throw corrupt_store(label, "unsupported format version " +
+                                   std::to_string(header.version));
   }
   if ((header.flags & ~kKnownFlags) != 0) {
-    throw bad_store(label, "unsupported header flags");
+    throw corrupt_store(label, "unsupported header flags");
   }
   for (std::size_t i = 16; i < kStoreHeaderBytes; ++i) {
     if (raw[i] != 0) {
-      throw bad_store(label, "non-zero reserved header bytes");
+      throw corrupt_store(label, "non-zero reserved header bytes");
     }
   }
   return header;
@@ -126,13 +139,15 @@ struct ScanOutcome {
   std::string detail;  ///< why the scan stopped early
 };
 
-/// Walks every record, validating both CRCs, and stops at the first sign
-/// of a torn or truncated append. Everything before the stop point is a
-/// committed record; everything after is tail.
-[[nodiscard]] ScanOutcome scan_slab(File& file, std::uint64_t file_size) {
+/// Walks every record from `start`, validating both CRCs, and stops at
+/// the first sign of a torn or truncated append. Everything before the
+/// stop point is a committed record; everything after is tail.
+[[nodiscard]] ScanOutcome scan_slab(File& file, std::uint64_t file_size,
+                                    std::uint64_t start = kStoreHeaderBytes) {
   ScanOutcome out;
+  out.valid_end = start;
   std::vector<std::uint8_t> payload;
-  std::uint64_t offset = kStoreHeaderBytes;
+  std::uint64_t offset = start;
   const auto stop = [&](std::string why) {
     out.torn = true;
     out.detail = std::move(why) + " at offset " + std::to_string(offset);
@@ -192,10 +207,13 @@ struct ScanOutcome {
 // ---------------------------------------------------------------------
 
 ResultStore::ResultStore(const std::string& path, const OpenOptions& options)
-    : file_(std::make_unique<PosixFile>(path, !options.read_only,
-                                        !options.read_only && options.create)),
+    : file_(std::make_unique<PosixFile>(
+          path, !options.read_only && !options.follow,
+          !options.read_only && !options.follow && options.create,
+          /*take_lock=*/!options.follow)),
       label_(path),
-      writable_(!options.read_only) {
+      writable_(!options.read_only && !options.follow),
+      follow_(options.follow) {
   open_validate(options);
 }
 
@@ -203,7 +221,8 @@ ResultStore::ResultStore(std::unique_ptr<File> file, std::string label,
                          const OpenOptions& options)
     : file_(std::move(file)),
       label_(std::move(label)),
-      writable_(!options.read_only) {
+      writable_(!options.read_only && !options.follow),
+      follow_(options.follow) {
   expects(file_ != nullptr, "result store needs a file");
   open_validate(options);
 }
@@ -236,10 +255,18 @@ void ResultStore::set_dirty(bool dirty) {
 }
 
 void ResultStore::open_validate(const OpenOptions& options) {
+  expects(!(options.follow && options.recover),
+          "follow and recover are mutually exclusive");
   const std::uint64_t size = file_->size();
   app_tag_ = options.app_tag;
 
   if (size == 0) {
+    if (follow_) {
+      // The writer exists but has not finished its first header write
+      // yet; start at an empty frontier and let refresh() catch up.
+      end_ = 0;
+      return;
+    }
     if (!writable_) {
       throw bad_store(label_, "store is empty");
     }
@@ -248,11 +275,16 @@ void ResultStore::open_validate(const OpenOptions& options) {
     return;
   }
   if (size < kStoreHeaderBytes) {
+    if (follow_) {
+      end_ = 0;  // header still in flight; refresh() will pick it up
+      return;
+    }
     // The creating writer died inside its first header write.
     if (!writable_ || !options.recover) {
-      throw bad_store(label_,
-                      "incomplete header (creating writer died?); "
-                      "reopen with recovery (--resume) or repair it");
+      throw recoverable_store(label_,
+                              "incomplete header (creating writer "
+                              "died?); reopen with recovery (--resume) "
+                              "or repair it");
     }
     recovered_bytes_ = size;
     file_->truncate(0);
@@ -267,32 +299,42 @@ void ResultStore::open_validate(const OpenOptions& options) {
   }
   const Header header = decode_header(label_, raw);
   if (options.app_tag != 0 && header.app_tag != options.app_tag) {
-    throw bad_store(label_,
-                    "schema tag mismatch (store was written by a "
-                    "different result schema)");
+    throw corrupt_store(label_,
+                        "schema tag mismatch (store was written by a "
+                        "different result schema)");
   }
   app_tag_ = header.app_tag;
 
   const ScanOutcome scan = scan_slab(*file_, size);
+  if (follow_) {
+    // A follower expects motion: the dirty flag is set while the writer
+    // lives, and a "torn" tail is simply the record it is appending
+    // right now. The index covers the committed prefix; refresh()
+    // advances it.
+    end_ = scan.valid_end;
+    index_ = std::move(scan.index);
+    return;
+  }
   if (!header.dirty() && scan.torn) {
     // A clean close syncs every record before clearing the flag, so a
     // bad tail under a clean flag can only mean external damage.
     // Refuse — fsck --repair salvages the valid prefix.
-    throw bad_store(label_, "corrupt: " + scan.detail +
-                                " in a cleanly-closed store (run "
-                                "`hvc_explore store fsck --repair`)");
+    throw corrupt_store(label_, "corrupt: " + scan.detail +
+                                    " in a cleanly-closed store (run "
+                                    "`hvc_explore store fsck --repair`)");
   }
   if (header.dirty()) {
     if (!writable_) {
-      throw bad_store(label_,
-                      "store was not closed cleanly (writer died?); "
-                      "open it writable with recovery first");
+      throw recoverable_store(label_,
+                              "store was not closed cleanly (writer "
+                              "died?); open it writable with recovery "
+                              "first");
     }
     if (!options.recover) {
-      throw bad_store(label_,
-                      "store was not closed cleanly (writer died?); "
-                      "reopen with recovery (--resume) to truncate "
-                      "any torn tail and continue");
+      throw recoverable_store(label_,
+                              "store was not closed cleanly (writer "
+                              "died?); reopen with recovery (--resume) "
+                              "to truncate any torn tail and continue");
     }
     if (scan.torn) {
       recovered_bytes_ = size - scan.valid_end;
@@ -368,6 +410,40 @@ void ResultStore::sync() {
   std::lock_guard<std::mutex> lock(mutex_);
   expects(!closed_, "sync() on a closed store");
   file_->sync();
+}
+
+std::size_t ResultStore::refresh() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expects(follow_, "refresh() is follow-mode only");
+  const std::uint64_t size = file_->size();
+  if (end_ < kStoreHeaderBytes) {
+    // Still waiting for the writer's initial header.
+    if (size < kStoreHeaderBytes) {
+      return 0;
+    }
+    std::uint8_t raw[kStoreHeaderBytes];
+    if (file_->read_at(0, raw, sizeof raw) != sizeof raw) {
+      return 0;
+    }
+    const Header header = decode_header(label_, raw);
+    if (app_tag_ != 0 && header.app_tag != app_tag_) {
+      throw corrupt_store(label_,
+                          "schema tag mismatch (store was written by a "
+                          "different result schema)");
+    }
+    app_tag_ = header.app_tag;
+    end_ = kStoreHeaderBytes;
+  }
+  if (size <= end_) {
+    return 0;
+  }
+  ScanOutcome scan = scan_slab(*file_, size, end_);
+  std::size_t added = 0;
+  for (auto& [key, location] : scan.index) {
+    added += index_.emplace(key, location).second ? 1 : 0;
+  }
+  end_ = scan.valid_end;
+  return added;
 }
 
 void ResultStore::close() {

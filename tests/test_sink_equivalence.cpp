@@ -1,0 +1,135 @@
+// Differential pin for the layered engine against the repo's shipped
+// example specs: streaming a sweep through CsvSink/JsonSink must produce
+// the same bytes as materializing a SweepResult and serializing it —
+// at 1, 2 and 8 threads, cold and warm (store-backed) alike. This is
+// the "no caller can tell the engine was rebuilt" guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hvc/common/io.hpp"
+#include "hvc/explore/engine.hpp"
+#include "hvc/explore/executor.hpp"
+#include "hvc/explore/point_source.hpp"
+#include "hvc/explore/result_store.hpp"
+#include "hvc/explore/sink.hpp"
+#include "hvc/store/store.hpp"
+
+namespace hvc::explore {
+namespace {
+
+const char* const kExampleSpecs[] = {
+    "fig3.json",
+    "l2_sweep.json",
+    "multicore_sweep.json",
+    "resume_sweep.json",
+};
+
+[[nodiscard]] SweepSpec load_example(const std::string& name) {
+  return SweepSpec::parse(
+      read_text_file(std::string(HVC_EXAMPLES_DIR) + "/" + name));
+}
+
+[[nodiscard]] std::string temp_store(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "hvc_equiv_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// One streamed run: grid source -> executor -> csv + json sinks (+ an
+/// optional store commit tee).
+struct Streamed {
+  std::string csv;
+  std::string json;
+  ExecStats stats;
+};
+
+[[nodiscard]] Streamed stream_sweep(const SweepSpec& spec,
+                                    std::size_t threads,
+                                    store::ResultStore* store) {
+  Streamed out;
+  GridPointSource source(spec);
+  Executor executor(threads);
+  CsvSink csv(&out.csv);
+  Json json_doc;
+  JsonSink json(&json_doc);
+  std::optional<StoreCommitSink> commit;
+  TeeSink tee;
+  tee.add(&csv);
+  tee.add(&json);
+  if (store != nullptr) {
+    commit.emplace(store, spec);
+    tee.add(&*commit);
+  }
+  out.stats = executor.run(spec, source, tee, store);
+  out.json = json_doc.dump(2) + "\n";
+  return out;
+}
+
+TEST(SinkEquivalence, StreamedBytesMatchMaterializedAtAnyThreadCount) {
+  for (const char* name : kExampleSpecs) {
+    const SweepSpec spec = load_example(name);
+    const SweepResult reference = run_sweep(spec, 1);
+    const std::string ref_csv = reference.to_csv();
+    const std::string ref_json = reference.to_json().dump(2) + "\n";
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      const Streamed streamed = stream_sweep(spec, threads, nullptr);
+      EXPECT_EQ(streamed.csv, ref_csv) << name << " @" << threads;
+      EXPECT_EQ(streamed.json, ref_json) << name << " @" << threads;
+      EXPECT_EQ(streamed.stats.points, reference.points());
+    }
+  }
+}
+
+TEST(SinkEquivalence, WarmStoreRunsAreByteIdenticalToCold) {
+  for (const char* name : kExampleSpecs) {
+    const SweepSpec spec = load_example(name);
+    const std::string path = temp_store(name);
+
+    // Cold pass at 2 threads populates the store while streaming.
+    auto store = open_result_store(path, false);
+    const Streamed cold = stream_sweep(spec, 2, store.get());
+    EXPECT_EQ(cold.stats.warm, 0u) << name;
+    EXPECT_EQ(cold.stats.cold, cold.stats.points) << name;
+    store->close();
+    store.reset();  // the flock must drop before the warm reopen
+
+    // Warm pass at 8 threads answers everything from the store.
+    store = open_result_store(path, false);
+    const Streamed warm = stream_sweep(spec, 8, store.get());
+    EXPECT_EQ(warm.stats.warm, warm.stats.points) << name;
+    EXPECT_EQ(warm.stats.cold, 0u) << name;
+    store->close();
+
+    EXPECT_EQ(warm.csv, cold.csv) << name;
+    EXPECT_EQ(warm.json, cold.json) << name;
+    // And both match a storeless materialized run.
+    EXPECT_EQ(cold.csv, run_sweep(spec, 1).to_csv()) << name;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SinkEquivalence, RunSweepOverloadWithProgressReportsMonotonically) {
+  const SweepSpec spec = load_example("fig3.json");
+  std::vector<SweepProgress> reports;
+  ExecOptions options;
+  options.progress = [&](const SweepProgress& p) { reports.push_back(p); };
+  const SweepResult result = run_sweep(spec, 4, nullptr, options);
+  ASSERT_FALSE(reports.empty());
+  std::size_t last_done = 0;
+  for (const SweepProgress& p : reports) {
+    EXPECT_GE(p.done, last_done);
+    EXPECT_LE(p.done, p.total);
+    EXPECT_EQ(p.total, result.points());
+    last_done = p.done;
+  }
+  EXPECT_EQ(reports.back().done, result.points());
+}
+
+}  // namespace
+}  // namespace hvc::explore

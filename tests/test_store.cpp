@@ -458,5 +458,106 @@ TEST(StoreConcurrency, SharedStoreSweepMatchesSingleThreadByteForByte) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Follow mode: lock-free observation of a live writer's store (what
+// `hvc_explore store info` uses while a serve daemon holds the flock).
+
+TEST(StoreFollowTest, ObservesALiveWriterAndRefreshPicksUpNewRecords) {
+  const std::string path = temp_path("follow.hvcs");
+  ResultStore writer(path, OpenOptions{.app_tag = 7});
+  put_text(writer, Key{1, 2}, "first");
+
+  // The writer holds the flock and the dirty flag is set — a normal
+  // read-only open refuses, follow mode reads the committed prefix.
+  ResultStore follower(
+      path, OpenOptions{.read_only = true, .app_tag = 7, .follow = true});
+  EXPECT_EQ(follower.records(), 1u);
+  const auto first = follower.get(Key{1, 2});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(std::string(first->begin(), first->end()), "first");
+
+  // Records committed after the open appear via refresh(), and only
+  // once.
+  put_text(writer, Key{3, 4}, "second");
+  put_text(writer, Key{5, 6}, "third");
+  EXPECT_EQ(follower.refresh(), 2u);
+  EXPECT_EQ(follower.records(), 3u);
+  EXPECT_EQ(follower.refresh(), 0u);
+
+  writer.close();
+}
+
+TEST(StoreFollowTest, FollowOpenOfAnEmptyFileWaitsForTheHeader) {
+  // A writer that has created the file but not yet written the header
+  // (or any record) is a legal follow target: zero records now, data
+  // after refresh().
+  const std::string path = temp_path("follow_empty.hvcs");
+  spit(path, {});  // zero-byte file, as right after O_CREAT
+  ResultStore follower(
+      path, OpenOptions{.read_only = true, .app_tag = 7, .follow = true});
+  EXPECT_EQ(follower.records(), 0u);
+  EXPECT_EQ(follower.refresh(), 0u);
+
+  // The writer arrives, writes the header and a record into the same
+  // file; the follower must validate the header on its next refresh.
+  {
+    ResultStore writer(path, OpenOptions{.app_tag = 7});
+    put_text(writer, Key{9, 9}, "late");
+    EXPECT_EQ(follower.refresh(), 1u);
+    EXPECT_TRUE(follower.get(Key{9, 9}).has_value());
+    writer.close();
+  }
+}
+
+TEST(StoreFollowTest, FollowExcludesRecoverAndChecksAppTag) {
+  const std::string path = temp_path("follow_excl.hvcs");
+  {
+    ResultStore store(path, OpenOptions{.app_tag = 7});
+    store.close();
+  }
+  EXPECT_THROW(ResultStore(path, OpenOptions{.recover = true,
+                                             .app_tag = 7,
+                                             .follow = true}),
+               PreconditionError);
+  EXPECT_THROW(ResultStore(path, OpenOptions{.read_only = true,
+                                             .app_tag = 8,
+                                             .follow = true}),
+               StoreCorruptError);
+}
+
+// ---------------------------------------------------------------------------
+// The open-failure taxonomy the CLI maps to exit codes: recoverable
+// (writer died; --resume / --repair fix it) vs corrupt (exit 2).
+
+TEST(StoreErrorTaxonomyTest, DirtyStoreThrowsRecoverable) {
+  const std::string path = temp_path("taxonomy_dirty.hvcs");
+  std::vector<char> dirty_image;
+  {
+    ResultStore store(path, OpenOptions{});
+    put_text(store, Key{1, 1}, "x");
+    // Snapshot while the dirty flag is still set, like a killed writer.
+    dirty_image = slurp(path);
+    store.close();
+  }
+  spit(path, dirty_image);
+  EXPECT_THROW(ResultStore(path, OpenOptions{}), StoreRecoverableError);
+  EXPECT_THROW(ResultStore(path, OpenOptions{.read_only = true}),
+               StoreRecoverableError);
+  // Both are ConfigErrors too, so pre-taxonomy handlers keep working.
+  EXPECT_THROW(ResultStore(path, OpenOptions{}), ConfigError);
+}
+
+TEST(StoreErrorTaxonomyTest, BadMagicThrowsCorrupt) {
+  const std::string path = temp_path("taxonomy_magic.hvcs");
+  {
+    ResultStore store(path, OpenOptions{});
+    store.close();
+  }
+  std::vector<char> bytes = slurp(path);
+  bytes[0] = 'X';
+  spit(path, bytes);
+  EXPECT_THROW(ResultStore(path, OpenOptions{}), StoreCorruptError);
+}
+
 }  // namespace
 }  // namespace hvc::store

@@ -7,26 +7,45 @@
 // Usage:
 //   hvc_explore --spec examples/fig3.json [--threads N] [--out sweep.csv]
 //               [--format csv|json] [--seed S] [--dry-run] [--print-spec]
-//               [--store FILE [--resume]]
+//               [--store FILE [--resume]] [--progress]
+//   hvc_explore serve --socket PATH [--store FILE [--resume]] [--threads N]
 //   hvc_explore store fsck [--repair] FILE
 //   hvc_explore store info FILE
+//
+// Exit codes are consistent across every subcommand:
+//   0  success (store fsck: clean)
+//   1  recoverable failure (a point failed; store fsck: writer died —
+//      --resume / --repair will recover)
+//   2  usage error or corrupt input (bad flags, malformed spec, store
+//      fsck: corrupt file)
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "hvc/common/io.hpp"
 #include "hvc/common/thread_pool.hpp"
 #include "hvc/explore/engine.hpp"
+#include "hvc/explore/executor.hpp"
+#include "hvc/explore/point_source.hpp"
 #include "hvc/explore/result_store.hpp"
+#include "hvc/explore/service.hpp"
 #include "hvc/store/store.hpp"
 #include "hvc/workloads/workload.hpp"
 
 namespace {
+
+/// Caller mistakes (bad flags, malformed specs): exit code 2, like a
+/// corrupt store — the input, not the run, is at fault.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 void print_usage(std::FILE* stream) {
   std::fprintf(stream,
@@ -53,8 +72,14 @@ void print_usage(std::FILE* stream) {
                "                   records are kept, so the sweep "
                "continues\n"
                "                   instead of restarting)\n"
-               "  --dry-run        parse + expand only; print the point "
-               "count\n"
+               "  --progress       periodic progress line on stderr "
+               "(done/total,\n"
+               "                   warm vs cold, points/s); off by "
+               "default\n"
+               "  --dry-run        parse the spec and print the point "
+               "count (the\n"
+               "                   lazy planner's estimate; nothing is "
+               "simulated)\n"
                "  --print-spec     echo the validated spec as JSON and "
                "exit\n"
                "  --list-workloads print the workload registry (axis "
@@ -64,6 +89,19 @@ void print_usage(std::FILE* stream) {
                "  --help           this message\n"
                "\n"
                "subcommands:\n"
+               "  serve --socket PATH [--store FILE [--resume]] "
+               "[--threads N]\n"
+               "                   long-running daemon: clients send "
+               "line-delimited\n"
+               "                   JSON sweep queries over the Unix "
+               "socket and get\n"
+               "                   rows streamed back, byte-identical "
+               "to a batch\n"
+               "                   run; concurrent clients share one "
+               "worker pool,\n"
+               "                   plan memo and store; SIGTERM shuts "
+               "down cleanly\n"
+               "                   (store left fsck-clean)\n"
                "  store fsck [--repair] FILE   classify a result store as "
                "clean /\n"
                "                   recoverable / corrupt; with --repair, "
@@ -71,7 +109,19 @@ void print_usage(std::FILE* stream) {
                "                   the torn tail and clear the dirty "
                "flag\n"
                "  store info FILE  print a store's record count and "
-               "sizes\n"
+               "sizes (a live\n"
+               "                   daemon's store is read lock-free, in "
+               "follow mode)\n"
+               "\n"
+               "exit codes (every subcommand):\n"
+               "  0  success / store clean\n"
+               "  1  recoverable failure: a point failed, a store's "
+               "writer died\n"
+               "     (--resume or fsck --repair recovers), or a store "
+               "is busy\n"
+               "  2  usage or corrupt input: bad flags, malformed spec, "
+               "corrupt\n"
+               "     store file\n"
                "\n"
                "Output is byte-identical for any --threads value: every\n"
                "sweep point derives its random streams from its own index\n"
@@ -87,11 +137,20 @@ struct Options {
   std::optional<std::uint64_t> seed_override;
   std::string store_path;  ///< empty = no persistent store
   bool resume = false;
+  bool progress = false;
   bool dry_run = false;
   bool print_spec = false;
   bool list_workloads = false;
   bool list_scenarios = false;
 };
+
+[[nodiscard]] std::size_t parse_threads(const char* text) {
+  const long parsed = std::atol(text);
+  if (parsed < 1) {
+    throw UsageError("--threads must be >= 1");
+  }
+  return static_cast<std::size_t>(parsed);
+}
 
 /// `hvc_explore store fsck [--repair] FILE` / `store info FILE`.
 int cmd_store(int argc, char** argv) {
@@ -104,26 +163,42 @@ int cmd_store(int argc, char** argv) {
     } else if (path.empty() && argv[i][0] != '-') {
       path = argv[i];
     } else {
-      throw std::runtime_error(std::string("unknown store argument: ") +
-                               argv[i]);
+      throw UsageError(std::string("unknown store argument: ") + argv[i]);
     }
   }
   if ((action != "fsck" && action != "info") || path.empty()) {
-    throw std::runtime_error(
+    throw UsageError(
         "usage: hvc_explore store fsck [--repair] FILE | store info FILE");
   }
   if (action == "info") {
-    const hvc::store::FsckReport report = hvc::store::ResultStore::fsck(path);
-    std::printf("%s: .hvcs result store (%s)\n", path.c_str(),
-                hvc::store::to_string(report.status));
-    std::printf("  records      %llu\n",
-                static_cast<unsigned long long>(report.records));
-    std::printf("  valid bytes  %llu of %llu\n",
-                static_cast<unsigned long long>(report.valid_bytes),
-                static_cast<unsigned long long>(report.file_bytes));
-    std::printf("  dirty flag   %s\n", report.dirty ? "set" : "clear");
-    std::printf("  %s\n", report.detail.c_str());
-    return report.status == hvc::store::FsckStatus::kClean ? 0 : 1;
+    try {
+      const hvc::store::FsckReport report =
+          hvc::store::ResultStore::fsck(path);
+      std::printf("%s: .hvcs result store (%s)\n", path.c_str(),
+                  hvc::store::to_string(report.status));
+      std::printf("  records      %llu\n",
+                  static_cast<unsigned long long>(report.records));
+      std::printf("  valid bytes  %llu of %llu\n",
+                  static_cast<unsigned long long>(report.valid_bytes),
+                  static_cast<unsigned long long>(report.file_bytes));
+      std::printf("  dirty flag   %s\n", report.dirty ? "set" : "clear");
+      std::printf("  %s\n", report.detail.c_str());
+      return report.status == hvc::store::FsckStatus::kClean ? 0 : 1;
+    } catch (const hvc::store::StoreBusyError&) {
+      // A live writer (a sweep or daemon) holds the lock. Follow mode
+      // reads the committed prefix without disturbing it.
+      hvc::store::OpenOptions follow;
+      follow.read_only = true;
+      follow.create = false;
+      follow.follow = true;
+      const hvc::store::ResultStore store(path, follow);
+      std::printf("%s: .hvcs result store (live writer attached)\n",
+                  path.c_str());
+      std::printf("  records      %zu committed so far\n", store.records());
+      std::printf("  valid bytes  %llu\n",
+                  static_cast<unsigned long long>(store.file_bytes()));
+      return 0;
+    }
   }
   if (repair) {
     const hvc::store::FsckReport report =
@@ -147,6 +222,41 @@ int cmd_store(int argc, char** argv) {
       return 2;
   }
   return 2;
+}
+
+/// `hvc_explore serve --socket PATH [--store FILE [--resume]]
+/// [--threads N]`.
+int cmd_serve(int argc, char** argv) {
+  hvc::explore::ServeOptions options;
+  options.threads = hvc::ThreadPool::hardware_threads();
+  options.announce = true;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value_of = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw UsageError(std::string("missing value for ") + arg);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--socket") == 0) {
+      options.socket_path = value_of();
+    } else if (std::strcmp(arg, "--store") == 0) {
+      options.store_path = value_of();
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      options.threads = parse_threads(value_of());
+    } else {
+      throw UsageError(std::string("unknown serve option: ") + arg);
+    }
+  }
+  if (options.socket_path.empty()) {
+    throw UsageError("serve needs --socket PATH");
+  }
+  if (options.resume && options.store_path.empty()) {
+    throw UsageError("--resume needs --store FILE");
+  }
+  return hvc::explore::run_serve(options);
 }
 
 /// Prints the registry so specs can be authored without reading the
@@ -187,7 +297,7 @@ void print_scenarios() {
   Options options;
   const auto value_of = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
-      throw std::runtime_error(std::string("missing value for ") + argv[i]);
+      throw UsageError(std::string("missing value for ") + argv[i]);
     }
     return argv[++i];
   };
@@ -196,17 +306,13 @@ void print_scenarios() {
     if (std::strcmp(arg, "--spec") == 0) {
       options.spec_path = value_of(i);
     } else if (std::strcmp(arg, "--threads") == 0) {
-      const long parsed = std::atol(value_of(i));
-      if (parsed < 1) {
-        throw std::runtime_error("--threads must be >= 1");
-      }
-      options.threads = static_cast<std::size_t>(parsed);
+      options.threads = parse_threads(value_of(i));
     } else if (std::strcmp(arg, "--out") == 0) {
       options.out_path = value_of(i);
     } else if (std::strcmp(arg, "--format") == 0) {
       options.format = value_of(i);
       if (options.format != "csv" && options.format != "json") {
-        throw std::runtime_error("--format must be csv or json");
+        throw UsageError("--format must be csv or json");
       }
     } else if (std::strcmp(arg, "--seed") == 0) {
       const char* text = value_of(i);
@@ -214,7 +320,7 @@ void print_scenarios() {
       errno = 0;
       const unsigned long long parsed = std::strtoull(text, &end, 10);
       if (end == text || *end != '\0' || errno == ERANGE || *text == '-') {
-        throw std::runtime_error(
+        throw UsageError(
             std::string("--seed must be a decimal uint64, got: ") + text);
       }
       options.seed_override = static_cast<std::uint64_t>(parsed);
@@ -222,6 +328,8 @@ void print_scenarios() {
       options.store_path = value_of(i);
     } else if (std::strcmp(arg, "--resume") == 0) {
       options.resume = true;
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      options.progress = true;
     } else if (std::strcmp(arg, "--dry-run") == 0) {
       options.dry_run = true;
     } else if (std::strcmp(arg, "--print-spec") == 0) {
@@ -235,17 +343,105 @@ void print_scenarios() {
       print_usage(stdout);
       std::exit(0);
     } else {
-      throw std::runtime_error(std::string("unknown option: ") + arg);
+      throw UsageError(std::string("unknown option: ") + arg);
     }
   }
   if (options.spec_path.empty() && !options.list_workloads &&
       !options.list_scenarios) {
-    throw std::runtime_error("--spec is required");
+    throw UsageError("--spec is required");
   }
   if (options.resume && options.store_path.empty()) {
-    throw std::runtime_error("--resume needs --store FILE");
+    throw UsageError("--resume needs --store FILE");
   }
   return options;
+}
+
+int run_batch(const Options& options) {
+  using namespace hvc;
+  explore::SweepSpec spec;
+  try {
+    spec = explore::SweepSpec::parse(read_text_file(options.spec_path));
+  } catch (const ConfigError& error) {
+    // A spec the parser rejects is caller input, like a bad flag.
+    throw UsageError(error.what());
+  }
+  if (options.seed_override) {
+    spec.seed = *options.seed_override;
+  }
+
+  if (options.print_spec) {
+    std::printf("%s\n", spec.to_json().dump(2).c_str());
+    return 0;
+  }
+  if (options.dry_run) {
+    // Asks the lazy planner, not an expansion: the count comes from the
+    // same PointSource the executor would pull from, and no point is
+    // ever materialized.
+    explore::GridPointSource source(spec);
+    std::printf("spec \"%s\" (%s): %zu points, %zu threads\n",
+                spec.name.c_str(), explore::to_string(spec.kind),
+                source.estimated_remaining(), options.threads);
+    return 0;
+  }
+
+  std::unique_ptr<store::ResultStore> store;
+  if (!options.store_path.empty()) {
+    store = explore::open_result_store(options.store_path, options.resume);
+    if (store->recovered_bytes() > 0) {
+      std::fprintf(stderr,
+                   "store: recovered %llu torn bytes from a killed "
+                   "writer (%zu committed records kept)\n",
+                   static_cast<unsigned long long>(
+                       store->recovered_bytes()),
+                   store->records());
+    }
+  }
+
+  explore::ExecOptions exec_options;
+  const auto started = std::chrono::steady_clock::now();
+  auto last_report = started;
+  if (options.progress) {
+    exec_options.progress = [&](const explore::SweepProgress& progress) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_report < std::chrono::seconds(1) &&
+          progress.done != progress.total) {
+        return;
+      }
+      last_report = now;
+      const double elapsed =
+          std::chrono::duration<double>(now - started).count();
+      std::fprintf(stderr,
+                   "progress: %zu/%zu points (%zu warm, %zu cold), "
+                   "%.1f points/s\n",
+                   progress.done, progress.total, progress.warm,
+                   progress.cold,
+                   elapsed > 0.0 ? static_cast<double>(progress.done) /
+                                       elapsed
+                                 : 0.0);
+    };
+  }
+
+  const explore::SweepResult result =
+      explore::run_sweep(spec, options.threads, store.get(), exec_options);
+  if (store != nullptr) {
+    store->close();  // syncs records, then clears the dirty flag
+    std::fprintf(stderr,
+                 "store: %zu warm, %zu cold points (%zu records now "
+                 "committed in %s)\n",
+                 result.warm_points, result.cold_points, store->records(),
+                 options.store_path.c_str());
+  }
+  const std::string output = options.format == "csv"
+                                 ? result.to_csv()
+                                 : result.to_json().dump(2) + "\n";
+  if (options.out_path.empty()) {
+    std::fwrite(output.data(), 1, output.size(), stdout);
+  } else {
+    write_text_file(options.out_path, output);
+    std::fprintf(stderr, "wrote %zu rows to %s\n", result.points(),
+                 options.out_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -255,6 +451,9 @@ int main(int argc, char** argv) {
   try {
     if (argc > 1 && std::strcmp(argv[1], "store") == 0) {
       return cmd_store(argc, argv);
+    }
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+      return cmd_serve(argc, argv);
     }
     const Options options = parse_args(argc, argv);
     if (options.list_workloads || options.list_scenarios) {
@@ -266,56 +465,16 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    explore::SweepSpec spec =
-        explore::SweepSpec::parse(read_text_file(options.spec_path));
-    if (options.seed_override) {
-      spec.seed = *options.seed_override;
-    }
-
-    if (options.print_spec) {
-      std::printf("%s\n", spec.to_json().dump(2).c_str());
-      return 0;
-    }
-    if (options.dry_run) {
-      std::printf("spec \"%s\" (%s): %zu points, %zu threads\n",
-                  spec.name.c_str(), explore::to_string(spec.kind),
-                  spec.point_count(), options.threads);
-      return 0;
-    }
-
-    std::unique_ptr<store::ResultStore> store;
-    if (!options.store_path.empty()) {
-      store = explore::open_result_store(options.store_path, options.resume);
-      if (store->recovered_bytes() > 0) {
-        std::fprintf(stderr,
-                     "store: recovered %llu torn bytes from a killed "
-                     "writer (%zu committed records kept)\n",
-                     static_cast<unsigned long long>(
-                         store->recovered_bytes()),
-                     store->records());
-      }
-    }
-    const explore::SweepResult result =
-        explore::run_sweep(spec, options.threads, store.get());
-    if (store != nullptr) {
-      store->close();  // syncs records, then clears the dirty flag
-      std::fprintf(stderr,
-                   "store: %zu warm, %zu cold points (%zu records now "
-                   "committed in %s)\n",
-                   result.warm_points, result.cold_points,
-                   store->records(), options.store_path.c_str());
-    }
-    const std::string output = options.format == "csv"
-                                   ? result.to_csv()
-                                   : result.to_json().dump(2) + "\n";
-    if (options.out_path.empty()) {
-      std::fwrite(output.data(), 1, output.size(), stdout);
-    } else {
-      write_text_file(options.out_path, output);
-      std::fprintf(stderr, "wrote %zu rows to %s\n", result.points(),
-                   options.out_path.c_str());
-    }
-    return 0;
+    return run_batch(options);
+  } catch (const UsageError& error) {
+    std::fprintf(stderr, "hvc_explore: %s\n", error.what());
+    return 2;
+  } catch (const store::StoreCorruptError& error) {
+    std::fprintf(stderr, "hvc_explore: %s\n", error.what());
+    return 2;
+  } catch (const store::StoreRecoverableError& error) {
+    std::fprintf(stderr, "hvc_explore: %s\n", error.what());
+    return 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "hvc_explore: %s\n", error.what());
     return 1;

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Minimal client for `hvc_explore serve`.
+
+Sends one sweep spec (a JSON file) to a running daemon over its Unix
+socket and reconstructs the CSV table from the streamed row events. The
+result on stdout is byte-identical to a batch `hvc_explore --spec FILE`
+run of the same spec.
+
+Usage:
+    hvc_serve_client.py SOCKET SPEC_FILE [REQUEST_ID]
+
+Wire protocol (line-delimited JSON, see src/explore/.../service.hpp):
+    -> {"spec": {...}, "id": ...}
+    <- {"event": "begin", "points": N, "csv_header": "...", ...}
+    <- {"event": "row", "seq": K, "csv": "..."}   (N of these, in order)
+    <- {"event": "end", "points": N, "warm": W, "cold": C}
+    <- {"event": "error", "error": "..."}          (instead of rows)
+"""
+
+import json
+import socket
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) not in (3, 4):
+        print(
+            "usage: hvc_serve_client.py SOCKET SPEC_FILE [REQUEST_ID]",
+            file=sys.stderr,
+        )
+        return 2
+
+    socket_path, spec_path = sys.argv[1], sys.argv[2]
+    with open(spec_path, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    request = {"spec": spec}
+    if len(sys.argv) == 4:
+        request["id"] = sys.argv[3]
+
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+        conn.connect(socket_path)
+        conn.sendall((json.dumps(request) + "\n").encode())
+
+        lines = []
+        reader = conn.makefile("r", encoding="utf-8")
+        expected = None
+        for raw in reader:
+            event = json.loads(raw)
+            kind = event["event"]
+            if kind == "error":
+                print(f"daemon error: {event['error']}", file=sys.stderr)
+                return 1
+            if kind == "begin":
+                expected = event["points"]
+                lines.append(event["csv_header"])
+            elif kind == "row":
+                lines.append(event["csv"])
+            elif kind == "end":
+                if event["points"] != expected:
+                    print(
+                        f"short stream: {event['points']} of {expected} rows",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"warm={event['warm']} cold={event['cold']}",
+                    file=sys.stderr,
+                )
+                sys.stdout.write("\n".join(lines) + "\n")
+                return 0
+        print("connection closed before the end event", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
